@@ -1,0 +1,186 @@
+//! Disassembler: [`Program`] → textual assembly.
+
+use dbx_cpu::isa::{ExtOp, Instr, LsWidth};
+use dbx_cpu::{Extension, Program};
+
+fn ext_text(e: &ExtOp, ext: Option<&dyn Extension>) -> String {
+    let name = ext
+        .and_then(|x| x.op_descriptor(e.op).ok())
+        .map(|d| d.name.to_string())
+        .unwrap_or_else(|| format!("ext{}", e.op));
+    let writes_ar = ext
+        .and_then(|x| x.op_descriptor(e.op).ok())
+        .map(|d| d.writes_ar)
+        .unwrap_or(false);
+    // Render only the operands the op meaningfully uses: the destination
+    // for RUR-style ops, the source for WUR-style ops; both when set.
+    let mut ops: Vec<String> = Vec::new();
+    if writes_ar || e.args.r != 0 {
+        ops.push(format!("a{}", e.args.r));
+    }
+    if e.args.s != 0 || (!writes_ar && e.args.r == 0 && e.args.imm == 0 && needs_s(&name)) {
+        ops.push(format!("a{}", e.args.s));
+    }
+    if e.args.imm != 0 {
+        ops.push(format!("{}", e.args.imm));
+    }
+    if ops.is_empty() {
+        name
+    } else {
+        format!("{} {}", name, ops.join(", "))
+    }
+}
+
+fn needs_s(name: &str) -> bool {
+    name.contains(".wur.")
+}
+
+fn target_text(program: &Program, target: u32) -> String {
+    match program.label_at(target) {
+        Some(l) => l.to_string(),
+        None => format!("{target:#010x}"),
+    }
+}
+
+fn instr_text(i: &Instr, program: &Program, ext: Option<&dyn Extension>) -> String {
+    match i {
+        Instr::Nop => "nop".into(),
+        Instr::Halt => "halt".into(),
+        Instr::Movi { r, imm } => format!("movi {r}, {imm}"),
+        Instr::Add { r, s, t } => format!("add {r}, {s}, {t}"),
+        Instr::Addx4 { r, s, t } => format!("addx4 {r}, {s}, {t}"),
+        Instr::Addi { r, s, imm } => format!("addi {r}, {s}, {imm}"),
+        Instr::Sub { r, s, t } => format!("sub {r}, {s}, {t}"),
+        Instr::And { r, s, t } => format!("and {r}, {s}, {t}"),
+        Instr::Or { r, s, t } if s == t => format!("mov {r}, {s}"),
+        Instr::Or { r, s, t } => format!("or {r}, {s}, {t}"),
+        Instr::Xor { r, s, t } => format!("xor {r}, {s}, {t}"),
+        Instr::Slli { r, s, sa } => format!("slli {r}, {s}, {sa}"),
+        Instr::Srli { r, s, sa } => format!("srli {r}, {s}, {sa}"),
+        Instr::Srai { r, s, sa } => format!("srai {r}, {s}, {sa}"),
+        Instr::Extui { r, s, shift, bits } => format!("extui {r}, {s}, {shift}, {bits}"),
+        Instr::Mull { r, s, t } => format!("mull {r}, {s}, {t}"),
+        Instr::Quou { r, s, t } => format!("quou {r}, {s}, {t}"),
+        Instr::Remu { r, s, t } => format!("remu {r}, {s}, {t}"),
+        Instr::Min { r, s, t } => format!("min {r}, {s}, {t}"),
+        Instr::Max { r, s, t } => format!("max {r}, {s}, {t}"),
+        Instr::Minu { r, s, t } => format!("minu {r}, {s}, {t}"),
+        Instr::Maxu { r, s, t } => format!("maxu {r}, {s}, {t}"),
+        Instr::Load { width, r, s, off } => {
+            let m = match width {
+                LsWidth::B8 => "l8ui",
+                LsWidth::H16 => "l16ui",
+                LsWidth::W32 => "l32i",
+            };
+            format!("{m} {r}, {s}, {off}")
+        }
+        Instr::Store { width, t, s, off } => {
+            let m = match width {
+                LsWidth::B8 => "s8i",
+                LsWidth::H16 => "s16i",
+                LsWidth::W32 => "s32i",
+            };
+            format!("{m} {t}, {s}, {off}")
+        }
+        Instr::Branch { cond, s, t, target } => {
+            format!(
+                "{} {s}, {t}, {}",
+                cond.mnemonic(),
+                target_text(program, *target)
+            )
+        }
+        Instr::Beqz { s, target } => format!("beqz {s}, {}", target_text(program, *target)),
+        Instr::Bnez { s, target } => format!("bnez {s}, {}", target_text(program, *target)),
+        Instr::J { target } => format!("j {}", target_text(program, *target)),
+        Instr::Jx { s } => format!("jx {s}"),
+        Instr::Call0 { target } => format!("call0 {}", target_text(program, *target)),
+        Instr::Ret => "ret".into(),
+        Instr::Loop { s, end } => format!("loop {s}, {}", target_text(program, *end)),
+        Instr::Ext(e) => ext_text(e, ext),
+        Instr::Flix(slots) => {
+            let parts: Vec<String> = slots.iter().map(|s| instr_text(s, program, ext)).collect();
+            format!("{{ {} }}", parts.join(" ; "))
+        }
+    }
+}
+
+/// Renders a program as assembly text, with labels and addresses.
+pub fn disassemble(program: &Program, ext: Option<&dyn Extension>) -> String {
+    let mut out = String::new();
+    for (addr, i) in program.iter() {
+        if let Some(l) = program.label_at(addr) {
+            out.push_str(&format!("{l}:\n"));
+        }
+        out.push_str(&format!(
+            "    {:<40} ; {addr:#010x}\n",
+            instr_text(i, program, ext)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbx_core::{opcodes, DbExtConfig, DbExtension};
+    use dbx_cpu::isa::regs::*;
+    use dbx_cpu::isa::OpArgs;
+    use dbx_cpu::ProgramBuilder;
+
+    #[test]
+    fn disassembles_base_instructions_with_labels() {
+        let mut b = ProgramBuilder::new();
+        b.label("start");
+        b.movi(A2, 10);
+        b.label("loop");
+        b.addi(A2, A2, -1);
+        b.bnez(A2, "loop");
+        b.halt();
+        let p = b.build().unwrap();
+        let text = disassemble(&p, None);
+        assert!(text.contains("start:"), "{text}");
+        assert!(text.contains("movi a2, 10"), "{text}");
+        assert!(text.contains("bnez a2, loop"), "{text}");
+        assert!(text.contains("halt"), "{text}");
+    }
+
+    #[test]
+    fn disassembles_extension_mnemonics() {
+        let ext = DbExtension::new(DbExtConfig::two_lsu(true));
+        let mut b = ProgramBuilder::new();
+        b.inst(Instr::Ext(ExtOp {
+            op: opcodes::INIT,
+            args: OpArgs::default(),
+        }));
+        b.inst(Instr::Ext(ExtOp {
+            op: opcodes::RUR_DONE,
+            args: OpArgs { r: 7, s: 0, imm: 0 },
+        }));
+        b.flix([
+            Instr::Ext(ExtOp {
+                op: opcodes::STORE_SOP_ISECT,
+                args: OpArgs { r: 7, s: 0, imm: 0 },
+            }),
+            Instr::Nop,
+        ]);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = disassemble(&p, Some(&ext));
+        assert!(text.contains("db.init"), "{text}");
+        assert!(text.contains("db.rur.done a7"), "{text}");
+        assert!(text.contains("{ db.store_sop.isect a7 ; nop }"), "{text}");
+    }
+
+    #[test]
+    fn unknown_ext_ops_fall_back_to_numeric() {
+        let mut b = ProgramBuilder::new();
+        b.inst(Instr::Ext(ExtOp {
+            op: 99,
+            args: OpArgs::default(),
+        }));
+        b.halt();
+        let p = b.build().unwrap();
+        let text = disassemble(&p, None);
+        assert!(text.contains("ext99"), "{text}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Assembler and disassembler for the dbasip base ISA and extensions.
+//!
+//! The paper's tool flow generates "a suitable compiler" whose "newly
+//! introduced instructions are made available by intrinsics" (Section 3.1).
+//! This crate is the human-facing end of that toolchain: a two-pass
+//! assembler from textual assembly to [`dbx_cpu::Program`] and a
+//! disassembler back, with extension mnemonics resolved through the
+//! attached [`dbx_cpu::Extension`].
+//!
+//! Syntax:
+//!
+//! ```text
+//! ; sum a small array
+//!     movi  a2, 0x60000000
+//!     movi  a3, 8           ; element count
+//!     movi  a4, 0
+//! loop:
+//!     l32i  a5, a2, 0
+//!     add   a4, a4, a5
+//!     addi  a2, a2, 4
+//!     addi  a3, a3, -1
+//!     bnez  a3, loop
+//!     halt
+//! ```
+//!
+//! Extension ops use their dotted mnemonics (`db.sop.isect`,
+//! `db.rur.done a7`, ...); FLIX bundles group slot ops in braces:
+//! `{ db.store_sop.isect a7 ; nop }`.
+
+pub mod disasm;
+pub mod parse;
+
+pub use disasm::disassemble;
+pub use parse::{assemble, AsmError, Assembler};

@@ -1,0 +1,527 @@
+//! Two-pass assembler: text → [`Program`].
+
+use core::fmt;
+use dbx_cpu::isa::{BranchCond, ExtOp, Instr, LsWidth, OpArgs, Reg};
+use dbx_cpu::{Extension, Program, ProgramBuilder, SimError};
+use std::collections::HashMap;
+
+/// Assembly error with source location.
+#[derive(Debug)]
+pub enum AsmError {
+    /// Syntax or semantic error at a source line (1-based).
+    Line {
+        /// Source line number.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+    /// Program construction failed (undefined label, bad bundle, ...).
+    Build(SimError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Line { line, msg } => write!(f, "line {line}: {msg}"),
+            AsmError::Build(e) => write!(f, "program error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<SimError> for AsmError {
+    fn from(e: SimError) -> Self {
+        AsmError::Build(e)
+    }
+}
+
+/// The assembler, optionally aware of an instruction-set extension's
+/// mnemonics.
+#[derive(Default)]
+pub struct Assembler<'e> {
+    ext: Option<&'e dyn Extension>,
+}
+
+impl<'e> Assembler<'e> {
+    /// Creates an assembler for the base ISA only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an extension whose mnemonics become available.
+    pub fn with_extension(ext: &'e dyn Extension) -> Self {
+        Assembler { ext: Some(ext) }
+    }
+
+    /// Assembles a source text into a program.
+    ///
+    /// Supports the `.equ NAME value` directive: `NAME` then substitutes
+    /// for an immediate anywhere after its definition.
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        let mut b = ProgramBuilder::new();
+        let mut consts: HashMap<String, i64> = HashMap::new();
+        for (ix, raw) in source.lines().enumerate() {
+            let line_no = ix + 1;
+            // `;` starts a comment, except inside a FLIX bundle's braces
+            // where it separates slots.
+            let mut depth = 0usize;
+            let mut cut = raw.len();
+            for (p, c) in raw.char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth = depth.saturating_sub(1),
+                    ';' if depth == 0 => {
+                        cut = p;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let line = raw[..cut].trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut rest = line;
+            // Leading labels (possibly several).
+            while let Some(colon) = rest.find(':') {
+                let (head, tail) = rest.split_at(colon);
+                let head = head.trim();
+                if head.is_empty() || !is_ident(head) || head.contains(char::is_whitespace) {
+                    break;
+                }
+                b.label(head);
+                rest = tail[1..].trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            if let Some(body) = rest.strip_prefix(".equ") {
+                let mut parts = body.split_whitespace();
+                let (name, value) = (parts.next(), parts.next());
+                match (name, value.and_then(|v| parse_imm(v, &consts))) {
+                    (Some(n), Some(v)) if is_ident(n) => {
+                        consts.insert(n.to_string(), v);
+                        continue;
+                    }
+                    _ => {
+                        return Err(AsmError::Line {
+                            line: line_no,
+                            msg: "malformed .equ directive (expected: .equ NAME value)"
+                                .to_string(),
+                        })
+                    }
+                }
+            }
+            let instr = self.parse_instr(rest, line_no, &mut b, &consts)?;
+            if let Some(i) = instr {
+                b.inst(i);
+            }
+        }
+        Ok(b.build()?)
+    }
+
+    /// Parses one instruction. Branch-type instructions are emitted into
+    /// the builder directly (they need label fixups) and return `None`.
+    fn parse_instr(
+        &self,
+        text: &str,
+        line: usize,
+        b: &mut ProgramBuilder,
+        consts: &HashMap<String, i64>,
+    ) -> Result<Option<Instr>, AsmError> {
+        let err = |msg: String| AsmError::Line { line, msg };
+        // FLIX bundle.
+        if let Some(inner) = text.strip_prefix('{') {
+            let inner = inner
+                .strip_suffix('}')
+                .ok_or_else(|| err("unterminated FLIX bundle".to_string()))?;
+            let mut slots = Vec::new();
+            for part in inner.split(';') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                match self.parse_instr(part, line, b, consts)? {
+                    Some(i) => slots.push(i),
+                    None => return Err(err("control transfer inside a bundle".to_string())),
+                }
+            }
+            return Ok(Some(Instr::Flix(slots.into_boxed_slice())));
+        }
+
+        let (mn, ops_text) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if ops_text.is_empty() {
+            vec![]
+        } else {
+            ops_text.split(',').map(|s| s.trim()).collect()
+        };
+
+        let reg = |k: usize| -> Result<Reg, AsmError> {
+            let t = ops.get(k).ok_or_else(|| AsmError::Line {
+                line,
+                msg: format!("{mn}: missing operand {k}"),
+            })?;
+            parse_reg(t).ok_or_else(|| AsmError::Line {
+                line,
+                msg: format!("{mn}: bad register '{t}'"),
+            })
+        };
+        let imm = |k: usize| -> Result<i64, AsmError> {
+            let t = ops.get(k).ok_or_else(|| AsmError::Line {
+                line,
+                msg: format!("{mn}: missing immediate {k}"),
+            })?;
+            parse_imm(t, consts).ok_or_else(|| AsmError::Line {
+                line,
+                msg: format!("{mn}: bad immediate '{t}'"),
+            })
+        };
+        let lbl = |k: usize| -> Result<&str, AsmError> {
+            ops.get(k)
+                .copied()
+                .filter(|s| is_ident(s))
+                .ok_or_else(|| AsmError::Line {
+                    line,
+                    msg: format!("{mn}: missing label operand"),
+                })
+        };
+
+        let rst = |f: fn(Reg, Reg, Reg) -> Instr| -> Result<Option<Instr>, AsmError> {
+            Ok(Some(f(reg(0)?, reg(1)?, reg(2)?)))
+        };
+
+        match mn {
+            "nop" => Ok(Some(Instr::Nop)),
+            "halt" => Ok(Some(Instr::Halt)),
+            "ret" => Ok(Some(Instr::Ret)),
+            "movi" => Ok(Some(Instr::Movi {
+                r: reg(0)?,
+                imm: imm(1)? as i32,
+            })),
+            "mov" => {
+                let (r, s) = (reg(0)?, reg(1)?);
+                Ok(Some(Instr::Or { r, s, t: s }))
+            }
+            "add" => rst(|r, s, t| Instr::Add { r, s, t }),
+            "addx4" => rst(|r, s, t| Instr::Addx4 { r, s, t }),
+            "sub" => rst(|r, s, t| Instr::Sub { r, s, t }),
+            "and" => rst(|r, s, t| Instr::And { r, s, t }),
+            "or" => rst(|r, s, t| Instr::Or { r, s, t }),
+            "xor" => rst(|r, s, t| Instr::Xor { r, s, t }),
+            "mull" => rst(|r, s, t| Instr::Mull { r, s, t }),
+            "quou" => rst(|r, s, t| Instr::Quou { r, s, t }),
+            "remu" => rst(|r, s, t| Instr::Remu { r, s, t }),
+            "min" => rst(|r, s, t| Instr::Min { r, s, t }),
+            "max" => rst(|r, s, t| Instr::Max { r, s, t }),
+            "minu" => rst(|r, s, t| Instr::Minu { r, s, t }),
+            "maxu" => rst(|r, s, t| Instr::Maxu { r, s, t }),
+            "addi" => Ok(Some(Instr::Addi {
+                r: reg(0)?,
+                s: reg(1)?,
+                imm: imm(2)? as i16,
+            })),
+            "slli" => Ok(Some(Instr::Slli {
+                r: reg(0)?,
+                s: reg(1)?,
+                sa: imm(2)? as u8,
+            })),
+            "srli" => Ok(Some(Instr::Srli {
+                r: reg(0)?,
+                s: reg(1)?,
+                sa: imm(2)? as u8,
+            })),
+            "srai" => Ok(Some(Instr::Srai {
+                r: reg(0)?,
+                s: reg(1)?,
+                sa: imm(2)? as u8,
+            })),
+            "extui" => Ok(Some(Instr::Extui {
+                r: reg(0)?,
+                s: reg(1)?,
+                shift: imm(2)? as u8,
+                bits: imm(3)? as u8,
+            })),
+            "l32i" | "l16ui" | "l8ui" => {
+                let width = match mn {
+                    "l32i" => LsWidth::W32,
+                    "l16ui" => LsWidth::H16,
+                    _ => LsWidth::B8,
+                };
+                Ok(Some(Instr::Load {
+                    width,
+                    r: reg(0)?,
+                    s: reg(1)?,
+                    off: imm(2)? as u16,
+                }))
+            }
+            "s32i" | "s16i" | "s8i" => {
+                let width = match mn {
+                    "s32i" => LsWidth::W32,
+                    "s16i" => LsWidth::H16,
+                    _ => LsWidth::B8,
+                };
+                Ok(Some(Instr::Store {
+                    width,
+                    t: reg(0)?,
+                    s: reg(1)?,
+                    off: imm(2)? as u16,
+                }))
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                let cond = match mn {
+                    "beq" => BranchCond::Eq,
+                    "bne" => BranchCond::Ne,
+                    "blt" => BranchCond::Lt,
+                    "bge" => BranchCond::Ge,
+                    "bltu" => BranchCond::Ltu,
+                    _ => BranchCond::Geu,
+                };
+                b.br(cond, reg(0)?, reg(1)?, lbl(2)?);
+                Ok(None)
+            }
+            "beqz" => {
+                let s = reg(0)?;
+                b.beqz(s, lbl(1)?);
+                Ok(None)
+            }
+            "bnez" => {
+                let s = reg(0)?;
+                b.bnez(s, lbl(1)?);
+                Ok(None)
+            }
+            "j" => {
+                b.j(lbl(0)?);
+                Ok(None)
+            }
+            "jx" => Ok(Some(Instr::Jx { s: reg(0)? })),
+            "call0" => {
+                b.call0(lbl(0)?);
+                Ok(None)
+            }
+            "loop" => {
+                let s = reg(0)?;
+                b.hw_loop(s, lbl(1)?);
+                Ok(None)
+            }
+            _ => {
+                // Extension mnemonic?
+                if let Some(ext) = self.ext {
+                    if let Some(op) = ext.op_by_name(mn) {
+                        let d = ext.op_descriptor(op).map_err(|e| AsmError::Line {
+                            line,
+                            msg: format!("{mn}: {e}"),
+                        })?;
+                        let mut args = OpArgs::default();
+                        let mut k = 0usize;
+                        if d.writes_ar && k < ops.len() {
+                            args.r = reg(k)?.0;
+                            k += 1;
+                        }
+                        if k < ops.len() {
+                            if let Some(r) = parse_reg(ops[k]) {
+                                args.s = r.0;
+                                k += 1;
+                            }
+                        }
+                        if k < ops.len() {
+                            args.imm = imm(k)? as i8;
+                        }
+                        return Ok(Some(Instr::Ext(ExtOp { op, args })));
+                    }
+                }
+                Err(err(format!("unknown mnemonic '{mn}'")))
+            }
+        }
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().unwrap().is_ascii_alphabetic()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    let n: u8 = s.strip_prefix('a')?.parse().ok()?;
+    (n < 16).then(|| Reg::new(n))
+}
+
+fn parse_imm(s: &str, consts: &HashMap<String, i64>) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v: i64 = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(c) = consts.get(body) {
+        *c
+    } else {
+        body.parse().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Convenience one-shot assembly with optional extension mnemonics.
+pub fn assemble(source: &str, ext: Option<&dyn Extension>) -> Result<Program, AsmError> {
+    match ext {
+        Some(e) => Assembler::with_extension(e).assemble(source),
+        None => Assembler::new().assemble(source),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disassemble;
+    use dbx_core::{DbExtConfig, DbExtension};
+    use dbx_cpu::{CpuConfig, Processor, DMEM0_BASE};
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let src = r"
+            ; compute 10 * 3 by repeated addition
+                movi a2, 10
+                movi a3, 0
+            loop:
+                addi a3, a3, 3
+                addi a2, a2, -1
+                bnez a2, loop
+                halt
+        ";
+        let p = assemble(src, None).unwrap();
+        let mut proc = Processor::new(CpuConfig::local_store_core(1, 64)).unwrap();
+        proc.load_program(p).unwrap();
+        proc.run(10_000).unwrap();
+        assert_eq!(proc.ar[3], 30);
+    }
+
+    #[test]
+    fn assembles_memory_and_alu_forms() {
+        let src = r"
+                movi a2, 0x60000000
+                l32i a3, a2, 4
+                addx4 a4, a3, a2
+                s32i a4, a2, 8
+                minu a5, a3, a4
+                extui a6, a4, 3, 5
+                halt
+        ";
+        let p = assemble(src, None).unwrap();
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn assembles_extension_mnemonics_and_bundles() {
+        let ext = DbExtension::new(DbExtConfig::two_lsu(true));
+        let src = r"
+                db.init
+                movi a2, 0x60000000
+                db.wur.ptra a2
+                movi a2, 0x60000040
+                db.wur.enda a2
+            core:
+                { db.store_sop.isect a7 ; nop }
+                db.ld_ldp_shuffle
+                bnez a7, core
+                db.rur.outcnt a2
+                halt
+        ";
+        let p = assemble(src, Some(&ext)).unwrap();
+        let text = disassemble(&p, Some(&ext));
+        assert!(text.contains("db.wur.ptra a2"), "{text}");
+        assert!(text.contains("db.store_sop.isect a7"), "{text}");
+    }
+
+    #[test]
+    fn full_roundtrip_source_to_text_to_program() {
+        let ext = DbExtension::new(DbExtConfig::one_lsu(false));
+        let src = r"
+            start:
+                movi a2, -7
+                mov a3, a2
+                beq a2, a3, start
+                db.rur.done a5
+                halt
+        ";
+        let p1 = assemble(src, Some(&ext)).unwrap();
+        let text = disassemble(&p1, Some(&ext));
+        let p2 = assemble(&text, Some(&ext)).unwrap();
+        for ((a1, i1), (a2, i2)) in p1.iter().zip(p2.iter()) {
+            assert_eq!(a1, a2);
+            assert_eq!(i1, i2, "{text}");
+        }
+    }
+
+    #[test]
+    fn equ_directive_defines_immediates() {
+        let src = r"
+            .equ DMEM 0x60000000
+            .equ COUNT 8
+                movi a2, DMEM
+                movi a3, COUNT
+                movi a4, -COUNT
+                halt
+        ";
+        let p = assemble(src, None).unwrap();
+        let mut proc = Processor::new(CpuConfig::local_store_core(1, 64)).unwrap();
+        proc.load_program(p).unwrap();
+        proc.run(100).unwrap();
+        assert_eq!(proc.ar[2], 0x6000_0000);
+        assert_eq!(proc.ar[3], 8);
+        assert_eq!(proc.ar[4], (-8i32) as u32);
+    }
+
+    #[test]
+    fn malformed_equ_is_an_error() {
+        let e = assemble(".equ
+", None).unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
+        let e = assemble(".equ 9name 5
+", None).unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus a1\n", None).unwrap_err();
+        match e {
+            AsmError::Line { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("bogus"));
+            }
+            other => panic!("expected line error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let e = assemble("j nowhere\n", None).unwrap_err();
+        assert!(matches!(e, AsmError::Build(_)), "{e}");
+    }
+
+    #[test]
+    fn branch_in_bundle_rejected() {
+        let e = assemble("{ nop ; j somewhere }\nsomewhere:\nnop\n", None).unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
+    }
+
+    #[test]
+    fn end_to_end_program_touches_memory() {
+        let src = r"
+                movi a2, 0x60000000
+                movi a3, 42
+                s32i a3, a2, 0
+                halt
+        ";
+        let p = assemble(src, None).unwrap();
+        let mut proc = Processor::new(CpuConfig::local_store_core(1, 64)).unwrap();
+        proc.load_program(p).unwrap();
+        proc.run(100).unwrap();
+        assert_eq!(proc.mem.peek_words(DMEM0_BASE, 1).unwrap(), vec![42]);
+    }
+}

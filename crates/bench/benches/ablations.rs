@@ -1,0 +1,187 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * loop unrolling of the EIS core loop (Section 4's 2.03-cycle claim);
+//! * partial loading on/off across selectivities (Table 2 / Figure 13);
+//! * branch prediction on the scalar merge loop (Section 2.3's "hardly
+//!   predictable branch");
+//! * the baseline's cache geometry (what the local store replaces).
+//!
+//! These report *simulated cycles* through a custom measurement: each
+//! iteration returns the cycle count, printed in the bench names; the
+//! wall-clock numbers Criterion shows are the simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbx_bench::SEED;
+use dbx_core::kernels::{hwset, scalar, SetLayout};
+use dbx_core::{DbExtConfig, DbExtension, ProcModel, SetOpKind};
+use dbx_cpu::{CpuConfig, PredictorKind, Processor, DMEM0_BASE, DMEM1_BASE};
+use dbx_mem::CacheConfig;
+use dbx_workloads::set_pair_with_selectivity;
+use std::hint::black_box;
+
+fn sim_eis_cycles(wiring: DbExtConfig, unroll: usize, a: &[u32], b: &[u32]) -> u64 {
+    let (cfg, layout) = if wiring.n_lsus == 2 {
+        (
+            CpuConfig::local_store_core(2, 32),
+            SetLayout {
+                a_base: DMEM0_BASE,
+                a_len: a.len() as u32,
+                b_base: DMEM1_BASE,
+                b_len: b.len() as u32,
+                c_base: DMEM1_BASE + 0x3000,
+            },
+        )
+    } else {
+        (
+            CpuConfig::local_store_core(1, 64),
+            SetLayout {
+                a_base: DMEM0_BASE,
+                a_len: a.len() as u32,
+                b_base: DMEM0_BASE + 0x3000,
+                b_len: b.len() as u32,
+                c_base: DMEM0_BASE + 0x6000,
+            },
+        )
+    };
+    let prog = hwset::set_op_program(SetOpKind::Intersect, &wiring, &layout, unroll).unwrap();
+    let mut p = Processor::new(cfg).unwrap();
+    p.attach_extension(Box::new(DbExtension::new(wiring)));
+    p.load_program(prog).unwrap();
+    p.mem.poke_words(layout.a_base, a).unwrap();
+    p.mem.poke_words(layout.b_base, b).unwrap();
+    p.run(100_000_000).unwrap().cycles
+}
+
+fn ablate_unroll(c: &mut Criterion) {
+    let (a, b) = set_pair_with_selectivity(2000, 2000, 0.5, SEED);
+    let mut g = c.benchmark_group("ablation/unroll");
+    g.sample_size(10);
+    for unroll in [1usize, 4, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(unroll), &unroll, |bch, &u| {
+            bch.iter(|| black_box(sim_eis_cycles(DbExtConfig::two_lsu(true), u, &a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_partial_loading(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/partial_loading");
+    g.sample_size(10);
+    for sel in [0u32, 50, 100] {
+        let (a, b) = set_pair_with_selectivity(2000, 2000, sel as f64 / 100.0, SEED);
+        for (label, partial) in [("partial", true), ("full", false)] {
+            g.bench_with_input(BenchmarkId::new(label, sel), &partial, |bch, &p| {
+                bch.iter(|| black_box(sim_eis_cycles(DbExtConfig::two_lsu(p), 32, &a, &b)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn sim_scalar_cycles(cfg: CpuConfig, a: &[u32], b: &[u32]) -> u64 {
+    let layout = SetLayout {
+        a_base: dbx_cpu::SYSMEM_BASE,
+        a_len: a.len() as u32,
+        b_base: dbx_cpu::SYSMEM_BASE + 0x40000,
+        b_len: b.len() as u32,
+        c_base: dbx_cpu::SYSMEM_BASE + 0x80000,
+    };
+    let prog = scalar::set_op_program(SetOpKind::Intersect, &layout).unwrap();
+    let mut p = Processor::new(cfg).unwrap();
+    p.load_program(prog).unwrap();
+    p.mem.poke_words(layout.a_base, a).unwrap();
+    p.mem.poke_words(layout.b_base, b).unwrap();
+    p.run(1_000_000_000).unwrap().cycles
+}
+
+fn ablate_branch_prediction(c: &mut Criterion) {
+    let (a, b) = set_pair_with_selectivity(2000, 2000, 0.5, SEED);
+    let mut g = c.benchmark_group("ablation/branch_predictor");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("always_not_taken", PredictorKind::AlwaysNotTaken),
+        ("static_btfn", PredictorKind::StaticBtfn),
+        ("two_bit", PredictorKind::TwoBit { entries: 128 }),
+    ] {
+        let mut cfg = ProcModel::Mini108.cpu_config();
+        cfg.predictor = kind;
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bch, cfg| {
+            bch.iter(|| black_box(sim_scalar_cycles(cfg.clone(), &a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_cache_geometry(c: &mut Criterion) {
+    let (a, b) = set_pair_with_selectivity(2000, 2000, 0.5, SEED);
+    let mut g = c.benchmark_group("ablation/cache");
+    g.sample_size(10);
+    for (label, cache) in [
+        (
+            "8k_32B",
+            CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 32,
+                hit_cycles: 1,
+                miss_penalty: 30,
+            },
+        ),
+        (
+            "8k_64B",
+            CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 64,
+                hit_cycles: 1,
+                miss_penalty: 30,
+            },
+        ),
+        (
+            "2k_32B",
+            CacheConfig {
+                size_bytes: 2 * 1024,
+                line_bytes: 32,
+                hit_cycles: 1,
+                miss_penalty: 30,
+            },
+        ),
+    ] {
+        let mut cfg = ProcModel::Mini108.cpu_config();
+        cfg.dcache = Some(cache);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |bch, cfg| {
+            bch.iter(|| black_box(sim_scalar_cycles(cfg.clone(), &a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_load_buffer_depth(c: &mut Criterion) {
+    // DESIGN.md's documented deviation: one-beat Load buffers (the
+    // paper's Figure 8 drawing) vs the two-beat buffers we use to uphold
+    // the "Word states always full" invariant without bubbles.
+    let (a, b) = set_pair_with_selectivity(2000, 2000, 0.5, SEED);
+    let mut g = c.benchmark_group("ablation/load_buffer");
+    g.sample_size(10);
+    for cap in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |bch, &cap| {
+            bch.iter(|| {
+                black_box(sim_eis_cycles(
+                    DbExtConfig::two_lsu(true).with_load_buf_cap(cap),
+                    32,
+                    &a,
+                    &b,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_unroll,
+    ablate_partial_loading,
+    ablate_branch_prediction,
+    ablate_cache_geometry,
+    ablate_load_buffer_depth
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 13 bench: intersection across the selectivity range on the
+//! full configuration (plus the non-partial variant for the crossover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbx_bench::SEED;
+use dbx_core::{run_set_op, ProcModel, SetOpKind};
+use dbx_workloads::set_pair_with_selectivity;
+use std::hint::black_box;
+
+fn bench_selectivity(c: &mut Criterion) {
+    for (label, model) in [
+        ("partial", ProcModel::Dba2LsuEis { partial: true }),
+        ("full_reload", ProcModel::Dba2LsuEis { partial: false }),
+    ] {
+        let mut g = c.benchmark_group(format!("fig13/{label}"));
+        g.throughput(Throughput::Elements(5000));
+        g.sample_size(10);
+        for sel in [0u32, 25, 50, 75, 100] {
+            let (a, b) =
+                set_pair_with_selectivity(2500, 2500, sel as f64 / 100.0, SEED + sel as u64);
+            g.bench_with_input(BenchmarkId::from_parameter(sel), &sel, |bch, _| {
+                bch.iter(|| {
+                    let r = run_set_op(model, SetOpKind::Intersect, black_box(&a), black_box(&b))
+                        .unwrap();
+                    black_box(r.cycles)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_selectivity);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 2 bench: the four algorithms on the six processor
+//! configurations at the paper's workload sizes. Criterion measures the
+//! wall-clock cost of the cycle-accurate simulation; `repro table2`
+//! prints the simulated throughputs the table reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbx_bench::SEED;
+use dbx_core::{run_set_op, run_sort, ProcModel, SetOpKind};
+use dbx_workloads::{set_pair_with_selectivity, sort_input, SortOrder};
+use std::hint::black_box;
+
+fn bench_set_ops(c: &mut Criterion) {
+    let (a, b) = set_pair_with_selectivity(2500, 2500, 0.5, SEED);
+    for kind in [
+        SetOpKind::Intersect,
+        SetOpKind::Union,
+        SetOpKind::Difference,
+    ] {
+        let mut g = c.benchmark_group(format!("table2/{}", kind.short_name()));
+        g.throughput(Throughput::Elements(5000));
+        g.sample_size(10);
+        for model in ProcModel::all() {
+            let id = format!("{}_{}", model.name(), model.partial_label());
+            g.bench_with_input(BenchmarkId::from_parameter(id), &model, |bch, &model| {
+                bch.iter(|| {
+                    let r = run_set_op(model, kind, black_box(&a), black_box(&b)).unwrap();
+                    black_box(r.cycles)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let data = sort_input(6500, SortOrder::Random, SEED);
+    let mut g = c.benchmark_group("table2/sort");
+    g.throughput(Throughput::Elements(6500));
+    g.sample_size(10);
+    for model in ProcModel::all() {
+        let id = format!("{}_{}", model.name(), model.partial_label());
+        g.bench_with_input(BenchmarkId::from_parameter(id), &model, |bch, &model| {
+            bch.iter(|| {
+                let r = run_sort(model, black_box(&data)).unwrap();
+                black_box(r.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_set_ops, bench_sort);
+criterion_main!(benches);

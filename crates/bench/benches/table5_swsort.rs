@@ -1,0 +1,51 @@
+//! Table 5's software side on the build host: `swsort` (Chhugani-style
+//! register-blocked merge-sort) against the scalar merge-sort and the
+//! standard library, at the paper's 512k-element size and smaller.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use dbx_bench::SEED;
+use dbx_workloads::{sort_input, SortOrder};
+use std::hint::black_box;
+
+fn bench_sorts(c: &mut Criterion) {
+    for n in [64_000usize, 512_000] {
+        let data = sort_input(n, SortOrder::Random, SEED);
+        let mut g = c.benchmark_group(format!("table5/sort_{n}"));
+        g.throughput(Throughput::Elements(n as u64));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("swsort"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| {
+                    dbx_x86ref::swsort::sort(&mut v);
+                    black_box(v)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(BenchmarkId::from_parameter("scalar_msort"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| {
+                    dbx_x86ref::scalar::merge_sort(&mut v);
+                    black_box(v)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(BenchmarkId::from_parameter("std_sort_unstable"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| {
+                    v.sort_unstable();
+                    black_box(v)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

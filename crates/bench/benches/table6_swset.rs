@@ -1,0 +1,43 @@
+//! Table 6's software side on the build host: `swset` block intersection
+//! against the scalar merge loop, at the paper's 10M-element size and
+//! cache-resident sizes, 50 % selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbx_bench::SEED;
+use dbx_workloads::set_pair_with_selectivity;
+use std::hint::black_box;
+
+fn bench_intersections(c: &mut Criterion) {
+    for n in [100_000usize, 10_000_000] {
+        let (a, b) = set_pair_with_selectivity(n, n, 0.5, SEED);
+        let mut g = c.benchmark_group(format!("table6/intersect_2x{n}"));
+        g.throughput(Throughput::Elements(2 * n as u64));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("swset_block"), |bch| {
+            bch.iter(|| black_box(dbx_x86ref::swset::intersect(black_box(&a), black_box(&b))))
+        });
+        g.bench_function(BenchmarkId::from_parameter("scalar_merge"), |bch| {
+            bch.iter(|| black_box(dbx_x86ref::scalar::intersect(black_box(&a), black_box(&b))))
+        });
+        g.finish();
+    }
+}
+
+fn bench_selectivity_effect(c: &mut Criterion) {
+    // The selectivity effect also exists in software: more matches means
+    // faster block advancement for swset.
+    let n = 1_000_000;
+    let mut g = c.benchmark_group("table6/swset_selectivity");
+    g.throughput(Throughput::Elements(2 * n as u64));
+    g.sample_size(10);
+    for sel in [0u32, 50, 100] {
+        let (a, b) = set_pair_with_selectivity(n, n, sel as f64 / 100.0, SEED);
+        g.bench_with_input(BenchmarkId::from_parameter(sel), &sel, |bch, _| {
+            bch.iter(|| black_box(dbx_x86ref::swset::intersect(black_box(&a), black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intersections, bench_selectivity_effect);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! The paper's processor configurations (Section 5.1, Table 2).
+//!
+//! | Model | Local store | LSUs | EIS | Partial loading |
+//! |---|---|---|---|---|
+//! | `108Mini` | – (cache) | 1 (32-bit) | – | – |
+//! | `DBA_1LSU` | 64 KiB | 1 (128-bit) | – | – |
+//! | `DBA_1LSU_EIS` | 64 KiB | 1 (128-bit) | yes | no / yes |
+//! | `DBA_2LSU_EIS` | 2x32 KiB | 2 (128-bit) | yes | no / yes |
+//!
+//! The paper's measured core frequencies (from synthesis, Table 2/3) are
+//! carried as reference constants; `dbx-synth` *computes* frequencies from
+//! its structural timing model and the harness reports both.
+
+use crate::ops::DbExtConfig;
+use dbx_cpu::CpuConfig;
+
+/// One of the paper's processor models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcModel {
+    /// The Tensilica Diamond 108Mini baseline: cache-based, 32-bit buses.
+    Mini108,
+    /// DBA base core: local store, 128-bit bus, one LSU, no EIS.
+    Dba1Lsu,
+    /// DBA base core with a second LSU but no EIS. Synthesized in the
+    /// paper's Table 3, but never benchmarked: "the compiler is not able
+    /// to make use of it. Consequently, performance is the same" (§5.1).
+    Dba2Lsu,
+    /// DBA core with the DB instruction-set extension, one LSU.
+    Dba1LsuEis {
+        /// Partial loading enabled.
+        partial: bool,
+    },
+    /// DBA core with the extension and two LSUs.
+    Dba2LsuEis {
+        /// Partial loading enabled.
+        partial: bool,
+    },
+}
+
+impl ProcModel {
+    /// All processor models, including the Table-3-only plain DBA_2LSU.
+    pub fn synthesis_models() -> [ProcModel; 7] {
+        [
+            ProcModel::Mini108,
+            ProcModel::Dba1Lsu,
+            ProcModel::Dba2Lsu,
+            ProcModel::Dba1LsuEis { partial: false },
+            ProcModel::Dba2LsuEis { partial: false },
+            ProcModel::Dba1LsuEis { partial: true },
+            ProcModel::Dba2LsuEis { partial: true },
+        ]
+    }
+
+    /// All six benchmarked configurations in the paper's Table 2 row order.
+    pub fn all() -> [ProcModel; 6] {
+        [
+            ProcModel::Mini108,
+            ProcModel::Dba1Lsu,
+            ProcModel::Dba1LsuEis { partial: false },
+            ProcModel::Dba2LsuEis { partial: false },
+            ProcModel::Dba1LsuEis { partial: true },
+            ProcModel::Dba2LsuEis { partial: true },
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProcModel::Mini108 => "108Mini",
+            ProcModel::Dba1Lsu => "DBA_1LSU",
+            ProcModel::Dba2Lsu => "DBA_2LSU",
+            ProcModel::Dba1LsuEis { .. } => "DBA_1LSU_EIS",
+            ProcModel::Dba2LsuEis { .. } => "DBA_2LSU_EIS",
+        }
+    }
+
+    /// Partial-loading column of Table 2 ("-", "no", "yes").
+    pub fn partial_label(&self) -> &'static str {
+        match self {
+            ProcModel::Mini108 | ProcModel::Dba1Lsu | ProcModel::Dba2Lsu => "-",
+            ProcModel::Dba1LsuEis { partial } | ProcModel::Dba2LsuEis { partial } => {
+                if *partial {
+                    "yes"
+                } else {
+                    "no"
+                }
+            }
+        }
+    }
+
+    /// Whether the DB instruction-set extension is attached.
+    pub fn has_eis(&self) -> bool {
+        matches!(
+            self,
+            ProcModel::Dba1LsuEis { .. } | ProcModel::Dba2LsuEis { .. }
+        )
+    }
+
+    /// Number of load–store units.
+    pub fn n_lsus(&self) -> usize {
+        match self {
+            ProcModel::Dba2Lsu | ProcModel::Dba2LsuEis { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// The base-processor configuration.
+    pub fn cpu_config(&self) -> CpuConfig {
+        match self {
+            ProcModel::Mini108 => {
+                let mut c = CpuConfig::small_cached_controller();
+                c.name = "108Mini";
+                c
+            }
+            ProcModel::Dba1Lsu => {
+                let mut c = CpuConfig::local_store_core(1, 64);
+                c.name = "DBA_1LSU";
+                // The scalar base core has no FLIX formats; the wide fetch
+                // stays (instruction bus was widened to 64 bit, §5.1).
+                c.has_flix = false;
+                c
+            }
+            ProcModel::Dba2Lsu => {
+                let mut c = CpuConfig::local_store_core(2, 32);
+                c.name = "DBA_2LSU";
+                c.has_flix = false;
+                c
+            }
+            ProcModel::Dba1LsuEis { .. } => {
+                let mut c = CpuConfig::local_store_core(1, 64);
+                c.name = "DBA_1LSU_EIS";
+                c
+            }
+            ProcModel::Dba2LsuEis { .. } => {
+                let mut c = CpuConfig::local_store_core(2, 32);
+                c.name = "DBA_2LSU_EIS";
+                c
+            }
+        }
+    }
+
+    /// The extension wiring, when the model carries the EIS.
+    pub fn wiring(&self) -> Option<DbExtConfig> {
+        match self {
+            ProcModel::Mini108 | ProcModel::Dba1Lsu | ProcModel::Dba2Lsu => None,
+            ProcModel::Dba1LsuEis { partial } => Some(DbExtConfig::one_lsu(*partial)),
+            ProcModel::Dba2LsuEis { partial } => Some(DbExtConfig::two_lsu(*partial)),
+        }
+    }
+
+    /// Core frequency reported by the paper's synthesis (65 nm, Table 2).
+    /// `dbx-synth` computes its own estimate; this is the published value.
+    pub fn paper_fmax_mhz(&self) -> f64 {
+        match self {
+            ProcModel::Mini108 => 442.0,
+            ProcModel::Dba1Lsu => 435.0,
+            ProcModel::Dba2Lsu => 429.0,
+            ProcModel::Dba1LsuEis { .. } => 424.0,
+            ProcModel::Dba2LsuEis { .. } => 410.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_are_valid() {
+        for m in ProcModel::all() {
+            m.cpu_config().validate().unwrap();
+            assert_eq!(m.has_eis(), m.wiring().is_some());
+            assert!(m.paper_fmax_mhz() > 400.0);
+        }
+    }
+
+    #[test]
+    fn table2_row_order_and_labels() {
+        let rows: Vec<(&str, &str)> = ProcModel::all()
+            .iter()
+            .map(|m| (m.name(), m.partial_label()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("108Mini", "-"),
+                ("DBA_1LSU", "-"),
+                ("DBA_1LSU_EIS", "no"),
+                ("DBA_2LSU_EIS", "no"),
+                ("DBA_1LSU_EIS", "yes"),
+                ("DBA_2LSU_EIS", "yes"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lsu_wiring_matches_model() {
+        assert_eq!(
+            ProcModel::Dba2LsuEis { partial: true }
+                .wiring()
+                .unwrap()
+                .n_lsus,
+            2
+        );
+        assert_eq!(
+            ProcModel::Dba1LsuEis { partial: false }
+                .wiring()
+                .unwrap()
+                .n_lsus,
+            1
+        );
+        assert!(
+            ProcModel::Dba2LsuEis { partial: true }
+                .wiring()
+                .unwrap()
+                .partial_loading
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Multi-core scaling — the paper's area-equivalence argument.
+//!
+//! Section 5.4: *"the number of cores of DBA_2LSU_EIS could be largely
+//! increased until it occupies the same area as the Intel Q9550
+//! processor. Even under pessimistic assumptions, DBA_2LSU_EIS could
+//! provide an order of magnitude more cores than the Intel Q9550."* And
+//! the introduction: *"The extremely low-energy design enables us to put
+//! hundreds of chips on a single board without any thermal restrictions."*
+//!
+//! This module makes that argument measurable: a sorted-set operation is
+//! partitioned into value-aligned ranges (each range's sub-results
+//! concatenate exactly, as in [`crate::stream`]), every partition runs on
+//! its own simulated core, and the wall-clock is the slowest core. The
+//! cores share nothing — each owns its local stores, exactly the
+//! shared-nothing board the paper sketches.
+
+use crate::configs::ProcModel;
+use crate::datapath::SetOpKind;
+use crate::runner::{run_set_op, KernelRun};
+use dbx_cpu::SimError;
+
+/// Result of a partitioned multi-core run.
+#[derive(Debug, Clone)]
+pub struct MultiCoreRun {
+    /// Concatenated result (identical to a single-core run).
+    pub result: Vec<u32>,
+    /// Cycles of the slowest core — the parallel makespan.
+    pub makespan_cycles: u64,
+    /// Sum of all cores' cycles (total work).
+    pub total_cycles: u64,
+    /// Per-core cycle counts.
+    pub per_core_cycles: Vec<u64>,
+    /// Number of cores that received work.
+    pub cores_used: usize,
+}
+
+impl MultiCoreRun {
+    /// Parallel speedup over running all partitions on one core.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 1.0;
+        }
+        self.total_cycles as f64 / self.makespan_cycles as f64
+    }
+
+    /// Throughput in M elements/s at frequency `f_mhz` for `elements`
+    /// processed, using the makespan.
+    pub fn throughput_meps(&self, elements: u64, f_mhz: f64) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        elements as f64 * f_mhz / self.makespan_cycles as f64
+    }
+}
+
+/// Splits both sets into `parts` value-aligned partitions of roughly
+/// equal combined size.
+fn partition(
+    a: &[u32],
+    b: &[u32],
+    parts: usize,
+) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let total = a.len() + b.len();
+    let per_part = total.div_ceil(parts.max(1));
+    let mut out = Vec::with_capacity(parts);
+    let (mut pa, mut pb) = (0usize, 0usize);
+    while pa < a.len() || pb < b.len() {
+        // Advance a combined budget of `per_part` elements, then align on
+        // a value boundary so no value straddles two partitions.
+        let take = per_part.min(a.len() - pa + b.len() - pb);
+        // Candidate boundary: walk both sets in merge order `take` steps.
+        let (mut i, mut j) = (pa, pb);
+        for _ in 0..take {
+            if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+                i += 1;
+            } else if j < b.len() {
+                j += 1;
+            }
+        }
+        // Boundary value: the largest consumed value; pull in any equal
+        // values from the other set.
+        let boundary = match (i > pa, j > pb) {
+            (true, true) => a[i - 1].max(b[j - 1]),
+            (true, false) => a[i - 1],
+            (false, true) => b[j - 1],
+            (false, false) => break,
+        };
+        let na = a[pa..].partition_point(|&x| x <= boundary);
+        let nb = b[pb..].partition_point(|&x| x <= boundary);
+        out.push((pa..pa + na, pb..pb + nb));
+        pa += na;
+        pb += nb;
+    }
+    out
+}
+
+/// Runs one core's partition, sub-partitioning into sequential batches
+/// when it exceeds the core's local store (the cycles add up — the core
+/// processes its batches back to back). Also useful standalone for
+/// offloading arbitrarily large set operations to a single core.
+pub fn run_partition(
+    model: ProcModel,
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+) -> Result<(Vec<u32>, u64), SimError> {
+    match run_set_op(model, kind, a, b) {
+        Ok(KernelRun { result, cycles, .. }) => Ok((result, cycles)),
+        Err(SimError::BadProgram(_)) if a.len() + b.len() >= 2 => {
+            let halves = partition(a, b, 2);
+            if halves.len() < 2 {
+                return Err(SimError::BadProgram(
+                    "partition does not fit a core and cannot be split further".to_string(),
+                ));
+            }
+            let mut result = Vec::new();
+            let mut cycles = 0;
+            for (ra, rb) in halves {
+                let (r, c) = run_partition(model, kind, &a[ra], &b[rb])?;
+                result.extend_from_slice(&r);
+                cycles += c;
+            }
+            Ok((result, cycles))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Runs a sorted-set operation across `cores` shared-nothing cores of the
+/// given model. Partitions larger than a core's local store are processed
+/// by that core in sequential batches.
+pub fn multicore_set_op(
+    model: ProcModel,
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+    cores: usize,
+) -> Result<MultiCoreRun, SimError> {
+    assert!(cores >= 1);
+    let parts = partition(a, b, cores);
+    let mut result = Vec::new();
+    let mut per_core_cycles = Vec::with_capacity(parts.len());
+    for (ra, rb) in &parts {
+        let (r, cycles) = run_partition(model, kind, &a[ra.clone()], &b[rb.clone()])?;
+        result.extend_from_slice(&r);
+        per_core_cycles.push(cycles);
+    }
+    let makespan_cycles = per_core_cycles.iter().copied().max().unwrap_or(0);
+    let total_cycles = per_core_cycles.iter().sum();
+    Ok(MultiCoreRun {
+        result,
+        makespan_cycles,
+        total_cycles,
+        cores_used: per_core_cycles.len(),
+        per_core_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets(n: u32) -> (Vec<u32>, Vec<u32>) {
+        let a: Vec<u32> = (0..n).map(|i| 2 * i).collect();
+        let b: Vec<u32> = (0..n).map(|i| 2 * i + (i % 2)).collect();
+        (a, b)
+    }
+
+    fn reference(kind: SetOpKind, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let sb: std::collections::BTreeSet<u32> = b.iter().copied().collect();
+        match kind {
+            SetOpKind::Intersect => a.iter().copied().filter(|x| sb.contains(x)).collect(),
+            SetOpKind::Difference => a.iter().copied().filter(|x| !sb.contains(x)).collect(),
+            SetOpKind::Union => {
+                let mut s: std::collections::BTreeSet<u32> = a.iter().copied().collect();
+                s.extend(b.iter().copied());
+                s.into_iter().collect()
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_exactly_and_respect_values() {
+        let (a, b) = sets(5000);
+        let parts = partition(&a, &b, 8);
+        assert!(parts.len() <= 8);
+        let mut pa = 0;
+        let mut pb = 0;
+        for (ra, rb) in &parts {
+            assert_eq!(ra.start, pa);
+            assert_eq!(rb.start, pb);
+            pa = ra.end;
+            pb = rb.end;
+        }
+        assert_eq!(pa, a.len());
+        assert_eq!(pb, b.len());
+        // Value ranges must not interleave across partitions.
+        for w in parts.windows(2) {
+            let max0 = w[0].0.end.checked_sub(1).map(|i| a[i]).unwrap_or(0);
+            let min1 = w[1].0.start.min(a.len() - 1);
+            if !w[1].0.is_empty() {
+                assert!(a[min1] > max0);
+            }
+        }
+    }
+
+    #[test]
+    fn multicore_results_match_single_core() {
+        let (a, b) = sets(6000);
+        for kind in [
+            SetOpKind::Intersect,
+            SetOpKind::Union,
+            SetOpKind::Difference,
+        ] {
+            let mc =
+                multicore_set_op(ProcModel::Dba2LsuEis { partial: true }, kind, &a, &b, 8).unwrap();
+            assert_eq!(mc.result, reference(kind, &a, &b), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn speedup_is_near_linear_for_balanced_partitions() {
+        let (a, b) = sets(8000);
+        let model = ProcModel::Dba2LsuEis { partial: true };
+        let mc8 = multicore_set_op(model, SetOpKind::Intersect, &a, &b, 8).unwrap();
+        assert_eq!(mc8.cores_used, 8);
+        let s = mc8.speedup();
+        assert!((6.0..8.2).contains(&s), "8-core speedup {s}");
+    }
+
+    #[test]
+    fn partitioning_enables_inputs_beyond_one_local_store() {
+        // 2x20000 elements exceed one core's memories but fit 16 cores.
+        let (a, b) = sets(20_000);
+        let model = ProcModel::Dba2LsuEis { partial: true };
+        let mc = multicore_set_op(model, SetOpKind::Intersect, &a, &b, 16).unwrap();
+        assert_eq!(mc.result, reference(SetOpKind::Intersect, &a, &b));
+    }
+
+    #[test]
+    fn skewed_sets_still_partition_correctly() {
+        let a: Vec<u32> = (0..10_000u32).collect();
+        let b: Vec<u32> = (0..100u32).map(|i| i * 97).collect();
+        let mc = multicore_set_op(
+            ProcModel::Dba1LsuEis { partial: true },
+            SetOpKind::Difference,
+            &a,
+            &b,
+            6,
+        )
+        .unwrap();
+        assert_eq!(mc.result, reference(SetOpKind::Difference, &a, &b));
+    }
+
+    #[test]
+    fn single_core_is_the_degenerate_case() {
+        let (a, b) = sets(1000);
+        let mc = multicore_set_op(
+            ProcModel::Dba2LsuEis { partial: true },
+            SetOpKind::Union,
+            &a,
+            &b,
+            1,
+        )
+        .unwrap();
+        assert_eq!(mc.cores_used, 1);
+        assert_eq!(mc.speedup(), 1.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! High-level runners: place data, build the right kernel for a processor
+//! model, simulate, and verify invariants.
+//!
+//! This is the API most callers want:
+//!
+//! ```
+//! use dbx_core::configs::ProcModel;
+//! use dbx_core::datapath::SetOpKind;
+//! use dbx_core::runner::run_set_op;
+//!
+//! let a: Vec<u32> = (0..100).map(|i| 2 * i).collect();
+//! let b: Vec<u32> = (0..100).map(|i| 3 * i).collect();
+//! let run = run_set_op(ProcModel::Dba2LsuEis { partial: true },
+//!                      SetOpKind::Intersect, &a, &b).unwrap();
+//! assert!(run.result.iter().all(|x| x % 6 == 0));
+//! assert!(run.cycles > 0);
+//! ```
+
+use crate::configs::ProcModel;
+use crate::datapath::SetOpKind;
+use crate::kernels::{hwset, hwsort, scalar, SetLayout, SortLayout};
+use crate::ops::DbExtension;
+use crate::states::SENTINEL;
+use dbx_cpu::{Processor, RunStats, SimError, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
+
+/// Cycle budget for a single kernel run — generous; kernels that exceed it
+/// are broken, not slow.
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Outcome of a simulated kernel run.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// The computed result (set-operation output or sorted data).
+    pub result: Vec<u32>,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Full run statistics (activity counters feed the power model).
+    pub stats: RunStats,
+    /// Encoded program size in bytes (instruction-memory footprint).
+    pub program_bytes: u32,
+}
+
+impl KernelRun {
+    /// Throughput in million elements per second at core frequency
+    /// `f_mhz`, given the element count the paper's metric uses
+    /// (`l_a + l_b` for set operations, `n` for sorting).
+    pub fn throughput_meps(&self, elements: u64, f_mhz: f64) -> f64 {
+        self.stats.throughput_meps(elements, f_mhz)
+    }
+}
+
+fn align16(x: u32) -> u32 {
+    (x + 15) & !15
+}
+
+fn validate_set(name: &str, s: &[u32]) -> Result<(), SimError> {
+    for w in s.windows(2) {
+        if w[0] >= w[1] {
+            return Err(SimError::BadProgram(format!(
+                "set {name} is not strictly increasing at value {}",
+                w[1]
+            )));
+        }
+    }
+    if s.last().copied() == Some(SENTINEL) {
+        return Err(SimError::BadProgram(format!(
+            "set {name} contains the sentinel value u32::MAX"
+        )));
+    }
+    Ok(())
+}
+
+/// Builds the processor for a model (with extension attached when present).
+pub fn build_processor(model: ProcModel) -> Result<Processor, SimError> {
+    let mut p = Processor::new(model.cpu_config())?;
+    if let Some(wiring) = model.wiring() {
+        p.attach_extension(Box::new(DbExtension::new(wiring)));
+    }
+    Ok(p)
+}
+
+/// Chooses where the two sets and the result live for a model.
+fn set_layout(model: ProcModel, a_len: u32, b_len: u32) -> Result<SetLayout, SimError> {
+    let (a_base, b_base, c_base, limit): (u32, u32, u32, u32) = match model {
+        ProcModel::Mini108 => {
+            let a = SYSMEM_BASE;
+            let b = align16(a + 4 * a_len);
+            let c = align16(b + 4 * b_len);
+            (a, b, c, u32::MAX)
+        }
+        ProcModel::Dba1Lsu | ProcModel::Dba1LsuEis { .. } => {
+            let a = DMEM0_BASE;
+            let b = align16(a + 4 * a_len);
+            let c = align16(b + 4 * b_len);
+            (a, b, c, DMEM0_BASE + 64 * 1024)
+        }
+        // Plain DBA_2LSU: the scalar compiler "is not able to make use"
+        // of the second unit, so everything lives in DMEM0 (32 KiB).
+        ProcModel::Dba2Lsu => {
+            let a = DMEM0_BASE;
+            let b = align16(a + 4 * a_len);
+            let c = align16(b + 4 * b_len);
+            (a, b, c, DMEM0_BASE + 32 * 1024)
+        }
+        ProcModel::Dba2LsuEis { .. } => {
+            // Set A in DMEM0; set B and the result in DMEM1 (Figures 8/9).
+            let a = DMEM0_BASE;
+            let b = DMEM1_BASE;
+            let c = align16(b + 4 * b_len);
+            if 4 * a_len > 32 * 1024 {
+                return Err(SimError::BadProgram(format!(
+                    "set A of {a_len} elements exceeds the 32 KiB DMEM0"
+                )));
+            }
+            (a, b, c, DMEM1_BASE + 32 * 1024)
+        }
+    };
+    let c_worst = c_base + 4 * (a_len + b_len);
+    if c_worst > limit {
+        return Err(SimError::BadProgram(format!(
+            "sets of {a_len}+{b_len} elements do not fit the local data memory"
+        )));
+    }
+    Ok(SetLayout {
+        a_base,
+        a_len,
+        b_base,
+        b_len,
+        c_base,
+    })
+}
+
+/// Runs a sorted-set operation on the given processor model and returns
+/// the result with cycle counts. Inputs must be strictly increasing.
+pub fn run_set_op(
+    model: ProcModel,
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+) -> Result<KernelRun, SimError> {
+    validate_set("A", a)?;
+    validate_set("B", b)?;
+    let layout = set_layout(model, a.len() as u32, b.len() as u32)?;
+    let program = match model.wiring() {
+        Some(wiring) => hwset::set_op_program(kind, &wiring, &layout, hwset::DEFAULT_UNROLL)?,
+        None => scalar::set_op_program(kind, &layout)?,
+    };
+    let program_bytes = program.size_bytes();
+    let mut p = build_processor(model)?;
+    p.load_program(program)?;
+    p.mem.poke_words(layout.a_base, a)?;
+    p.mem.poke_words(layout.b_base, b)?;
+    let stats = p.run(MAX_CYCLES)?;
+    let out_len = if model.has_eis() {
+        p.ar[2] as usize
+    } else {
+        ((p.ar[6] - layout.c_base) / 4) as usize
+    };
+    let result = p.mem.peek_words(layout.c_base, out_len)?;
+    Ok(KernelRun {
+        result,
+        cycles: stats.cycles,
+        program_bytes,
+        stats,
+    })
+}
+
+/// Runs merge-sort on the given processor model.
+///
+/// For `DBA_2LSU_EIS` the kernel runs on the single-LSU memory arrangement
+/// — the paper notes that "partial loading as well as two load–store units
+/// are not beneficial for sorting" and its Table 2 entry for the 2-LSU
+/// core is the 1-LSU cycle count at the 2-LSU core frequency.
+pub fn run_sort(model: ProcModel, data: &[u32]) -> Result<KernelRun, SimError> {
+    // Pad to a multiple of 4 with sentinels (stripped after sorting).
+    let mut padded = data.to_vec();
+    let pad = (4 - data.len() % 4) % 4;
+    if pad > 0 {
+        if data.contains(&SENTINEL) {
+            return Err(SimError::BadProgram(
+                "sort input whose length is not a multiple of 4 must not contain u32::MAX"
+                    .to_string(),
+            ));
+        }
+        padded.resize(data.len() + pad, SENTINEL);
+    }
+    if padded.is_empty() {
+        return Ok(KernelRun {
+            result: Vec::new(),
+            cycles: 0,
+            stats: RunStats {
+                cycles: 0,
+                halted: true,
+                counters: Default::default(),
+            },
+            program_bytes: 0,
+        });
+    }
+    let n = padded.len() as u32;
+
+    let exec_model = match model {
+        // Sort always uses the 1-LSU arrangement (see doc comment).
+        ProcModel::Dba2LsuEis { partial } => ProcModel::Dba1LsuEis { partial },
+        ProcModel::Dba2Lsu => ProcModel::Dba1Lsu,
+        m => m,
+    };
+    let (src, dst, limit): (u32, u32, u32) = match exec_model {
+        ProcModel::Mini108 => (SYSMEM_BASE, align16(SYSMEM_BASE + 4 * n), u32::MAX),
+        _ => (
+            DMEM0_BASE,
+            align16(DMEM0_BASE + 4 * n),
+            DMEM0_BASE + 64 * 1024,
+        ),
+    };
+    if align16(dst + 4 * n) > limit {
+        return Err(SimError::BadProgram(format!(
+            "{n} elements do not fit the ping-pong sort buffers in local memory"
+        )));
+    }
+
+    let (program, in_dst) = match exec_model.wiring() {
+        Some(wiring) => hwsort::merge_sort_program(&wiring, &SortLayout { src, dst, n })?,
+        None => scalar::merge_sort_program(src, dst, n)?,
+    };
+    let program_bytes = program.size_bytes();
+    let mut p = build_processor(exec_model)?;
+    p.load_program(program)?;
+    p.mem.poke_words(src, &padded)?;
+    let stats = p.run(MAX_CYCLES)?;
+    let mut result = p
+        .mem
+        .peek_words(if in_dst { dst } else { src }, n as usize)?;
+    result.truncate(data.len()); // strip sentinel padding
+    Ok(KernelRun {
+        result,
+        cycles: stats.cycles,
+        program_bytes,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evens(n: u32) -> Vec<u32> {
+        (0..n).map(|i| 2 * i).collect()
+    }
+
+    fn thirds(n: u32) -> Vec<u32> {
+        (0..n).map(|i| 3 * i).collect()
+    }
+
+    #[test]
+    fn all_models_agree_on_set_ops() {
+        let a = evens(200);
+        let b = thirds(150);
+        for kind in [
+            SetOpKind::Intersect,
+            SetOpKind::Union,
+            SetOpKind::Difference,
+        ] {
+            let reference = run_set_op(ProcModel::Mini108, kind, &a, &b).unwrap().result;
+            for m in ProcModel::all().into_iter().skip(1) {
+                let r = run_set_op(m, kind, &a, &b).unwrap();
+                assert_eq!(r.result, reference, "{} {kind:?}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_models_agree_on_sort() {
+        let mut data: Vec<u32> = (0..500).map(|i: u32| i.wrapping_mul(2654435761)).collect();
+        data.truncate(497); // non-multiple-of-4 length
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for m in ProcModel::all() {
+            let r = run_sort(m, &data).unwrap();
+            assert_eq!(r.result, expect, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn eis_is_an_order_of_magnitude_faster_than_scalar() {
+        // The paper's headline: EIS throughput is ~10x the scalar local-
+        // store core on the same frequency class (Table 2).
+        let a = evens(2000);
+        let b: Vec<u32> = (0..2000u32).map(|i| 2 * i + (i % 2)).collect();
+        let scalar = run_set_op(ProcModel::Dba1Lsu, SetOpKind::Intersect, &a, &b).unwrap();
+        let eis = run_set_op(
+            ProcModel::Dba1LsuEis { partial: true },
+            SetOpKind::Intersect,
+            &a,
+            &b,
+        )
+        .unwrap();
+        assert_eq!(scalar.result, eis.result);
+        let speedup = scalar.cycles as f64 / eis.cycles as f64;
+        assert!(
+            speedup > 8.0,
+            "expected >8x cycle speedup, got {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn mini108_is_slower_than_local_store_core() {
+        let a = evens(1000);
+        let b = thirds(1000);
+        let mini = run_set_op(ProcModel::Mini108, SetOpKind::Intersect, &a, &b).unwrap();
+        let dba = run_set_op(ProcModel::Dba1Lsu, SetOpKind::Intersect, &a, &b).unwrap();
+        assert!(
+            mini.cycles as f64 > 1.4 * dba.cycles as f64,
+            "cache path must cost more: {} vs {}",
+            mini.cycles,
+            dba.cycles
+        );
+    }
+
+    #[test]
+    fn unsorted_input_rejected() {
+        let e = run_set_op(ProcModel::Dba1Lsu, SetOpKind::Intersect, &[3, 1], &[1]).unwrap_err();
+        assert!(matches!(e, SimError::BadProgram(_)));
+        let e = run_set_op(ProcModel::Dba1Lsu, SetOpKind::Intersect, &[1, 1], &[1]).unwrap_err();
+        assert!(
+            matches!(e, SimError::BadProgram(_)),
+            "duplicates are not sets"
+        );
+    }
+
+    #[test]
+    fn oversized_input_rejected_for_local_store() {
+        let big: Vec<u32> = (0..9000).collect();
+        let e = run_set_op(ProcModel::Dba1Lsu, SetOpKind::Union, &big, &big).unwrap_err();
+        assert!(matches!(e, SimError::BadProgram(_)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = run_set_op(
+            ProcModel::Dba2LsuEis { partial: true },
+            SetOpKind::Union,
+            &[],
+            &[7],
+        )
+        .unwrap();
+        assert_eq!(r.result, vec![7]);
+        let r = run_sort(ProcModel::Dba1LsuEis { partial: false }, &[]).unwrap();
+        assert!(r.result.is_empty());
+    }
+
+    #[test]
+    fn paper_sized_intersection_runs() {
+        // The paper's set-operation experiment size: 2500 elements/set.
+        let a: Vec<u32> = (0..2500).map(|i| 2 * i).collect();
+        let b: Vec<u32> = (0..2500).map(|i| 2 * i + (i % 2)).collect(); // 50% overlap
+        let r = run_set_op(
+            ProcModel::Dba2LsuEis { partial: true },
+            SetOpKind::Intersect,
+            &a,
+            &b,
+        )
+        .unwrap();
+        // Throughput at the paper's 410 MHz should land in the paper's
+        // regime (Table 2 reports 1203 M elements/s at 50% selectivity).
+        let meps = r.throughput_meps(5000, 410.0);
+        assert!(
+            (900.0..1700.0).contains(&meps),
+            "throughput {meps:.0} M elements/s out of the expected regime"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Processor configuration — the "customizable" in customizable processor.
+//!
+//! Everything the paper varies between its six processor models is a field
+//! here: number of load–store units, bus widths, local-store size, the
+//! divider option, FLIX support, and the memory hierarchy of the baseline.
+//! The concrete paper configurations (108Mini, DBA_1LSU, DBA_1LSU_EIS,
+//! DBA_2LSU_EIS, ± partial loading) are constructed in `dbx-core::configs`
+//! where the DB extension lives.
+
+use crate::predictor::PredictorKind;
+use dbx_mem::CacheConfig;
+
+/// Static configuration of a processor instance.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Number of load–store units (1 or 2).
+    pub n_lsus: usize,
+    /// Data bus width per LSU in bits (32 for 108Mini, 128 for DBA).
+    pub data_bus_bits: usize,
+    /// Instruction fetch width in bits (64 required for FLIX bundles).
+    pub inst_bus_bits: usize,
+    /// Instruction memory size in KiB.
+    pub imem_kb: usize,
+    /// Local data memory per LSU in KiB (0 = no local store).
+    pub dmem_kb_per_lsu: usize,
+    /// Whether local data memories are dual-ported (prefetcher access).
+    pub dual_port_dmem: bool,
+    /// Hardware unsigned divide/remainder available.
+    pub has_div: bool,
+    /// FLIX/VLIW bundles supported.
+    pub has_flix: bool,
+    /// Branch predictor.
+    pub predictor: PredictorKind,
+    /// Penalty cycles for a mispredicted conditional branch.
+    pub mispredict_penalty: u32,
+    /// Penalty cycles for taken unconditional transfers (J/CALL0/RET/JX).
+    pub jump_penalty: u32,
+    /// Data cache in front of system memory (108Mini). `None` on DBA cores.
+    pub dcache: Option<CacheConfig>,
+    /// Uncached system-memory access latency in cycles (used only when the
+    /// core may touch system memory and no cache is configured).
+    pub sysmem_latency: u32,
+    /// Whether the core itself may access system memory. The DBA cores may
+    /// not: "the processor in this work has no direct access to the
+    /// interconnection network. It solely operates on the local instruction
+    /// and data memory" (Section 3.2).
+    pub core_sysmem_access: bool,
+    /// Whether the data prefetcher (DMAC + FSM) is attached.
+    pub has_prefetcher: bool,
+}
+
+impl CpuConfig {
+    /// A small cache-based controller, the shape of the paper's 108Mini
+    /// baseline: 32-bit buses, no local store, data cache, divider.
+    pub fn small_cached_controller() -> Self {
+        CpuConfig {
+            name: "small-cached-controller",
+            n_lsus: 1,
+            data_bus_bits: 32,
+            inst_bus_bits: 32,
+            imem_kb: 32,
+            dmem_kb_per_lsu: 0,
+            dual_port_dmem: false,
+            has_div: true,
+            has_flix: false,
+            predictor: PredictorKind::TwoBit { entries: 128 },
+            mispredict_penalty: 3,
+            jump_penalty: 1,
+            dcache: Some(CacheConfig::mini108_default()),
+            sysmem_latency: 20,
+            core_sysmem_access: true,
+            has_prefetcher: false,
+        }
+    }
+
+    /// A local-store core, the shape of the DBA base: wide buses, local
+    /// data memory, no divider, no system-memory path.
+    pub fn local_store_core(n_lsus: usize, dmem_kb_per_lsu: usize) -> Self {
+        CpuConfig {
+            name: "local-store-core",
+            n_lsus,
+            data_bus_bits: 128,
+            inst_bus_bits: 64,
+            imem_kb: 32,
+            dmem_kb_per_lsu,
+            dual_port_dmem: true,
+            has_div: false,
+            has_flix: true,
+            predictor: PredictorKind::TwoBit { entries: 128 },
+            mispredict_penalty: 3,
+            jump_penalty: 1,
+            dcache: None,
+            sysmem_latency: 20,
+            core_sysmem_access: false,
+            has_prefetcher: true,
+        }
+    }
+
+    /// Validates internal consistency; call before constructing a processor.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=2).contains(&self.n_lsus) {
+            return Err(format!("n_lsus must be 1 or 2, got {}", self.n_lsus));
+        }
+        if ![32, 64, 128].contains(&self.data_bus_bits) {
+            return Err(format!("unsupported data bus width {}", self.data_bus_bits));
+        }
+        if self.has_flix && self.inst_bus_bits < 64 {
+            return Err("FLIX bundles need a 64-bit instruction bus".to_string());
+        }
+        if self.imem_kb == 0 {
+            return Err("instruction memory must be non-empty".to_string());
+        }
+        if self.dmem_kb_per_lsu == 0 && !self.core_sysmem_access {
+            return Err("a core with no local store needs system memory access".to_string());
+        }
+        if self.has_prefetcher && !self.dual_port_dmem {
+            return Err("the prefetcher needs dual-port local memories".to_string());
+        }
+        if self.n_lsus == 2 && self.dmem_kb_per_lsu == 0 {
+            return Err("two LSUs require local data memories".to_string());
+        }
+        Ok(())
+    }
+
+    /// Total local data memory in KiB across all LSUs.
+    pub fn total_dmem_kb(&self) -> usize {
+        self.dmem_kb_per_lsu * self.n_lsus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        CpuConfig::small_cached_controller().validate().unwrap();
+        CpuConfig::local_store_core(1, 64).validate().unwrap();
+        CpuConfig::local_store_core(2, 32).validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = CpuConfig::local_store_core(1, 64);
+        c.n_lsus = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = CpuConfig::local_store_core(1, 64);
+        c.inst_bus_bits = 32;
+        assert!(c.validate().is_err(), "FLIX needs 64-bit fetch");
+
+        let mut c = CpuConfig::local_store_core(1, 64);
+        c.dmem_kb_per_lsu = 0;
+        assert!(c.validate().is_err(), "no local store and no sysmem path");
+
+        let mut c = CpuConfig::local_store_core(2, 32);
+        c.dual_port_dmem = false;
+        assert!(c.validate().is_err(), "prefetcher without dual-port dmem");
+    }
+
+    #[test]
+    fn total_dmem_accounts_for_lsus() {
+        assert_eq!(CpuConfig::local_store_core(2, 32).total_dmem_kb(), 64);
+        assert_eq!(CpuConfig::local_store_core(1, 64).total_dmem_kb(), 64);
+    }
+}

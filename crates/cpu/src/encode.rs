@@ -1,0 +1,693 @@
+//! Binary encoding of the base ISA and FLIX bundles.
+//!
+//! Encoding scheme (a documented simplification of Xtensa's 16/24-bit
+//! density encoding — see DESIGN.md):
+//!
+//! * Base instructions occupy one 32-bit word: a 6-bit opcode in bits
+//!   `[31:26]` plus operand fields.
+//! * `MOVI` with an immediate outside ±2²¹ takes a trailing 32-bit literal
+//!   word (the L32R literal-pool mechanism collapsed into the instruction
+//!   stream).
+//! * FLIX bundles occupy one 64-bit word, as in the paper (Section 3.2,
+//!   "instruction width set to 64 bit"): a bundle header plus three 18-bit
+//!   slots. Slots address the restricted slot-op subset only.
+//!
+//! Branch targets are encoded PC-relative in words; the decoder needs the
+//! instruction's own address to reconstruct the absolute target.
+
+use crate::error::SimError;
+use crate::isa::{movi_is_wide, BranchCond, ExtOp, Instr, LsWidth, OpArgs, Reg};
+use crate::program::{Program, ProgramBuilder, IMEM_BASE};
+
+// 6-bit primary opcodes.
+const OP_NOP: u32 = 0;
+const OP_MOVI: u32 = 1;
+const OP_MOVI_WIDE: u32 = 2;
+const OP_ADD: u32 = 3;
+const OP_ADDX4: u32 = 4;
+const OP_ADDI: u32 = 5;
+const OP_SUB: u32 = 6;
+const OP_AND: u32 = 7;
+const OP_OR: u32 = 8;
+const OP_XOR: u32 = 9;
+const OP_SLLI: u32 = 10;
+const OP_SRLI: u32 = 11;
+const OP_SRAI: u32 = 12;
+const OP_EXTUI: u32 = 13;
+const OP_MULL: u32 = 14;
+const OP_QUOU: u32 = 15;
+const OP_REMU: u32 = 16;
+const OP_MIN: u32 = 17;
+const OP_MAX: u32 = 18;
+const OP_MINU: u32 = 19;
+const OP_MAXU: u32 = 20;
+const OP_LOAD: u32 = 21;
+const OP_STORE: u32 = 22;
+const OP_BRANCH: u32 = 23;
+const OP_BEQZ: u32 = 24;
+const OP_BNEZ: u32 = 25;
+const OP_J: u32 = 26;
+const OP_JX: u32 = 27;
+const OP_CALL0: u32 = 28;
+const OP_RET: u32 = 29;
+const OP_LOOP: u32 = 30;
+const OP_HALT: u32 = 31;
+const OP_EXT: u32 = 32;
+const OP_FLIX: u32 = 33;
+
+// FLIX slot formats (2 bits).
+const SLOT_NOP: u32 = 0;
+const SLOT_EXT: u32 = 1;
+const SLOT_ADDI: u32 = 2;
+const SLOT_BZ: u32 = 3;
+
+/// Encoded form of a single instruction: one word plus an optional second
+/// word (literal for wide `MOVI`, low half of a FLIX bundle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Encoded {
+    /// First (or only) 32-bit word.
+    pub w0: u32,
+    /// Second word when the instruction is 8 bytes long.
+    pub w1: Option<u32>,
+}
+
+fn field(v: u32, hi: u32, lo: u32) -> u32 {
+    (v >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn fits_signed(v: i64, bits: u32) -> bool {
+    let lim = 1i64 << (bits - 1);
+    (-lim..lim).contains(&v)
+}
+
+fn rel_words(pc: u32, target: u32, bits: u32) -> Result<u32, SimError> {
+    let delta = (i64::from(target) - i64::from(pc)) / 4;
+    if (i64::from(target) - i64::from(pc)) % 4 != 0 {
+        return Err(SimError::Encoding(format!(
+            "unaligned branch target {target:#x}"
+        )));
+    }
+    if !fits_signed(delta, bits) {
+        return Err(SimError::Encoding(format!(
+            "branch displacement {delta} words exceeds {bits}-bit range"
+        )));
+    }
+    Ok((delta as u32) & ((1 << bits) - 1))
+}
+
+fn abs_from_rel(pc: u32, raw: u32, bits: u32) -> u32 {
+    pc.wrapping_add((sext(raw, bits) * 4) as u32)
+}
+
+fn cond_code(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u32) -> Result<BranchCond, SimError> {
+    Ok(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return Err(SimError::Encoding(format!("bad branch condition {code}"))),
+    })
+}
+
+fn width_code(w: LsWidth) -> u32 {
+    match w {
+        LsWidth::B8 => 0,
+        LsWidth::H16 => 1,
+        LsWidth::W32 => 2,
+    }
+}
+
+fn width_from(code: u32) -> Result<LsWidth, SimError> {
+    Ok(match code {
+        0 => LsWidth::B8,
+        1 => LsWidth::H16,
+        2 => LsWidth::W32,
+        _ => return Err(SimError::Encoding(format!("bad load/store width {code}"))),
+    })
+}
+
+fn rst(op: u32, r: Reg, s: Reg, t: Reg) -> u32 {
+    (op << 26) | ((r.0 as u32) << 22) | ((s.0 as u32) << 18) | ((t.0 as u32) << 14)
+}
+
+fn encode_slot(i: &Instr) -> Result<u32, SimError> {
+    // 18 bits: fmt[17:16] payload[15:0].
+    match *i {
+        Instr::Nop => Ok(SLOT_NOP << 16),
+        Instr::Ext(ExtOp { op, args }) => {
+            if op > 0xff {
+                return Err(SimError::Encoding(format!(
+                    "slot ext op {op} exceeds 8 bits"
+                )));
+            }
+            if args.imm != 0 {
+                return Err(SimError::Encoding(
+                    "FLIX slot ext ops cannot carry immediates".to_string(),
+                ));
+            }
+            Ok((SLOT_EXT << 16)
+                | ((op as u32) << 8)
+                | ((args.r as u32 & 15) << 4)
+                | (args.s as u32 & 15))
+        }
+        Instr::Addi { r, s, imm } => {
+            if !fits_signed(imm as i64, 8) {
+                return Err(SimError::Encoding(format!(
+                    "slot addi imm {imm} exceeds 8 bits"
+                )));
+            }
+            Ok((SLOT_ADDI << 16) | ((r.0 as u32) << 12) | ((s.0 as u32) << 8) | (imm as u8 as u32))
+        }
+        // Slot-form short branches are layout-dependent; the program
+        // encoder handles them via the standalone encoding instead. Keep
+        // the format reserved.
+        _ => Err(SimError::Encoding(format!(
+            "instruction {i:?} is not slot-encodable"
+        ))),
+    }
+}
+
+fn decode_slot(raw: u32) -> Result<Instr, SimError> {
+    let fmt = field(raw, 17, 16);
+    match fmt {
+        SLOT_NOP => Ok(Instr::Nop),
+        SLOT_EXT => Ok(Instr::Ext(ExtOp {
+            op: field(raw, 15, 8) as u16,
+            args: OpArgs {
+                r: field(raw, 7, 4) as u8,
+                s: field(raw, 3, 0) as u8,
+                imm: 0,
+            },
+        })),
+        SLOT_ADDI => Ok(Instr::Addi {
+            r: Reg(field(raw, 15, 12) as u8),
+            s: Reg(field(raw, 11, 8) as u8),
+            imm: field(raw, 7, 0) as u8 as i8 as i16,
+        }),
+        SLOT_BZ => Err(SimError::Encoding("reserved slot format".to_string())),
+        _ => unreachable!(),
+    }
+}
+
+/// Encodes one instruction located at byte address `pc`.
+pub fn encode_instr(i: &Instr, pc: u32) -> Result<Encoded, SimError> {
+    let one = |w0| Ok(Encoded { w0, w1: None });
+    match *i {
+        Instr::Nop => one(OP_NOP << 26),
+        Instr::Movi { r, imm } => {
+            if movi_is_wide(imm) {
+                Ok(Encoded {
+                    w0: (OP_MOVI_WIDE << 26) | ((r.0 as u32) << 22),
+                    w1: Some(imm as u32),
+                })
+            } else {
+                one((OP_MOVI << 26) | ((r.0 as u32) << 22) | (imm as u32 & 0x3f_ffff))
+            }
+        }
+        Instr::Add { r, s, t } => one(rst(OP_ADD, r, s, t)),
+        Instr::Addx4 { r, s, t } => one(rst(OP_ADDX4, r, s, t)),
+        Instr::Addi { r, s, imm } => {
+            one((OP_ADDI << 26) | ((r.0 as u32) << 22) | ((s.0 as u32) << 18) | (imm as u16 as u32))
+        }
+        Instr::Sub { r, s, t } => one(rst(OP_SUB, r, s, t)),
+        Instr::And { r, s, t } => one(rst(OP_AND, r, s, t)),
+        Instr::Or { r, s, t } => one(rst(OP_OR, r, s, t)),
+        Instr::Xor { r, s, t } => one(rst(OP_XOR, r, s, t)),
+        Instr::Slli { r, s, sa } => one(rst(OP_SLLI, r, s, Reg(0)) | ((sa as u32 & 31) << 9)),
+        Instr::Srli { r, s, sa } => one(rst(OP_SRLI, r, s, Reg(0)) | ((sa as u32 & 31) << 9)),
+        Instr::Srai { r, s, sa } => one(rst(OP_SRAI, r, s, Reg(0)) | ((sa as u32 & 31) << 9)),
+        Instr::Extui { r, s, shift, bits } => one(rst(OP_EXTUI, r, s, Reg(0))
+            | ((shift as u32 & 31) << 9)
+            | ((bits as u32 & 31) << 4)),
+        Instr::Mull { r, s, t } => one(rst(OP_MULL, r, s, t)),
+        Instr::Quou { r, s, t } => one(rst(OP_QUOU, r, s, t)),
+        Instr::Remu { r, s, t } => one(rst(OP_REMU, r, s, t)),
+        Instr::Min { r, s, t } => one(rst(OP_MIN, r, s, t)),
+        Instr::Max { r, s, t } => one(rst(OP_MAX, r, s, t)),
+        Instr::Minu { r, s, t } => one(rst(OP_MINU, r, s, t)),
+        Instr::Maxu { r, s, t } => one(rst(OP_MAXU, r, s, t)),
+        Instr::Load { width, r, s, off } => one((OP_LOAD << 26)
+            | (width_code(width) << 24)
+            | ((r.0 as u32) << 20)
+            | ((s.0 as u32) << 16)
+            | off as u32),
+        Instr::Store { width, t, s, off } => one((OP_STORE << 26)
+            | (width_code(width) << 24)
+            | ((t.0 as u32) << 20)
+            | ((s.0 as u32) << 16)
+            | off as u32),
+        Instr::Branch { cond, s, t, target } => one((OP_BRANCH << 26)
+            | (cond_code(cond) << 23)
+            | ((s.0 as u32) << 19)
+            | ((t.0 as u32) << 15)
+            | rel_words(pc, target, 15)?),
+        Instr::Beqz { s, target } => {
+            one((OP_BEQZ << 26) | ((s.0 as u32) << 22) | rel_words(pc, target, 22)?)
+        }
+        Instr::Bnez { s, target } => {
+            one((OP_BNEZ << 26) | ((s.0 as u32) << 22) | rel_words(pc, target, 22)?)
+        }
+        Instr::J { target } => one((OP_J << 26) | rel_words(pc, target, 26)?),
+        Instr::Jx { s } => one((OP_JX << 26) | ((s.0 as u32) << 22)),
+        Instr::Call0 { target } => one((OP_CALL0 << 26) | rel_words(pc, target, 26)?),
+        Instr::Ret => one(OP_RET << 26),
+        Instr::Loop { s, end } => {
+            one((OP_LOOP << 26) | ((s.0 as u32) << 22) | rel_words(pc, end, 22)?)
+        }
+        Instr::Halt => one(OP_HALT << 26),
+        Instr::Ext(ExtOp { op, args }) => {
+            if op > 0xff {
+                return Err(SimError::Encoding(format!("ext op {op} exceeds 8 bits")));
+            }
+            if !fits_signed(args.imm as i64, 5) {
+                return Err(SimError::Encoding(format!(
+                    "ext imm {} exceeds 5 bits",
+                    args.imm
+                )));
+            }
+            one((OP_EXT << 26)
+                | ((op as u32) << 18)
+                | ((args.r as u32 & 15) << 14)
+                | ((args.s as u32 & 15) << 10)
+                | ((args.imm as u32 & 31) << 5))
+        }
+        Instr::Flix(ref slots) => {
+            if slots.len() > 3 {
+                return Err(SimError::Encoding("bundle exceeds 3 slots".to_string()));
+            }
+            let mut packed = [SLOT_NOP << 16; 3];
+            for (k, s) in slots.iter().enumerate() {
+                packed[k] = encode_slot(s)?;
+            }
+            // w0: opcode[31:26] nslots[25:24] slot0[17:0]
+            // w1: slot1[17:0] in [17:0], slot2 low 14 bits in [31:18]
+            //     slot2 high 4 bits in w0 [23:20].
+            let w0 = (OP_FLIX << 26)
+                | ((slots.len() as u32) << 24)
+                | ((field(packed[2], 17, 14)) << 20)
+                | packed[0];
+            let w1 = (field(packed[2], 13, 0) << 18) | packed[1];
+            Ok(Encoded { w0, w1: Some(w1) })
+        }
+    }
+}
+
+/// Decodes one instruction at byte address `pc`. `w1` must be supplied for
+/// 8-byte encodings (the caller reads ahead).
+pub fn decode_instr(w0: u32, w1: Option<u32>, pc: u32) -> Result<Instr, SimError> {
+    let op = field(w0, 31, 26);
+    let r = Reg(field(w0, 25, 22) as u8);
+    let s = Reg(field(w0, 21, 18) as u8);
+    let t = Reg(field(w0, 17, 14) as u8);
+    let need_w1 = || w1.ok_or_else(|| SimError::Encoding("missing second word".to_string()));
+    Ok(match op {
+        OP_NOP => Instr::Nop,
+        OP_MOVI => Instr::Movi {
+            r,
+            imm: sext(field(w0, 21, 0), 22),
+        },
+        OP_MOVI_WIDE => Instr::Movi {
+            r,
+            imm: need_w1()? as i32,
+        },
+        OP_ADD => Instr::Add { r, s, t },
+        OP_ADDX4 => Instr::Addx4 { r, s, t },
+        OP_ADDI => Instr::Addi {
+            r,
+            s,
+            imm: field(w0, 15, 0) as u16 as i16,
+        },
+        OP_SUB => Instr::Sub { r, s, t },
+        OP_AND => Instr::And { r, s, t },
+        OP_OR => Instr::Or { r, s, t },
+        OP_XOR => Instr::Xor { r, s, t },
+        OP_SLLI => Instr::Slli {
+            r,
+            s,
+            sa: field(w0, 13, 9) as u8,
+        },
+        OP_SRLI => Instr::Srli {
+            r,
+            s,
+            sa: field(w0, 13, 9) as u8,
+        },
+        OP_SRAI => Instr::Srai {
+            r,
+            s,
+            sa: field(w0, 13, 9) as u8,
+        },
+        OP_EXTUI => Instr::Extui {
+            r,
+            s,
+            shift: field(w0, 13, 9) as u8,
+            bits: field(w0, 8, 4) as u8,
+        },
+        OP_MULL => Instr::Mull { r, s, t },
+        OP_QUOU => Instr::Quou { r, s, t },
+        OP_REMU => Instr::Remu { r, s, t },
+        OP_MIN => Instr::Min { r, s, t },
+        OP_MAX => Instr::Max { r, s, t },
+        OP_MINU => Instr::Minu { r, s, t },
+        OP_MAXU => Instr::Maxu { r, s, t },
+        OP_LOAD => Instr::Load {
+            width: width_from(field(w0, 25, 24))?,
+            r: Reg(field(w0, 23, 20) as u8),
+            s: Reg(field(w0, 19, 16) as u8),
+            off: field(w0, 15, 0) as u16,
+        },
+        OP_STORE => Instr::Store {
+            width: width_from(field(w0, 25, 24))?,
+            t: Reg(field(w0, 23, 20) as u8),
+            s: Reg(field(w0, 19, 16) as u8),
+            off: field(w0, 15, 0) as u16,
+        },
+        OP_BRANCH => Instr::Branch {
+            cond: cond_from(field(w0, 25, 23))?,
+            s: Reg(field(w0, 22, 19) as u8),
+            t: Reg(field(w0, 18, 15) as u8),
+            target: abs_from_rel(pc, field(w0, 14, 0), 15),
+        },
+        OP_BEQZ => Instr::Beqz {
+            s: r,
+            target: abs_from_rel(pc, field(w0, 21, 0), 22),
+        },
+        OP_BNEZ => Instr::Bnez {
+            s: r,
+            target: abs_from_rel(pc, field(w0, 21, 0), 22),
+        },
+        OP_J => Instr::J {
+            target: abs_from_rel(pc, field(w0, 25, 0), 26),
+        },
+        OP_JX => Instr::Jx { s: r },
+        OP_CALL0 => Instr::Call0 {
+            target: abs_from_rel(pc, field(w0, 25, 0), 26),
+        },
+        OP_RET => Instr::Ret,
+        OP_LOOP => Instr::Loop {
+            s: r,
+            end: abs_from_rel(pc, field(w0, 21, 0), 22),
+        },
+        OP_HALT => Instr::Halt,
+        OP_EXT => Instr::Ext(ExtOp {
+            op: field(w0, 25, 18) as u16,
+            args: OpArgs {
+                r: field(w0, 17, 14) as u8,
+                s: field(w0, 13, 10) as u8,
+                imm: sext(field(w0, 9, 5), 5) as i8,
+            },
+        }),
+        OP_FLIX => {
+            let w1 = need_w1()?;
+            let n = field(w0, 25, 24) as usize;
+            let raw = [
+                field(w0, 17, 0),
+                field(w1, 17, 0),
+                (field(w0, 23, 20) << 14) | field(w1, 31, 18),
+            ];
+            let mut slots = Vec::with_capacity(n);
+            for r in raw.iter().take(n) {
+                slots.push(decode_slot(*r)?);
+            }
+            Instr::Flix(slots.into_boxed_slice())
+        }
+        _ => {
+            return Err(SimError::Encoding(format!(
+                "unknown opcode {op} at {pc:#010x}"
+            )))
+        }
+    })
+}
+
+/// Encodes a whole program to its instruction-memory image.
+pub fn encode_program(p: &Program) -> Result<Vec<u8>, SimError> {
+    let mut out = Vec::with_capacity(p.size_bytes() as usize);
+    for (addr, i) in p.iter() {
+        debug_assert_eq!(addr, IMEM_BASE + out.len() as u32);
+        let e = encode_instr(i, addr)?;
+        out.extend_from_slice(&e.w0.to_le_bytes());
+        if let Some(w1) = e.w1 {
+            out.extend_from_slice(&w1.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes an instruction-memory image back into a program (labels are not
+/// recoverable from the binary).
+pub fn decode_program(image: &[u8]) -> Result<Program, SimError> {
+    if !image.len().is_multiple_of(4) {
+        return Err(SimError::Encoding(
+            "image length not word aligned".to_string(),
+        ));
+    }
+    let words: Vec<u32> = image
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let mut b = ProgramBuilder::new();
+    let mut k = 0usize;
+    while k < words.len() {
+        let pc = IMEM_BASE + 4 * k as u32;
+        let w0 = words[k];
+        let op = field(w0, 31, 26);
+        let wide = op == OP_FLIX || op == OP_MOVI_WIDE;
+        let w1 = if wide {
+            let w = *words
+                .get(k + 1)
+                .ok_or_else(|| SimError::Encoding("truncated 8-byte instruction".to_string()))?;
+            Some(w)
+        } else {
+            None
+        };
+        b.inst(decode_instr(w0, w1, pc)?);
+        k += if wide { 2 } else { 1 };
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::regs::*;
+
+    fn roundtrip(i: Instr) {
+        let pc = IMEM_BASE + 0x100;
+        let e = encode_instr(&i, pc).unwrap();
+        let back = decode_instr(e.w0, e.w1, pc).unwrap();
+        assert_eq!(i, back, "w0={:#010x} w1={:?}", e.w0, e.w1);
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        roundtrip(Instr::Movi { r: A2, imm: -5 });
+        roundtrip(Instr::Movi {
+            r: A3,
+            imm: 0x1f_ffff,
+        });
+        roundtrip(Instr::Movi {
+            r: A3,
+            imm: 0x6000_0000u32 as i32,
+        }); // wide
+        roundtrip(Instr::Add {
+            r: A2,
+            s: A3,
+            t: A4,
+        });
+        roundtrip(Instr::Addx4 {
+            r: A15,
+            s: A14,
+            t: A13,
+        });
+        roundtrip(Instr::Addi {
+            r: A2,
+            s: A3,
+            imm: -32768,
+        });
+        roundtrip(Instr::Sub {
+            r: A1,
+            s: A2,
+            t: A3,
+        });
+        roundtrip(Instr::Slli {
+            r: A2,
+            s: A3,
+            sa: 31,
+        });
+        roundtrip(Instr::Extui {
+            r: A2,
+            s: A3,
+            shift: 7,
+            bits: 9,
+        });
+        roundtrip(Instr::Minu {
+            r: A2,
+            s: A3,
+            t: A4,
+        });
+        roundtrip(Instr::Quou {
+            r: A2,
+            s: A3,
+            t: A4,
+        });
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        roundtrip(Instr::Load {
+            width: LsWidth::W32,
+            r: A5,
+            s: A6,
+            off: 0xffff,
+        });
+        roundtrip(Instr::Store {
+            width: LsWidth::B8,
+            t: A5,
+            s: A6,
+            off: 3,
+        });
+        roundtrip(Instr::Load {
+            width: LsWidth::H16,
+            r: A1,
+            s: A2,
+            off: 2,
+        });
+    }
+
+    #[test]
+    fn roundtrip_control() {
+        roundtrip(Instr::Branch {
+            cond: BranchCond::Ltu,
+            s: A2,
+            t: A3,
+            target: IMEM_BASE + 0x80,
+        });
+        roundtrip(Instr::Beqz {
+            s: A2,
+            target: IMEM_BASE + 0x100,
+        });
+        roundtrip(Instr::Bnez {
+            s: A2,
+            target: IMEM_BASE + 0x200,
+        });
+        roundtrip(Instr::J { target: IMEM_BASE });
+        roundtrip(Instr::Jx { s: A4 });
+        roundtrip(Instr::Call0 {
+            target: IMEM_BASE + 0x1000,
+        });
+        roundtrip(Instr::Ret);
+        roundtrip(Instr::Loop {
+            s: A7,
+            end: IMEM_BASE + 0x140,
+        });
+        roundtrip(Instr::Halt);
+    }
+
+    #[test]
+    fn roundtrip_ext_and_flix() {
+        roundtrip(Instr::Ext(ExtOp {
+            op: 200,
+            args: OpArgs {
+                r: 3,
+                s: 9,
+                imm: -16,
+            },
+        }));
+        roundtrip(Instr::Flix(
+            vec![
+                Instr::Ext(ExtOp {
+                    op: 1,
+                    args: OpArgs { r: 2, s: 3, imm: 0 },
+                }),
+                Instr::Nop,
+                Instr::Ext(ExtOp {
+                    op: 255,
+                    args: OpArgs {
+                        r: 15,
+                        s: 15,
+                        imm: 0,
+                    },
+                }),
+            ]
+            .into_boxed_slice(),
+        ));
+        roundtrip(Instr::Flix(
+            vec![Instr::Addi {
+                r: A2,
+                s: A2,
+                imm: -128,
+            }]
+            .into_boxed_slice(),
+        ));
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let i = Instr::Branch {
+            cond: BranchCond::Eq,
+            s: A2,
+            t: A3,
+            target: IMEM_BASE + 0x40_0000,
+        };
+        assert!(encode_instr(&i, IMEM_BASE).is_err());
+    }
+
+    #[test]
+    fn slot_ext_imm_rejected() {
+        let b = Instr::Flix(
+            vec![Instr::Ext(ExtOp {
+                op: 1,
+                args: OpArgs { r: 0, s: 0, imm: 1 },
+            })]
+            .into_boxed_slice(),
+        );
+        assert!(encode_instr(&b, IMEM_BASE).is_err());
+    }
+
+    #[test]
+    fn program_image_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A2, 0x6000_0000u32 as i32);
+        b.movi(A3, 100);
+        b.label("loop");
+        b.l32i(A4, A2, 0);
+        b.add(A5, A5, A4);
+        b.addi(A2, A2, 4);
+        b.addi(A3, A3, -1);
+        b.bnez(A3, "loop");
+        b.flix([
+            Instr::Ext(ExtOp {
+                op: 4,
+                args: OpArgs { r: 1, s: 2, imm: 0 },
+            }),
+            Instr::Nop,
+        ]);
+        b.halt();
+        let p = b.build().unwrap();
+        let image = encode_program(&p).unwrap();
+        assert_eq!(image.len() as u32, p.size_bytes());
+        let q = decode_program(&image).unwrap();
+        assert_eq!(p.len(), q.len());
+        for ((a1, i1), (a2, i2)) in p.iter().zip(q.iter()) {
+            assert_eq!(a1, a2);
+            assert_eq!(i1, i2);
+        }
+    }
+}

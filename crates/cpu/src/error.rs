@@ -1,0 +1,137 @@
+//! Simulator error type.
+
+use core::fmt;
+use dbx_mem::MemError;
+
+/// Errors raised while building or executing programs on the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Propagated memory-system error.
+    Mem(MemError),
+    /// PC does not point at a decoded instruction.
+    BadPc {
+        /// The offending program counter.
+        pc: u32,
+    },
+    /// An instruction requires a processor option the configuration lacks
+    /// (e.g. division on a DBA core, FLIX on a non-VLIW core).
+    OptionMissing {
+        /// Program counter of the instruction.
+        pc: u32,
+        /// Name of the missing option.
+        option: &'static str,
+    },
+    /// Unsigned division by zero.
+    DivByZero {
+        /// Program counter of the instruction.
+        pc: u32,
+    },
+    /// An extension op was issued but no extension is attached.
+    NoExtension {
+        /// Program counter of the instruction.
+        pc: u32,
+    },
+    /// The extension rejected an opcode.
+    UnknownExtOp {
+        /// Extension-local opcode.
+        op: u16,
+    },
+    /// A FLIX bundle contains an instruction not eligible for a slot.
+    SlotIneligible {
+        /// Program counter of the bundle.
+        pc: u32,
+    },
+    /// Two operations in one bundle wrote the same state — a structural
+    /// hazard that the TIE verification flow is meant to catch.
+    WriteConflict {
+        /// Name of the doubly-written state.
+        state: &'static str,
+    },
+    /// The run exceeded its cycle budget without halting.
+    MaxCyclesExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// Program construction failed (unresolved label, size overflow, ...).
+    BadProgram(String),
+    /// Binary encoding/decoding failed.
+    Encoding(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Mem(e) => write!(f, "memory error: {e}"),
+            SimError::BadPc { pc } => write!(f, "bad program counter {pc:#010x}"),
+            SimError::OptionMissing { pc, option } => {
+                write!(
+                    f,
+                    "instruction at {pc:#010x} needs missing processor option '{option}'"
+                )
+            }
+            SimError::DivByZero { pc } => write!(f, "division by zero at {pc:#010x}"),
+            SimError::NoExtension { pc } => {
+                write!(f, "extension op at {pc:#010x} but no extension attached")
+            }
+            SimError::UnknownExtOp { op } => write!(f, "unknown extension op {op}"),
+            SimError::SlotIneligible { pc } => {
+                write!(
+                    f,
+                    "bundle at {pc:#010x} contains a slot-ineligible instruction"
+                )
+            }
+            SimError::WriteConflict { state } => {
+                write!(
+                    f,
+                    "structural hazard: state '{state}' written twice in one cycle"
+                )
+            }
+            SimError::MaxCyclesExceeded { budget } => {
+                write!(f, "simulation exceeded {budget} cycles without halting")
+            }
+            SimError::BadProgram(msg) => write!(f, "bad program: {msg}"),
+            SimError::Encoding(msg) => write!(f, "encoding error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<SimError> = vec![
+            SimError::BadPc { pc: 0x40 },
+            SimError::DivByZero { pc: 0x44 },
+            SimError::OptionMissing {
+                pc: 0,
+                option: "div",
+            },
+            SimError::NoExtension { pc: 0 },
+            SimError::UnknownExtOp { op: 7 },
+            SimError::SlotIneligible { pc: 0 },
+            SimError::WriteConflict { state: "RESULT" },
+            SimError::MaxCyclesExceeded { budget: 10 },
+            SimError::BadProgram("x".into()),
+            SimError::Encoding("y".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn mem_error_converts() {
+        let e: SimError = MemError::Unmapped { addr: 1 }.into();
+        assert!(matches!(e, SimError::Mem(_)));
+    }
+}

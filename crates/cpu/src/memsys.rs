@@ -1,0 +1,360 @@
+//! The memory system: LSUs, local memories, cache, system memory, DMAC.
+//!
+//! Routes every data access of the core through one of its load–store
+//! units. Each LSU is wired to its own local data memory (paper Figure 6:
+//! "Each of them is equipped with its own local data memory"), enforces the
+//! configured bus width, and serves at most one access per cycle. The
+//! 108Mini-style path instead goes through a [`DataCache`] to
+//! [`SystemMemory`].
+
+use crate::config::CpuConfig;
+use crate::error::SimError;
+use crate::program::{DMEM0_BASE, DMEM1_BASE, IMEM_BASE, SYSMEM_BASE};
+use crate::stats::EventCounters;
+use dbx_mem::{AccessPort, BurstBus, DataCache, Dmac, LocalMemory, MemError, SystemMemory, Width};
+
+/// The full memory system of one processor instance.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// Local instruction memory (program image lives here).
+    pub imem: LocalMemory,
+    /// Local data memories, one per LSU (empty when there is no local store).
+    pub dmems: Vec<LocalMemory>,
+    /// Off-chip system memory.
+    pub sysmem: SystemMemory,
+    /// Data cache in front of system memory, if configured.
+    pub dcache: Option<DataCache>,
+    /// The data prefetcher, if configured.
+    pub dmac: Option<Dmac>,
+    n_lsus: usize,
+    max_width: Width,
+    sysmem_latency: u32,
+    core_sysmem_access: bool,
+    lsu_used: [u8; 2],
+}
+
+impl MemorySystem {
+    /// Builds the memory system described by a validated configuration.
+    pub fn new(cfg: &CpuConfig) -> Self {
+        let mut dmems = Vec::new();
+        if cfg.dmem_kb_per_lsu > 0 {
+            let mk = |name, base| {
+                if cfg.dual_port_dmem {
+                    LocalMemory::new_dual_port(name, base, cfg.dmem_kb_per_lsu * 1024)
+                } else {
+                    LocalMemory::new(name, base, cfg.dmem_kb_per_lsu * 1024)
+                }
+            };
+            dmems.push(mk("dmem0", DMEM0_BASE));
+            if cfg.n_lsus == 2 {
+                dmems.push(mk("dmem1", DMEM1_BASE));
+            }
+        }
+        MemorySystem {
+            imem: LocalMemory::new("imem", IMEM_BASE, cfg.imem_kb * 1024),
+            dmems,
+            sysmem: SystemMemory::new(),
+            dcache: cfg.dcache.map(DataCache::new),
+            dmac: cfg.has_prefetcher.then(|| Dmac::new(BurstBus::default())),
+            n_lsus: cfg.n_lsus,
+            max_width: Width::from_bus_bits(cfg.data_bus_bits),
+            sysmem_latency: cfg.sysmem_latency,
+            core_sysmem_access: cfg.core_sysmem_access,
+            lsu_used: [0; 2],
+        }
+    }
+
+    /// Number of load–store units.
+    pub fn n_lsus(&self) -> usize {
+        self.n_lsus
+    }
+
+    /// Widest access the LSUs support.
+    pub fn max_width(&self) -> Width {
+        self.max_width
+    }
+
+    /// Resets all per-cycle budgets. Called by the simulator each cycle.
+    pub fn begin_cycle(&mut self) {
+        self.lsu_used = [0; 2];
+        for m in &mut self.dmems {
+            m.begin_cycle();
+        }
+        self.imem.begin_cycle();
+    }
+
+    /// Advances the prefetcher by one cycle (concurrently with the core).
+    pub fn tick_prefetcher(&mut self) -> Result<(), SimError> {
+        if let Some(dmac) = self.dmac.as_mut() {
+            let mut refs: Vec<&mut LocalMemory> = self.dmems.iter_mut().collect();
+            dmac.tick(&mut self.sysmem, &mut refs)?;
+        }
+        Ok(())
+    }
+
+    fn charge_lsu(&mut self, lsu: usize, width: Width) -> Result<(), SimError> {
+        if lsu >= self.n_lsus {
+            return Err(SimError::Mem(MemError::PortConflict {
+                port: if lsu == 1 {
+                    "lsu1 (not present)"
+                } else {
+                    "bad lsu index"
+                },
+            }));
+        }
+        if width > self.max_width {
+            return Err(SimError::Mem(MemError::WidthUnsupported {
+                requested: width.bytes(),
+                bus: self.max_width.bytes(),
+            }));
+        }
+        if self.lsu_used[lsu] >= 1 {
+            return Err(SimError::Mem(MemError::PortConflict {
+                port: if lsu == 0 { "lsu0" } else { "lsu1" },
+            }));
+        }
+        self.lsu_used[lsu] += 1;
+        Ok(())
+    }
+
+    fn dmem_index(&self, addr: u32, len: usize) -> Option<usize> {
+        self.dmems.iter().position(|m| m.contains(addr, len))
+    }
+
+    /// Loads through `lsu`. Returns `(value, extra_cycles)` where
+    /// `extra_cycles` is latency beyond the single-cycle local-store access.
+    pub fn load(
+        &mut self,
+        lsu: usize,
+        addr: u32,
+        width: Width,
+        counters: &mut EventCounters,
+    ) -> Result<(u128, u32), SimError> {
+        self.charge_lsu(lsu, width)?;
+        if let Some(ix) = self.dmem_index(addr, width.bytes()) {
+            if self.dmems.len() > 1 && ix != lsu {
+                return Err(SimError::Mem(MemError::Unmapped { addr }));
+            }
+            let v = self.dmems[ix].read(AccessPort::Core, addr, width)?;
+            counters.loads_local += 1;
+            counters.bytes_loaded += width.bytes() as u64;
+            return Ok((v, 0));
+        }
+        if addr >= SYSMEM_BASE && self.core_sysmem_access {
+            counters.loads_sys += 1;
+            counters.bytes_loaded += width.bytes() as u64;
+            let (v, cy) = match self.dcache.as_mut() {
+                Some(c) => c.read(&mut self.sysmem, addr, width)?,
+                None => (self.sysmem.read(addr, width)?, self.sysmem_latency),
+            };
+            let extra = cy.saturating_sub(1);
+            counters.stall_mem += extra as u64;
+            return Ok((v, extra));
+        }
+        Err(SimError::Mem(MemError::Unmapped { addr }))
+    }
+
+    /// Stores through `lsu`. Returns extra latency cycles.
+    pub fn store(
+        &mut self,
+        lsu: usize,
+        addr: u32,
+        width: Width,
+        value: u128,
+        counters: &mut EventCounters,
+    ) -> Result<u32, SimError> {
+        self.charge_lsu(lsu, width)?;
+        if let Some(ix) = self.dmem_index(addr, width.bytes()) {
+            if self.dmems.len() > 1 && ix != lsu {
+                return Err(SimError::Mem(MemError::Unmapped { addr }));
+            }
+            self.dmems[ix].write(AccessPort::Core, addr, width, value)?;
+            counters.stores_local += 1;
+            counters.bytes_stored += width.bytes() as u64;
+            return Ok(0);
+        }
+        if addr >= SYSMEM_BASE && self.core_sysmem_access {
+            counters.stores_sys += 1;
+            counters.bytes_stored += width.bytes() as u64;
+            let cy = match self.dcache.as_mut() {
+                Some(c) => c.write(&mut self.sysmem, addr, width, value)?,
+                // Store buffering hides most uncached store latency.
+                None => 1,
+            };
+            let extra = cy.saturating_sub(1);
+            counters.stall_mem += extra as u64;
+            return Ok(extra);
+        }
+        Err(SimError::Mem(MemError::Unmapped { addr }))
+    }
+
+    /// Loads up to four 32-bit lanes from a local memory through `lsu`
+    /// (byte-enabled narrow read of a 128-bit unit). The lanes must not
+    /// cross a 16-byte beat boundary — that would be two accesses in one
+    /// cycle, a structural hazard.
+    pub fn load_lanes(
+        &mut self,
+        lsu: usize,
+        addr: u32,
+        n: usize,
+        counters: &mut EventCounters,
+    ) -> Result<Vec<u32>, SimError> {
+        self.charge_lsu(lsu, Width::W32)?;
+        let ix = self
+            .dmem_index(addr, (4 * n).max(4))
+            .ok_or(SimError::Mem(MemError::Unmapped { addr }))?;
+        if self.dmems.len() > 1 && ix != lsu {
+            return Err(SimError::Mem(MemError::Unmapped { addr }));
+        }
+        let (v, _) = self.dmems[ix].read_lanes(AccessPort::Core, addr, n)?;
+        counters.loads_local += 1;
+        counters.bytes_loaded += 4 * n as u64;
+        Ok(v)
+    }
+
+    /// Stores up to four 32-bit lanes into a local memory through `lsu`
+    /// (byte-enabled partial 128-bit store). Same beat-boundary rule as
+    /// [`Self::load_lanes`].
+    pub fn store_lanes(
+        &mut self,
+        lsu: usize,
+        addr: u32,
+        lanes: &[u32],
+        counters: &mut EventCounters,
+    ) -> Result<(), SimError> {
+        self.charge_lsu(lsu, Width::W32)?;
+        let ix = self
+            .dmem_index(addr, (4 * lanes.len()).max(4))
+            .ok_or(SimError::Mem(MemError::Unmapped { addr }))?;
+        if self.dmems.len() > 1 && ix != lsu {
+            return Err(SimError::Mem(MemError::Unmapped { addr }));
+        }
+        self.dmems[ix].write_lanes(AccessPort::Core, addr, lanes)?;
+        counters.stores_local += 1;
+        counters.bytes_stored += 4 * lanes.len() as u64;
+        Ok(())
+    }
+
+    /// Writes data words into whatever memory holds `addr`, without timing
+    /// or port accounting (pre-run setup).
+    pub fn poke_words(&mut self, addr: u32, words: &[u32]) -> Result<(), SimError> {
+        let len = words.len() * 4;
+        if let Some(ix) = self.dmem_index(addr, len.max(4)) {
+            self.dmems[ix].load_words(addr, words)?;
+        } else if addr >= SYSMEM_BASE {
+            self.sysmem.load_words(addr, words)?;
+        } else {
+            return Err(SimError::Mem(MemError::Unmapped { addr }));
+        }
+        Ok(())
+    }
+
+    /// Reads data words from whatever memory holds `addr` (post-run checks).
+    pub fn peek_words(&mut self, addr: u32, n: usize) -> Result<Vec<u32>, SimError> {
+        if let Some(ix) = self.dmem_index(addr, (n * 4).max(4)) {
+            Ok(self.dmems[ix].read_words(addr, n)?)
+        } else if addr >= SYSMEM_BASE {
+            Ok(self.sysmem.read_words(addr, n)?)
+        } else {
+            Err(SimError::Mem(MemError::Unmapped { addr }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> EventCounters {
+        EventCounters::default()
+    }
+
+    #[test]
+    fn local_store_access_is_single_cycle() {
+        let cfg = CpuConfig::local_store_core(1, 64);
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = counters();
+        m.begin_cycle();
+        m.poke_words(DMEM0_BASE, &[7, 8, 9, 10]).unwrap();
+        let (v, extra) = m.load(0, DMEM0_BASE, Width::W128, &mut c).unwrap();
+        assert_eq!(extra, 0);
+        assert_eq!(v as u32, 7);
+        assert_eq!(c.loads_local, 1);
+    }
+
+    #[test]
+    fn cached_sysmem_access_pays_latency() {
+        let cfg = CpuConfig::small_cached_controller();
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = counters();
+        m.poke_words(SYSMEM_BASE, &[1, 2, 3]).unwrap();
+        m.begin_cycle();
+        let (_, extra) = m.load(0, SYSMEM_BASE, Width::W32, &mut c).unwrap();
+        assert!(extra > 0, "first touch must miss");
+        m.begin_cycle();
+        let (_, extra) = m.load(0, SYSMEM_BASE + 4, Width::W32, &mut c).unwrap();
+        assert_eq!(extra, 0, "same line hits");
+        assert_eq!(c.loads_sys, 2);
+    }
+
+    #[test]
+    fn dba_core_cannot_touch_sysmem() {
+        let cfg = CpuConfig::local_store_core(1, 64);
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = counters();
+        m.begin_cycle();
+        let e = m.load(0, SYSMEM_BASE, Width::W32, &mut c).unwrap_err();
+        assert!(matches!(e, SimError::Mem(MemError::Unmapped { .. })));
+    }
+
+    #[test]
+    fn lsu_budget_one_access_per_cycle() {
+        let cfg = CpuConfig::local_store_core(1, 64);
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = counters();
+        m.begin_cycle();
+        m.load(0, DMEM0_BASE, Width::W32, &mut c).unwrap();
+        let e = m.load(0, DMEM0_BASE + 4, Width::W32, &mut c).unwrap_err();
+        assert!(matches!(e, SimError::Mem(MemError::PortConflict { .. })));
+    }
+
+    #[test]
+    fn two_lsus_access_their_own_memories_concurrently() {
+        let cfg = CpuConfig::local_store_core(2, 32);
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = counters();
+        m.poke_words(DMEM0_BASE, &[11]).unwrap();
+        m.poke_words(DMEM1_BASE, &[22]).unwrap();
+        m.begin_cycle();
+        let (a, _) = m.load(0, DMEM0_BASE, Width::W32, &mut c).unwrap();
+        let (b, _) = m.load(1, DMEM1_BASE, Width::W32, &mut c).unwrap();
+        assert_eq!((a as u32, b as u32), (11, 22));
+        // Cross-wiring is a structural error.
+        m.begin_cycle();
+        assert!(m.load(0, DMEM1_BASE, Width::W32, &mut c).is_err());
+        m.begin_cycle();
+        assert!(m.load(1, DMEM0_BASE, Width::W32, &mut c).is_err());
+    }
+
+    #[test]
+    fn width_enforced_by_bus() {
+        let cfg = CpuConfig::small_cached_controller(); // 32-bit bus
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = counters();
+        m.begin_cycle();
+        let e = m.load(0, SYSMEM_BASE, Width::W128, &mut c).unwrap_err();
+        assert!(matches!(
+            e,
+            SimError::Mem(MemError::WidthUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_lsu_rejected() {
+        let cfg = CpuConfig::local_store_core(1, 64);
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = counters();
+        m.begin_cycle();
+        assert!(m.load(1, DMEM0_BASE, Width::W32, &mut c).is_err());
+    }
+}

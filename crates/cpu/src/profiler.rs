@@ -1,0 +1,141 @@
+//! Cycle-accurate profiling — step 1 of the paper's tool flow.
+//!
+//! Figure 4 of the paper: *"The tool flow starts with a cycle-accurate
+//! profiling of an application to analyze its runtime behavior. The
+//! profiler unveils hotspots in the application's execution."* This module
+//! records per-address cycle counts during simulation and aggregates them
+//! into labelled regions so that the `tool_flow` example can reproduce the
+//! profile → hotspot → extension-development loop.
+
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// Per-address execution profile.
+#[derive(Debug, Default, Clone)]
+pub struct Profile {
+    /// Address → (cycles, executions).
+    by_addr: HashMap<u32, (u64, u64)>,
+    /// Total cycles recorded.
+    pub total_cycles: u64,
+}
+
+impl Profile {
+    /// Records one executed instruction.
+    #[inline]
+    pub fn record(&mut self, pc: u32, cycles: u64) {
+        let e = self.by_addr.entry(pc).or_insert((0, 0));
+        e.0 += cycles;
+        e.1 += 1;
+        self.total_cycles += cycles;
+    }
+
+    /// Cycles attributed to one address.
+    pub fn cycles_at(&self, pc: u32) -> u64 {
+        self.by_addr.get(&pc).map(|e| e.0).unwrap_or(0)
+    }
+
+    /// Execution count of one address.
+    pub fn execs_at(&self, pc: u32) -> u64 {
+        self.by_addr.get(&pc).map(|e| e.1).unwrap_or(0)
+    }
+
+    /// Aggregates the profile into labelled regions of `program` and
+    /// returns them sorted by descending cycle share.
+    pub fn hotspots(&self, program: &Program) -> Vec<Hotspot> {
+        let mut by_region: HashMap<&str, (u64, u64)> = HashMap::new();
+        for (addr, (cy, ex)) in &self.by_addr {
+            let region = program.region_of(*addr).unwrap_or("<unlabelled>");
+            let e = by_region.entry(region).or_insert((0, 0));
+            e.0 += cy;
+            e.1 += ex;
+        }
+        let mut v: Vec<Hotspot> = by_region
+            .into_iter()
+            .map(|(name, (cycles, execs))| Hotspot {
+                region: name.to_string(),
+                cycles,
+                execs,
+                share: if self.total_cycles == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / self.total_cycles as f64
+                },
+            })
+            .collect();
+        v.sort_by_key(|h| std::cmp::Reverse(h.cycles));
+        v
+    }
+
+    /// Renders a human-readable hotspot report.
+    pub fn report(&self, program: &Program) -> String {
+        let mut out = String::from("region                         cycles        execs   share\n");
+        for h in self.hotspots(program) {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>12} {:>6.1}%\n",
+                h.region,
+                h.cycles,
+                h.execs,
+                h.share * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// One aggregated profile region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Region label (nearest program label at or before the addresses).
+    pub region: String,
+    /// Cycles spent in the region.
+    pub cycles: u64,
+    /// Instructions executed in the region.
+    pub execs: u64,
+    /// Fraction of total cycles in `[0, 1]`.
+    pub share: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuConfig;
+    use crate::isa::regs::*;
+    use crate::program::ProgramBuilder;
+    use crate::sim::Processor;
+
+    #[test]
+    fn record_accumulates() {
+        let mut p = Profile::default();
+        p.record(0x40, 2);
+        p.record(0x40, 3);
+        p.record(0x44, 1);
+        assert_eq!(p.cycles_at(0x40), 5);
+        assert_eq!(p.execs_at(0x40), 2);
+        assert_eq!(p.total_cycles, 6);
+    }
+
+    #[test]
+    fn hotspots_find_the_hot_loop() {
+        let mut b = ProgramBuilder::new();
+        b.label("init");
+        b.movi(A2, 500);
+        b.movi(A3, 0);
+        b.label("core_loop");
+        b.addi(A3, A3, 1);
+        b.addi(A2, A2, -1);
+        b.bnez(A2, "core_loop");
+        b.label("tail");
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut proc = Processor::new(CpuConfig::local_store_core(1, 64)).unwrap();
+        proc.enable_profiling();
+        proc.load_program(prog).unwrap();
+        proc.run(100_000).unwrap();
+        let profile = proc.profile().unwrap();
+        let hs = profile.hotspots(proc.program().unwrap());
+        assert_eq!(hs[0].region, "core_loop");
+        assert!(hs[0].share > 0.9, "loop must dominate, got {}", hs[0].share);
+        let report = profile.report(proc.program().unwrap());
+        assert!(report.contains("core_loop"));
+    }
+}

@@ -1,0 +1,143 @@
+//! TIE queues — FIFO interfaces from extension ops to the outside world.
+//!
+//! Section 3.2 of the paper lists them among the extension points: *"TIE
+//! queues read or write data from external queues. TIE input and output
+//! ports define a dedicated interface from the outside of the processor to
+//! internal states."* The DB extension does not use them, but the
+//! framework supports them so further instruction sets (the paper's
+//! "second wave") can stream data past the load–store units — see the
+//! `dbx-showcase` crate.
+//!
+//! Semantics mirror hardware FIFO handshakes: a push into a full queue and
+//! a pop from an empty queue both *fail without side effects* — the op
+//! observes the failure and typically retries next cycle (a pipeline
+//! bubble), exactly like a stalled valid/ready interface.
+
+use std::collections::VecDeque;
+
+/// One named TIE queue with bounded capacity.
+#[derive(Debug, Clone)]
+pub struct TieQueue {
+    name: &'static str,
+    capacity: usize,
+    fifo: VecDeque<u32>,
+    /// Lifetime statistics: words pushed by the extension.
+    pub pushed: u64,
+    /// Lifetime statistics: words popped by the extension.
+    pub popped: u64,
+    /// Lifetime statistics: pushes refused because the queue was full.
+    pub push_stalls: u64,
+    /// Lifetime statistics: pops refused because the queue was empty.
+    pub pop_stalls: u64,
+}
+
+impl TieQueue {
+    /// Creates an empty queue.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        TieQueue {
+            name,
+            capacity,
+            fifo: VecDeque::with_capacity(capacity),
+            pushed: 0,
+            popped: 0,
+            push_stalls: 0,
+            pop_stalls: 0,
+        }
+    }
+
+    /// Queue name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.fifo.len() >= self.capacity
+    }
+
+    /// Extension-side push; `false` means the queue was full (bubble).
+    pub fn try_push(&mut self, v: u32) -> bool {
+        if self.is_full() {
+            self.push_stalls += 1;
+            false
+        } else {
+            self.fifo.push_back(v);
+            self.pushed += 1;
+            true
+        }
+    }
+
+    /// Extension-side pop; `None` means the queue was empty (bubble).
+    pub fn try_pop(&mut self) -> Option<u32> {
+        match self.fifo.pop_front() {
+            Some(v) => {
+                self.popped += 1;
+                Some(v)
+            }
+            None => {
+                self.pop_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Host-side (external device) drain of everything buffered.
+    pub fn drain_external(&mut self) -> Vec<u32> {
+        self.fifo.drain(..).collect()
+    }
+
+    /// Host-side (external device) feed; returns how many words fit.
+    pub fn feed_external(&mut self, data: &[u32]) -> usize {
+        let room = self.capacity - self.fifo.len();
+        let n = room.min(data.len());
+        self.fifo.extend(&data[..n]);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut q = TieQueue::new("out", 4);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.pop_stalls, 1);
+    }
+
+    #[test]
+    fn full_queue_refuses_and_counts() {
+        let mut q = TieQueue::new("out", 2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert!(!q.try_push(3), "push into a full queue must fail");
+        assert_eq!(q.push_stalls, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn external_feed_and_drain() {
+        let mut q = TieQueue::new("in", 3);
+        assert_eq!(q.feed_external(&[7, 8, 9, 10]), 3, "only capacity fits");
+        assert_eq!(q.try_pop(), Some(7));
+        q.try_push(99);
+        assert_eq!(q.drain_external(), vec![8, 9, 99]);
+        assert!(q.is_empty());
+    }
+}

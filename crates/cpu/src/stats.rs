@@ -1,0 +1,157 @@
+//! Event counters and run statistics.
+//!
+//! The counters serve two purposes: (1) reporting — throughput, stall
+//! breakdowns, hotspots — and (2) *switching-activity input for the power
+//! model* in `dbx-synth`, mirroring how the paper obtains power numbers from
+//! simulated activity dumps (Section 5.1: Questa switching-activity dump fed
+//! into PrimeTime).
+
+/// Architectural event counts accumulated over a run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Instructions (FLIX bundles count once).
+    pub instrs: u64,
+    /// FLIX bundles issued.
+    pub flix_bundles: u64,
+    /// Simple ALU operations executed (including slot ALU ops).
+    pub alu_ops: u64,
+    /// Multiplications.
+    pub mul_ops: u64,
+    /// Divisions / remainders.
+    pub div_ops: u64,
+    /// Loads served by local memories.
+    pub loads_local: u64,
+    /// Stores served by local memories.
+    pub stores_local: u64,
+    /// Loads served by system memory (cached or not).
+    pub loads_sys: u64,
+    /// Stores served by system memory (cached or not).
+    pub stores_sys: u64,
+    /// Total bytes loaded (all paths).
+    pub bytes_loaded: u64,
+    /// Total bytes stored (all paths).
+    pub bytes_stored: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches taken.
+    pub branches_taken: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Unconditional control transfers (J/JX/CALL0/RET).
+    pub jumps: u64,
+    /// Zero-overhead hardware loop back-edges (cost-free).
+    pub hw_loop_backs: u64,
+    /// Extension (TIE) operations executed, total.
+    pub ext_ops: u64,
+    /// Per-op extension execution counts, indexed by extension opcode.
+    pub ext_op_counts: Vec<u64>,
+    /// Cycles lost to load-use interlocks.
+    pub stall_load_use: u64,
+    /// Cycles lost to memory latency beyond the single-cycle local store.
+    pub stall_mem: u64,
+    /// Cycles lost to control-transfer penalties.
+    pub stall_control: u64,
+}
+
+impl EventCounters {
+    /// Bumps the per-op extension counter, growing the table as needed.
+    pub fn count_ext_op(&mut self, op: u16) {
+        let ix = op as usize;
+        if self.ext_op_counts.len() <= ix {
+            self.ext_op_counts.resize(ix + 1, 0);
+        }
+        self.ext_op_counts[ix] += 1;
+        self.ext_ops += 1;
+    }
+
+    /// Total memory operations on any path.
+    pub fn mem_ops(&self) -> u64 {
+        self.loads_local + self.stores_local + self.loads_sys + self.stores_sys
+    }
+
+    /// Branch misprediction rate in `[0, 1]` (0 when no branches ran).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Outcome of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Whether the program reached `HALT` (vs. exhausting the cycle budget).
+    pub halted: bool,
+    /// Architectural event counts.
+    pub counters: EventCounters,
+}
+
+impl RunStats {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.counters.instrs == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.counters.instrs as f64
+        }
+    }
+
+    /// Throughput in million elements per second for `elements` processed
+    /// at core frequency `f_mhz` — the paper's reporting metric
+    /// (Section 5.2: `T = (l_a + l_b) / t` for set operations, `n / t`
+    /// for sorting).
+    pub fn throughput_meps(&self, elements: u64, f_mhz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        // elements / (cycles / f) where f is in MHz and t in µs gives
+        // elements per µs == million elements per second.
+        elements as f64 * f_mhz / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_op_counting_grows_table() {
+        let mut c = EventCounters::default();
+        c.count_ext_op(5);
+        c.count_ext_op(5);
+        c.count_ext_op(2);
+        assert_eq!(c.ext_op_counts[5], 2);
+        assert_eq!(c.ext_op_counts[2], 1);
+        assert_eq!(c.ext_ops, 3);
+    }
+
+    #[test]
+    fn throughput_formula_matches_paper_units() {
+        let s = RunStats {
+            cycles: 1000,
+            halted: true,
+            counters: EventCounters::default(),
+        };
+        // 2000 elements in 1000 cycles at 500 MHz = 1000 M elements/s —
+        // the paper's theoretical peak example (Section 4).
+        let t = s.throughput_meps(2000, 500.0);
+        assert!((t - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_are_safe_on_empty_runs() {
+        let c = EventCounters::default();
+        assert_eq!(c.mispredict_rate(), 0.0);
+        let s = RunStats {
+            cycles: 0,
+            halted: false,
+            counters: c,
+        };
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.throughput_meps(100, 400.0), 0.0);
+    }
+}

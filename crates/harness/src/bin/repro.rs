@@ -1,0 +1,86 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table2      Table 2  (throughput per configuration)
+//! repro fig13       Figure 13 (selectivity sweep; add --csv for data)
+//! repro table3      Table 3  (synthesis: area / fMAX / power)
+//! repro table4      Table 4  (relative area per component)
+//! repro table5      Table 5  (merge-sort vs swsort/Q9550)
+//! repro table6      Table 6  (intersection vs swset/i7-920)
+//! repro stream      Section 5.2 (prefetcher / constant throughput)
+//! repro pipeline    Section 4  (cycles per iteration vs unroll)
+//! repro scaling     Section 5.4 (multi-core area equivalence)
+//! repro energy      energy per element, all configurations
+//! repro width       Section 2.2 (vector-width area/bandwidth tradeoff)
+//! repro isa         instruction-set reference (generated from descriptors)
+//! repro all         everything above
+//!
+//! options: --quick   scale workloads down ~10x for a fast pass
+//!          --csv     with fig13: print CSV instead of the table
+//!          --op=union | --op=diff   with fig13: sweep another operation
+//! ```
+
+use dbx_harness::{
+    energy, fig13, isa_ref, pipeline, scaling, stream_exp, table2, table3, table4, table5, table6,
+    width_exp,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let scale = if quick { 0.1 } else { 1.0 };
+
+    let run_one = |name: &str| match name {
+        "table2" => println!("{}", table2::run(scale).render()),
+        "fig13" => {
+            let kind = if args.iter().any(|a| a == "--op=union") {
+                dbx_core::SetOpKind::Union
+            } else if args.iter().any(|a| a == "--op=diff") {
+                dbx_core::SetOpKind::Difference
+            } else {
+                dbx_core::SetOpKind::Intersect
+            };
+            let f = fig13::run_op(kind, scale);
+            if csv {
+                print!("{}", f.to_csv());
+            } else {
+                println!("{}", f.render());
+            }
+        }
+        "table3" => println!("{}", table3::run().render()),
+        "table4" => println!("{}", table4::run().render()),
+        "table5" => println!("{}", table5::run(scale).render()),
+        "table6" => println!("{}", table6::run(scale).render()),
+        "stream" => println!("{}", stream_exp::run(scale).render()),
+        "pipeline" => println!("{}", pipeline::run().render()),
+        "scaling" => println!("{}", scaling::run(scale).render()),
+        "energy" => println!("{}", energy::run(scale).render()),
+        "width" => println!("{}", width_exp::run().render()),
+        "isa" => println!("{}", isa_ref::render()),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy width isa all"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if cmd == "all" {
+        for name in [
+            "table2", "fig13", "table3", "table4", "table5", "table6", "stream", "pipeline",
+            "scaling", "energy", "width",
+        ] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(cmd);
+    }
+}

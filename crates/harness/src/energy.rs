@@ -1,0 +1,151 @@
+//! Energy per element — the paper's real headline, tabulated.
+//!
+//! The abstract: *"Our processor requires in various configurations more
+//! than 960x less energy than a high-end x86 processor while providing
+//! the same performance."* This experiment combines the simulator's
+//! cycle counts with the activity-scaled power model to put a number on
+//! every configuration and operation, plus the x86 reference points of
+//! Tables 5 and 6.
+
+use crate::report::{f1, TextTable};
+use crate::{scaled, SEED};
+use dbx_core::{run_set_op, run_sort, ProcModel, SetOpKind};
+use dbx_synth::{fmax_mhz, power_from_activity, Tech};
+use dbx_workloads::{set_pair_with_selectivity, sort_input, SortOrder};
+
+/// Energy numbers for one configuration.
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// Configuration.
+    pub model: ProcModel,
+    /// Activity-scaled power while running the intersection (mW).
+    pub power_mw: f64,
+    /// Intersection energy (nJ per element).
+    pub isect_nj: f64,
+    /// Union energy (nJ per element).
+    pub union_nj: f64,
+    /// Difference energy (nJ per element).
+    pub diff_nj: f64,
+    /// Merge-sort energy (nJ per element).
+    pub sort_nj: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Energy {
+    /// Per-configuration rows.
+    pub rows: Vec<EnergyRow>,
+    /// Intersection energy per element of the i7-920 at its 130 W TDP and
+    /// published 1100 M elements/s (Table 6) — the paper's comparator.
+    pub x86_isect_nj: f64,
+    /// Sort energy per element of the Q9550 at 95 W and 60 M elements/s.
+    pub x86_sort_nj: f64,
+}
+
+/// Runs the energy table. `scale = 1.0` uses the paper's sizes.
+pub fn run(scale: f64) -> Energy {
+    let set_len = scaled(2500, scale);
+    let sort_len = scaled(6500, scale);
+    let (a, b) = set_pair_with_selectivity(set_len, set_len, 0.5, SEED);
+    let sort_data = sort_input(sort_len, SortOrder::Random, SEED);
+    let tech = Tech::tsmc65lp();
+
+    let rows = ProcModel::all()
+        .into_iter()
+        .map(|model| {
+            let f = fmax_mhz(model, &tech);
+            let energy = |kind| {
+                let r = run_set_op(model, kind, &a, &b).expect("run");
+                let p = power_from_activity(model, tech, &r.stats);
+                (
+                    p.energy_per_element_nj(2 * set_len as u64, r.cycles),
+                    p.total_mw(),
+                )
+            };
+            let (isect_nj, power_mw) = energy(SetOpKind::Intersect);
+            let (union_nj, _) = energy(SetOpKind::Union);
+            let (diff_nj, _) = energy(SetOpKind::Difference);
+            let sort = run_sort(model, &sort_data).expect("sort");
+            let sp = power_from_activity(model, tech, &sort.stats);
+            let _ = f;
+            EnergyRow {
+                model,
+                power_mw,
+                isect_nj,
+                union_nj,
+                diff_nj,
+                sort_nj: sp.energy_per_element_nj(sort_len as u64, sort.cycles),
+            }
+        })
+        .collect();
+
+    Energy {
+        rows,
+        // E/element = P / throughput.
+        x86_isect_nj: 130.0 / 1100.0e6 * 1.0e9,
+        x86_sort_nj: 95.0 / 60.0e6 * 1.0e9,
+    }
+}
+
+impl Energy {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Processor",
+            "Partial",
+            "P[mW]",
+            "Isect[nJ/el]",
+            "Union[nJ/el]",
+            "Diff[nJ/el]",
+            "Sort[nJ/el]",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.model.name().to_string(),
+                r.model.partial_label().to_string(),
+                f1(r.power_mw),
+                format!("{:.3}", r.isect_nj),
+                format!("{:.3}", r.union_nj),
+                format!("{:.3}", r.diff_nj),
+                format!("{:.3}", r.sort_nj),
+            ]);
+        }
+        let best = self.rows.last().expect("rows");
+        format!(
+            "Energy per element (activity-scaled power model, 65 nm)\n{}\n\
+             x86 reference points (TDP / published throughput):\n\
+             i7-920 intersection: {:.1} nJ/element  ->  DBA advantage {:.0}x\n\
+             Q9550 merge-sort:    {:.0} nJ/element  ->  DBA advantage {:.0}x\n",
+            t.render(),
+            self.x86_isect_nj,
+            self.x86_isect_nj / best.isect_nj,
+            self.x86_sort_nj,
+            self.x86_sort_nj / best.sort_nj,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eis_is_the_most_energy_efficient_and_beats_x86_by_3_orders() {
+        let e = run(0.25);
+        let by_model = |m: ProcModel| e.rows.iter().find(|r| r.model == m).unwrap();
+        let full = by_model(ProcModel::Dba2LsuEis { partial: true });
+        let scalar = by_model(ProcModel::Dba1Lsu);
+        // The EIS configuration draws more power but finishes so much
+        // faster that energy per element drops.
+        assert!(
+            full.isect_nj < scalar.isect_nj,
+            "{} vs {}",
+            full.isect_nj,
+            scalar.isect_nj
+        );
+        // The abstract's headline: vs the i7's ~0.118 µJ/element.
+        let advantage = e.x86_isect_nj / full.isect_nj;
+        assert!(advantage > 500.0, "energy advantage {advantage:.0}x");
+        assert!(e.render().contains("advantage"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Figure 13 — intersection throughput as a function of selectivity for
+//! the six processor configurations.
+//!
+//! Paper observation (Section 5.2): throughput rises with selectivity for
+//! every configuration; the EIS configurations rise faster; and at 100 %
+//! selectivity partial loading loses its advantage because every `SOP`
+//! then consumes four elements of each set anyway.
+
+use crate::report::{f1, TextTable};
+use crate::{scaled, SEED};
+use dbx_core::{run_set_op, ProcModel, SetOpKind};
+use dbx_synth::{fmax_mhz, Tech};
+use dbx_workloads::set_pair_with_selectivity;
+
+/// One sampled point of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig13Point {
+    /// Selectivity in percent.
+    pub selectivity_pct: u32,
+    /// Throughput in M elements/s.
+    pub throughput: f64,
+}
+
+/// One configuration's curve.
+#[derive(Debug, Clone)]
+pub struct Fig13Series {
+    /// Configuration.
+    pub model: ProcModel,
+    /// Sampled curve.
+    pub points: Vec<Fig13Point>,
+}
+
+/// The whole figure.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// The set operation swept (the paper's figure shows intersection and
+    /// notes "similar results also for the other two").
+    pub kind: SetOpKind,
+    /// One series per configuration (paper legend order).
+    pub series: Vec<Fig13Series>,
+    /// Elements per set.
+    pub set_len: usize,
+    /// Sampled selectivities in percent.
+    pub selectivities: Vec<u32>,
+}
+
+/// Runs the intersection sweep (the figure as published).
+pub fn run(scale: f64) -> Fig13 {
+    run_op(SetOpKind::Intersect, scale)
+}
+
+/// Runs the sweep for any set operation. `scale = 1.0` uses the paper's
+/// 2x2500 elements and a 0..100 sweep in steps of 10.
+pub fn run_op(kind: SetOpKind, scale: f64) -> Fig13 {
+    let set_len = scaled(2500, scale);
+    let selectivities: Vec<u32> = (0..=10).map(|k| k * 10).collect();
+    let tech = Tech::tsmc65lp();
+    type SetPair = (Vec<u32>, Vec<u32>);
+    let inputs: Vec<(u32, SetPair)> = selectivities
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                set_pair_with_selectivity(set_len, set_len, s as f64 / 100.0, SEED + s as u64),
+            )
+        })
+        .collect();
+
+    let series = ProcModel::all()
+        .into_iter()
+        .map(|model| {
+            let f = fmax_mhz(model, &tech);
+            let points = inputs
+                .iter()
+                .map(|(s, (a, b))| Fig13Point {
+                    selectivity_pct: *s,
+                    throughput: run_set_op(model, kind, a, b)
+                        .expect("run")
+                        .throughput_meps(2 * set_len as u64, f),
+                })
+                .collect();
+            Fig13Series { model, points }
+        })
+        .collect();
+    Fig13 {
+        kind,
+        series,
+        set_len,
+        selectivities,
+    }
+}
+
+impl Fig13 {
+    /// Renders the figure as a data table (selectivity columns).
+    pub fn render(&self) -> String {
+        let mut header = vec!["Series".to_string(), "Partial".to_string()];
+        header.extend(self.selectivities.iter().map(|s| format!("{s}%")));
+        let mut t = TextTable::new(header);
+        for s in &self.series {
+            let mut row = vec![
+                s.model.name().to_string(),
+                s.model.partial_label().to_string(),
+            ];
+            row.extend(s.points.iter().map(|p| f1(p.throughput)));
+            t.row(row);
+        }
+        format!(
+            "Figure 13 — {} throughput [M elements/s] vs selectivity, sets 2x{}\n{}",
+            self.kind.short_name(),
+            self.set_len,
+            t.render()
+        )
+    }
+
+    /// Renders CSV for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("selectivity_pct");
+        for s in &self.series {
+            out.push_str(&format!(",{}_{}", s.model.name(), s.model.partial_label()));
+        }
+        out.push('\n');
+        for (k, sel) in self.selectivities.iter().enumerate() {
+            out.push_str(&sel.to_string());
+            for s in &self.series {
+                out.push_str(&format!(",{:.2}", s.points[k].throughput));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Finds the series for a configuration.
+    pub fn series_for(&self, model: ProcModel) -> &Fig13Series {
+        self.series
+            .iter()
+            .find(|s| s.model == model)
+            .expect("series")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_curves_have_the_papers_shape() {
+        let f = run(0.2);
+        let last = f.selectivities.len() - 1;
+
+        for s in &f.series {
+            // Throughput rises from 0% to 100% selectivity for everyone.
+            assert!(
+                s.points[last].throughput > s.points[0].throughput,
+                "{}: curve must rise",
+                s.model.name()
+            );
+        }
+
+        // EIS configurations rise much faster than the scalar ones.
+        let eis = f.series_for(ProcModel::Dba2LsuEis { partial: true });
+        let scalar = f.series_for(ProcModel::Dba1Lsu);
+        let eis_gain = eis.points[last].throughput - eis.points[0].throughput;
+        let scalar_gain = scalar.points[last].throughput - scalar.points[0].throughput;
+        assert!(eis_gain > 5.0 * scalar_gain);
+
+        // Partial loading helps at mid selectivity...
+        let part = f.series_for(ProcModel::Dba2LsuEis { partial: true });
+        let full = f.series_for(ProcModel::Dba2LsuEis { partial: false });
+        let mid = f.selectivities.iter().position(|&s| s == 50).unwrap();
+        assert!(part.points[mid].throughput > 1.1 * full.points[mid].throughput);
+        // ...but not at 100% ("partial loading has no advantage anymore").
+        let ratio = part.points[last].throughput / full.points[last].throughput;
+        assert!(ratio < 1.12, "at 100% selectivity ratio {ratio}");
+    }
+
+    #[test]
+    fn union_and_difference_curves_rise_too() {
+        // Section 5.2: "We obtain similar results also for the other two
+        // set operation algorithms."
+        for kind in [SetOpKind::Union, SetOpKind::Difference] {
+            let f = run_op(kind, 0.1);
+            let last = f.selectivities.len() - 1;
+            let eis = f.series_for(ProcModel::Dba2LsuEis { partial: true });
+            assert!(
+                eis.points[last].throughput > eis.points[0].throughput,
+                "{kind:?} EIS curve must rise"
+            );
+            let scalar = f.series_for(ProcModel::Dba1Lsu);
+            assert!(eis.points[0].throughput > 5.0 * scalar.points[0].throughput);
+        }
+    }
+
+    #[test]
+    fn csv_export_is_plottable() {
+        let f = run(0.05);
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), f.selectivities.len() + 1);
+        assert!(lines[0].starts_with("selectivity_pct,108Mini_-"));
+        assert_eq!(lines[1].split(',').count(), 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Plain-text table rendering helpers shared by the experiments.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(r.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.len();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:>w$}", s, w = width[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a number with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a number with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a measured/published ratio as e.g. `0.93x`.
+pub fn ratio(measured: f64, published: f64) -> String {
+    if published == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}x", measured / published)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "123.4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].contains("123.4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(50.0, 100.0), "0.50x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+    }
+}

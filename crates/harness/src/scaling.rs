@@ -1,0 +1,137 @@
+//! Section 5.4's scaling discussion, quantified: *"the number of cores of
+//! DBA_2LSU_EIS could be largely increased until it occupies the same
+//! area as the Intel Q9550 processor. Even under pessimistic assumptions,
+//! DBA_2LSU_EIS could provide an order of magnitude more cores."*
+//!
+//! The experiment sweeps shared-nothing core counts, measures partitioned
+//! intersection makespan on the simulator, and prices each point with the
+//! synthesis model's area and power. The final rows answer the paper's
+//! question directly: what does a Q9550- or i7-920-sized die of DBA cores
+//! deliver, and at what power?
+
+use crate::report::{f1, TextTable};
+use crate::{scaled, SEED};
+use dbx_core::multicore::multicore_set_op;
+use dbx_core::{ProcModel, SetOpKind};
+use dbx_synth::{area_report, fmax_mhz, power_report, Tech};
+use dbx_workloads::set_pair_with_selectivity;
+
+/// One core-count measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Cores used.
+    pub cores: usize,
+    /// Aggregate throughput (M elements/s) at the model fMAX.
+    pub throughput: f64,
+    /// Parallel speedup over one core.
+    pub speedup: f64,
+    /// Total die area (mm², logic + local memories, all cores).
+    pub area_mm2: f64,
+    /// Total power (W, all cores at fMAX).
+    pub power_w: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Scaling {
+    /// Sweep over core counts.
+    pub points: Vec<ScalingPoint>,
+    /// Cores fitting the Intel Q9550's 214 mm² die.
+    pub cores_in_q9550_area: usize,
+    /// Cores fitting the Intel i7-920's 263 mm² die.
+    pub cores_in_i7920_area: usize,
+    /// Extrapolated throughput of a Q9550-sized DBA die (M elements/s).
+    pub q9550_equiv_throughput: f64,
+    /// Power of that die (W) vs the Q9550's 95 W TDP.
+    pub q9550_equiv_power_w: f64,
+}
+
+/// Runs the sweep. `scale = 1.0` partitions 2x40000 elements.
+pub fn run(scale: f64) -> Scaling {
+    let model = ProcModel::Dba2LsuEis { partial: true };
+    let tech = Tech::tsmc65lp();
+    let f = fmax_mhz(model, &tech);
+    let per_core_area = area_report(model, tech).total_mm2();
+    let per_core_power_w = power_report(model, tech).total_mw() / 1000.0;
+
+    let n = scaled(40_000, scale);
+    let (a, b) = set_pair_with_selectivity(n, n, 0.5, SEED);
+    let elements = (2 * n) as u64;
+
+    let points: Vec<ScalingPoint> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|cores| {
+            let mc = multicore_set_op(model, SetOpKind::Intersect, &a, &b, cores)
+                .expect("multicore run");
+            ScalingPoint {
+                cores,
+                throughput: mc.throughput_meps(elements, f),
+                speedup: mc.speedup(),
+                area_mm2: cores as f64 * per_core_area,
+                power_w: cores as f64 * per_core_power_w,
+            }
+        })
+        .collect();
+
+    // Area-equivalent extrapolation at the single-core throughput (the
+    // partitions are shared-nothing, so scaling is linear by design; the
+    // sweep above verifies the makespan balance).
+    let single = points[0].throughput;
+    let cores_in_q9550_area = (214.0 / per_core_area) as usize;
+    let cores_in_i7920_area = (263.0 / per_core_area) as usize;
+    Scaling {
+        q9550_equiv_throughput: single * cores_in_q9550_area as f64,
+        q9550_equiv_power_w: cores_in_q9550_area as f64 * per_core_power_w,
+        cores_in_q9550_area,
+        cores_in_i7920_area,
+        points,
+    }
+}
+
+impl Scaling {
+    /// Renders the sweep and the area-equivalence rows.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Cores", "M elem/s", "Speedup", "Area[mm2]", "Power[W]"]);
+        for p in &self.points {
+            t.row([
+                p.cores.to_string(),
+                f1(p.throughput),
+                format!("{:.2}x", p.speedup),
+                f1(p.area_mm2),
+                format!("{:.2}", p.power_w),
+            ]);
+        }
+        format!(
+            "Section 5.4 — shared-nothing multi-core scaling (intersection, 50% selectivity)\n{}\n\
+             area equivalence: {} DBA cores fit the Q9550's 214 mm2 ({} fit the i7-920's 263 mm2)\n\
+             a Q9550-sized DBA die: ~{:.0} M elements/s at {:.1} W (the Q9550: 95 W TDP)\n",
+            t.render(),
+            self.cores_in_q9550_area,
+            self.cores_in_i7920_area,
+            self.q9550_equiv_throughput,
+            self.q9550_equiv_power_w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_supports_the_papers_argument() {
+        let s = run(0.25);
+        // "an order of magnitude more cores" than the Q9550's 4.
+        assert!(
+            s.cores_in_q9550_area >= 40,
+            "cores in Q9550 area: {}",
+            s.cores_in_q9550_area
+        );
+        // Near-linear makespan scaling for shared-nothing partitions.
+        let p16 = s.points.iter().find(|p| p.cores == 16).unwrap();
+        assert!(p16.speedup > 12.0, "16-core speedup {}", p16.speedup);
+        // The area-equivalent die still draws far less than the x86 TDP.
+        assert!(s.q9550_equiv_power_w < 95.0 / 3.0);
+        assert!(s.render().contains("area equivalence"));
+    }
+}

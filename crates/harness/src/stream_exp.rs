@@ -1,0 +1,141 @@
+//! Section 5.2's system-level claim: *"System level simulation validates
+//! a constant throughput of the processor for larger data sets due to the
+//! concurrently performed data prefetch."*
+//!
+//! This experiment intersects set pairs from far below to far above the
+//! local-store capacity using the data prefetcher's double buffering and
+//! reports cycles per element at each size.
+
+use crate::report::{f1, f3, TextTable};
+use crate::SEED;
+use dbx_core::stream::{stream_set_op, StreamConfig};
+use dbx_core::{run_set_op, ProcModel, SetOpKind};
+use dbx_synth::{fmax_mhz, Tech};
+use dbx_workloads::set_pair_with_selectivity;
+
+/// One measured size point.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamPoint {
+    /// Elements per set.
+    pub n: usize,
+    /// Total cycles (kernel + DMA stalls).
+    pub cycles: u64,
+    /// Cycles per element (lower is better).
+    pub cycles_per_element: f64,
+    /// Throughput at the model fMAX (M elements/s).
+    pub throughput: f64,
+    /// Fraction of cycles stalled on DMA.
+    pub dma_stall_frac: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct StreamExp {
+    /// In-memory reference point (fits the local store).
+    pub in_memory: StreamPoint,
+    /// Streaming measurements.
+    pub points: Vec<StreamPoint>,
+}
+
+/// Runs the size sweep. `scale = 1.0` sweeps up to 200k elements per set
+/// (100x the local-store experiment size).
+pub fn run(scale: f64) -> StreamExp {
+    let model = ProcModel::Dba2LsuEis { partial: true };
+    let f = fmax_mhz(model, &Tech::tsmc65lp());
+
+    // In-memory reference at the paper's size.
+    let (a, b) = set_pair_with_selectivity(2500, 2500, 0.5, SEED);
+    let r = run_set_op(model, SetOpKind::Intersect, &a, &b).expect("in-memory run");
+    let in_memory = StreamPoint {
+        n: 2500,
+        cycles: r.cycles,
+        cycles_per_element: r.cycles as f64 / 5000.0,
+        throughput: r.throughput_meps(5000, f),
+        dma_stall_frac: 0.0,
+    };
+
+    let sizes: Vec<usize> = [10_000usize, 50_000, 200_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(4000))
+        .collect();
+    let points = sizes
+        .into_iter()
+        .map(|n| {
+            let (a, b) = set_pair_with_selectivity(n, n, 0.5, SEED);
+            let s = stream_set_op(SetOpKind::Intersect, &a, &b, StreamConfig::default())
+                .expect("stream run");
+            let elems = (2 * n) as u64;
+            StreamPoint {
+                n,
+                cycles: s.total_cycles,
+                cycles_per_element: s.total_cycles as f64 / elems as f64,
+                throughput: elems as f64 * f / s.total_cycles as f64,
+                dma_stall_frac: s.dma_stall_cycles as f64 / s.total_cycles.max(1) as f64,
+            }
+        })
+        .collect();
+    StreamExp { in_memory, points }
+}
+
+impl StreamExp {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Elements/set",
+            "Cycles/elem",
+            "Throughput[M/s]",
+            "DMA stall",
+            "vs in-memory",
+        ]);
+        t.row([
+            format!("{} (in local store)", self.in_memory.n),
+            f3(self.in_memory.cycles_per_element),
+            f1(self.in_memory.throughput),
+            "-".to_string(),
+            "1.00x".to_string(),
+        ]);
+        for p in &self.points {
+            t.row([
+                format!("{} (streamed)", p.n),
+                f3(p.cycles_per_element),
+                f1(p.throughput),
+                format!("{:.1}%", 100.0 * p.dma_stall_frac),
+                format!(
+                    "{:.2}x",
+                    p.cycles_per_element / self.in_memory.cycles_per_element
+                ),
+            ]);
+        }
+        format!(
+            "Section 5.2 — throughput with the data prefetcher (intersection, 50% selectivity)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_stays_roughly_constant_beyond_the_local_store() {
+        let e = run(0.5);
+        for p in &e.points {
+            let overhead = p.cycles_per_element / e.in_memory.cycles_per_element;
+            assert!(
+                overhead < 1.6,
+                "n={}: streamed overhead {overhead:.2}x",
+                p.n
+            );
+        }
+        // Larger sizes amortise the cold start: the largest point should
+        // not be slower than the smallest streamed point by much.
+        let first = e.points.first().unwrap().cycles_per_element;
+        let last = e.points.last().unwrap().cycles_per_element;
+        assert!(
+            last <= first * 1.1,
+            "throughput must be ~constant: {first} -> {last}"
+        );
+        assert!(e.render().contains("streamed"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Table 2 — maximum throughput [million elements per second] of the four
+//! algorithms on the six processor configurations.
+//!
+//! Paper settings (Section 5.2): set operations on 2x2500 32-bit elements
+//! at 50 % selectivity; sorting of 6500 32-bit elements. Throughput uses
+//! the paper's definitions `T_set = (l_a + l_b) / t` and `T_sort = n / t`,
+//! evaluated at the core frequency computed by the synthesis model.
+
+use crate::report::{f1, ratio, TextTable};
+use crate::{scaled, SEED};
+use dbx_core::{run_set_op, run_sort, ProcModel, SetOpKind};
+use dbx_synth::{fmax_mhz, Tech};
+use dbx_workloads::{set_pair_with_selectivity, sort_input, SortOrder};
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Processor configuration.
+    pub model: ProcModel,
+    /// Core frequency from the synthesis timing model (MHz).
+    pub f_mhz: f64,
+    /// Intersection throughput (M elements/s).
+    pub intersection: f64,
+    /// Union throughput.
+    pub union: f64,
+    /// Difference throughput.
+    pub difference: f64,
+    /// Merge-sort throughput.
+    pub merge_sort: f64,
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Measured rows in the paper's order.
+    pub rows: Vec<Table2Row>,
+    /// Elements per set used for the set operations.
+    pub set_len: usize,
+    /// Elements sorted.
+    pub sort_len: usize,
+}
+
+/// Paper Table 2: `(name, partial, f MHz, isect, union, diff, sort)`.
+pub fn paper_rows() -> Vec<(&'static str, &'static str, f64, f64, f64, f64, f64)> {
+    vec![
+        ("108Mini", "-", 442.0, 31.3, 26.4, 35.7, 1.7),
+        ("DBA_1LSU", "-", 435.0, 50.7, 47.7, 50.4, 3.2),
+        ("DBA_1LSU_EIS", "no", 424.0, 513.4, 665.0, 658.8, 29.3),
+        ("DBA_2LSU_EIS", "no", 410.0, 693.0, 643.0, 637.0, 28.3),
+        ("DBA_1LSU_EIS", "yes", 424.0, 859.0, 574.2, 859.0, 29.3),
+        ("DBA_2LSU_EIS", "yes", 410.0, 1203.0, 780.4, 1192.6, 28.3),
+    ]
+}
+
+/// Runs the experiment. `scale = 1.0` uses the paper's sizes.
+pub fn run(scale: f64) -> Table2 {
+    let set_len = scaled(2500, scale);
+    let sort_len = scaled(6500, scale);
+    let (a, b) = set_pair_with_selectivity(set_len, set_len, 0.5, SEED);
+    let sort_data = sort_input(sort_len, SortOrder::Random, SEED);
+    let tech = Tech::tsmc65lp();
+
+    let rows = ProcModel::all()
+        .into_iter()
+        .map(|model| {
+            let f = fmax_mhz(model, &tech);
+            let elems = (2 * set_len) as u64;
+            let tput = |kind| {
+                let r = run_set_op(model, kind, &a, &b).expect("set op run");
+                r.throughput_meps(elems, f)
+            };
+            let sort_run = run_sort(model, &sort_data).expect("sort run");
+            Table2Row {
+                model,
+                f_mhz: f,
+                intersection: tput(SetOpKind::Intersect),
+                union: tput(SetOpKind::Union),
+                difference: tput(SetOpKind::Difference),
+                merge_sort: sort_run.throughput_meps(sort_len as u64, f),
+            }
+        })
+        .collect();
+    Table2 {
+        rows,
+        set_len,
+        sort_len,
+    }
+}
+
+impl Table2 {
+    /// Renders the measured table next to the paper's values.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Processor",
+            "Partial",
+            "f[MHz]",
+            "Isect",
+            "(paper)",
+            "Union",
+            "(paper)",
+            "Diff",
+            "(paper)",
+            "Sort",
+            "(paper)",
+        ]);
+        for (row, paper) in self.rows.iter().zip(paper_rows()) {
+            t.row([
+                row.model.name().to_string(),
+                row.model.partial_label().to_string(),
+                f1(row.f_mhz),
+                f1(row.intersection),
+                format!("{} {}", f1(paper.3), ratio(row.intersection, paper.3)),
+                f1(row.union),
+                format!("{} {}", f1(paper.4), ratio(row.union, paper.4)),
+                f1(row.difference),
+                format!("{} {}", f1(paper.5), ratio(row.difference, paper.5)),
+                f1(row.merge_sort),
+                format!("{} {}", f1(paper.6), ratio(row.merge_sort, paper.6)),
+            ]);
+        }
+        format!(
+            "Table 2 — maximum throughput [M elements/s], sets 2x{} @50% selectivity, sort n={}\n{}",
+            self.set_len,
+            self.sort_len,
+            t.render()
+        )
+    }
+
+    /// Finds a row by model.
+    pub fn row(&self, model: ProcModel) -> &Table2Row {
+        self.rows
+            .iter()
+            .find(|r| r.model == model)
+            .expect("model present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_claims_hold() {
+        // Quarter-size run keeps the test fast; the paper's qualitative
+        // claims must hold at any size.
+        let t = run(0.25);
+        let isect = |m| t.row(m).intersection;
+
+        // (1) Local store ~doubles the scalar baseline.
+        let gain = isect(ProcModel::Dba1Lsu) / isect(ProcModel::Mini108);
+        assert!((1.3..2.6).contains(&gain), "local store gain {gain}");
+
+        // (2) The EIS buys an order of magnitude.
+        assert!(
+            isect(ProcModel::Dba1LsuEis { partial: false }) > 8.0 * isect(ProcModel::Dba1Lsu),
+            "EIS must be ~10x the scalar core"
+        );
+
+        // (3) The second LSU helps intersection substantially (~35%).
+        let two = isect(ProcModel::Dba2LsuEis { partial: true });
+        let one = isect(ProcModel::Dba1LsuEis { partial: true });
+        assert!(two > 1.2 * one, "2 LSU speedup: {two} vs {one}");
+
+        // (4) Partial loading helps intersection at 50% selectivity.
+        assert!(
+            isect(ProcModel::Dba2LsuEis { partial: true })
+                > isect(ProcModel::Dba2LsuEis { partial: false })
+        );
+
+        // (5) Union is the slowest EIS set operation (more output).
+        let r = t.row(ProcModel::Dba2LsuEis { partial: true });
+        assert!(r.union < r.intersection);
+        assert!(r.union < r.difference);
+
+        // (6) Sorting is an order of magnitude slower than set ops.
+        assert!(r.merge_sort < r.intersection / 5.0);
+
+        // (7) Total speedup over the baseline lands in the paper's 38x
+        // regime (Section 5.2: "up to 38.4x").
+        let speedup = two / isect(ProcModel::Mini108);
+        assert!(
+            (15.0..60.0).contains(&speedup),
+            "headline speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_all_configs() {
+        let t = run(0.05);
+        let s = t.render();
+        assert!(s.contains("108Mini"));
+        assert!(s.contains("DBA_2LSU_EIS"));
+        assert!(s.contains("Table 2"));
+    }
+}

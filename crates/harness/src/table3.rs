@@ -1,0 +1,95 @@
+//! Table 3 — synthesis results: area, maximum frequency, and power for
+//! the processor configurations at 65 nm, plus DBA_2LSU_EIS at 28 nm.
+
+use crate::report::{f1, f3, ratio, TextTable};
+use dbx_synth::report::paper_table3;
+use dbx_synth::{synthesis_row, SynthesisRow, Tech};
+
+/// The experiment result: model rows paired with the published values.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// `(model row, paper logic, paper mem, paper fmax, paper power)`.
+    pub rows: Vec<(SynthesisRow, f64, Option<f64>, f64, f64)>,
+}
+
+/// Runs the synthesis model over every published row.
+pub fn run() -> Table3 {
+    let rows = paper_table3()
+        .into_iter()
+        .map(|(tech_name, model, logic, mem, f, p)| {
+            let tech = if tech_name == "65nm" {
+                Tech::tsmc65lp()
+            } else {
+                Tech::gf28slp()
+            };
+            (synthesis_row(model, tech), logic, mem, f, p)
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Renders model-vs-paper for every cell.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Tech",
+            "Processor",
+            "Logic[mm2]",
+            "(paper)",
+            "Mem[mm2]",
+            "(paper)",
+            "fMAX[MHz]",
+            "(paper)",
+            "P[mW]",
+            "(paper)",
+        ]);
+        for (row, logic, mem, f, p) in &self.rows {
+            t.row([
+                row.tech.to_string(),
+                row.model.name().to_string(),
+                f3(row.logic_mm2),
+                format!("{} {}", f3(*logic), ratio(row.logic_mm2, *logic)),
+                if row.mem_mm2 > 0.0 {
+                    f3(row.mem_mm2)
+                } else {
+                    "-".into()
+                },
+                mem.map(|m| format!("{} {}", f3(m), ratio(row.mem_mm2, m)))
+                    .unwrap_or_else(|| "-".into()),
+                f1(row.fmax_mhz),
+                f1(*f),
+                f1(row.power_mw),
+                format!("{} {}", f1(*p), ratio(row.power_mw, *p)),
+            ]);
+        }
+        format!(
+            "Table 3 — synthesis results (structural model vs paper)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_tracks_the_paper() {
+        let t = run();
+        assert_eq!(t.rows.len(), 6);
+        for (row, logic, mem, f, p) in &t.rows {
+            assert!(
+                (row.logic_mm2 - logic).abs() / logic < 0.05,
+                "{}",
+                row.model.name()
+            );
+            if let Some(m) = mem {
+                assert!((row.mem_mm2 - m).abs() / m < 0.05);
+            }
+            assert!((row.fmax_mhz - f).abs() < 6.0);
+            assert!((row.power_mw - p).abs() / p < 0.08);
+        }
+        let s = t.render();
+        assert!(s.contains("28nm"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 4 — relative area of the DBA_2LSU_EIS components.
+
+use crate::report::{f1, TextTable};
+use dbx_core::ProcModel;
+use dbx_synth::table4_breakdown;
+
+/// Paper Table 4: component → percent of total logic area.
+pub fn paper_breakdown() -> Vec<(&'static str, f64)> {
+    vec![
+        ("Basic Core", 20.5),
+        ("Decoding/Muxing", 14.4),
+        ("States", 14.7),
+        ("Op: All", 11.3),
+        ("Op: Intersection", 6.8),
+        ("Op: Difference", 9.0),
+        ("Op: Union", 17.6),
+        ("Op: Merge-Sort", 5.7),
+    ]
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// `(component, model %, paper %)`.
+    pub rows: Vec<(&'static str, f64, f64)>,
+}
+
+/// Runs the breakdown for the full configuration.
+pub fn run() -> Table4 {
+    let got = table4_breakdown(ProcModel::Dba2LsuEis { partial: true });
+    let rows = got
+        .into_iter()
+        .zip(paper_breakdown())
+        .map(|((name, pct), (_, paper))| (name, pct, paper))
+        .collect();
+    Table4 { rows }
+}
+
+impl Table4 {
+    /// Renders model-vs-paper percentages.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Part", "Area[%]", "Paper[%]"]);
+        for (name, got, paper) in &self.rows {
+            t.row([name.to_string(), f1(*got), f1(*paper)]);
+        }
+        let sum: f64 = self.rows.iter().map(|(_, g, _)| g).sum();
+        t.row(["SUM".to_string(), f1(sum), "100.0".to_string()]);
+        format!(
+            "Table 4 — relative area per component (DBA_2LSU_EIS)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_matches_paper_within_a_point() {
+        let t = run();
+        assert_eq!(t.rows.len(), 8);
+        for (name, got, paper) in &t.rows {
+            assert!((got - paper).abs() < 1.2, "{name}: {got} vs {paper}");
+        }
+        assert!(t.render().contains("Op: Union"));
+    }
+}

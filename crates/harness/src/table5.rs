@@ -1,0 +1,208 @@
+//! Table 5 — merge-sort comparison: `swsort` (Chhugani et al. on an Intel
+//! Q9550) vs `hwsort` (the EIS merge-sort on DBA_2LSU_EIS).
+//!
+//! The paper compares its simulated ASIP against *published* numbers for
+//! the software implementation; we carry those published constants and
+//! additionally measure our `swsort` re-implementation on the build host.
+//! The paper's qualitative claim: `hwsort` reaches about half of
+//! `swsort`'s single-thread throughput while using ~700x less power.
+
+use crate::report::{f1, TextTable};
+use crate::{scaled, SEED};
+use dbx_core::{run_sort, ProcModel};
+use dbx_synth::{fmax_mhz, power_report, Tech};
+use dbx_workloads::{sort_input, SortOrder};
+use std::time::Instant;
+
+/// Published characteristics of the two platforms (paper Table 5).
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Platform name.
+    pub name: &'static str,
+    /// Throughput in M elements/s.
+    pub throughput_meps: f64,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Max TDP in watts.
+    pub tdp_w: f64,
+    /// Cores/threads.
+    pub cores_threads: &'static str,
+    /// Feature size in nm.
+    pub feature_nm: u32,
+    /// Die area (logic & memory) in mm².
+    pub area_mm2: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// Paper's Intel Q9550 column.
+    pub paper_x86: Platform,
+    /// Paper's DBA_2LSU_EIS column.
+    pub paper_dba: Platform,
+    /// Our simulated hwsort throughput (M elements/s) at the model fMAX.
+    pub measured_hwsort: f64,
+    /// Our swsort implementation measured on the build host.
+    pub measured_swsort_host: f64,
+    /// Our model's DBA power (W).
+    pub model_dba_power_w: f64,
+    /// Elements sorted in the simulation.
+    pub hw_n: usize,
+    /// Elements sorted on the host.
+    pub sw_n: usize,
+}
+
+/// Paper Table 5 constants.
+pub fn paper_platforms() -> (Platform, Platform) {
+    (
+        Platform {
+            name: "Intel Q9550 (swsort)",
+            throughput_meps: 60.0,
+            clock_ghz: 3.22,
+            tdp_w: 95.0,
+            cores_threads: "4/4",
+            feature_nm: 45,
+            area_mm2: 214.0,
+        },
+        Platform {
+            name: "DBA_2LSU_EIS (hwsort)",
+            throughput_meps: 28.3,
+            clock_ghz: 0.41,
+            tdp_w: 0.135,
+            cores_threads: "1/1",
+            feature_nm: 65,
+            area_mm2: 1.5,
+        },
+    )
+}
+
+/// Measures host throughput of a sort function, median of `reps`.
+fn host_sort_meps(n: usize, reps: usize, f: impl Fn(&mut [u32])) -> f64 {
+    let data = sort_input(n, SortOrder::Random, SEED);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let mut v = data.clone();
+            let t0 = Instant::now();
+            f(&mut v);
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "sort must sort");
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    n as f64 / times[reps / 2] / 1.0e6
+}
+
+/// Runs the comparison. `scale = 1.0` sorts 6500 elements on the ASIP and
+/// 512k on the host (the paper's respective experiment sizes).
+pub fn run(scale: f64) -> Table5 {
+    let model = ProcModel::Dba2LsuEis { partial: true };
+    let tech = Tech::tsmc65lp();
+    let hw_n = scaled(6500, scale);
+    let sw_n = scaled(512_000, scale);
+
+    let data = sort_input(hw_n, SortOrder::Random, SEED);
+    let hw = run_sort(model, &data).expect("hwsort");
+    let measured_hwsort = hw.throughput_meps(hw_n as u64, fmax_mhz(model, &tech));
+
+    let measured_swsort_host = host_sort_meps(sw_n, 5, dbx_x86ref::swsort::sort);
+
+    let (paper_x86, paper_dba) = paper_platforms();
+    Table5 {
+        paper_x86,
+        paper_dba,
+        measured_hwsort,
+        measured_swsort_host,
+        model_dba_power_w: power_report(model, tech).total_mw() / 1000.0,
+        hw_n,
+        sw_n,
+    }
+}
+
+impl Table5 {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["", "Intel Q9550", "DBA_2LSU_EIS"]);
+        t.row([
+            "Throughput (M elements/s, paper)".to_string(),
+            f1(self.paper_x86.throughput_meps),
+            f1(self.paper_dba.throughput_meps),
+        ]);
+        t.row([
+            "Throughput (M elements/s, ours)".to_string(),
+            format!(
+                "{} (host swsort, n={})",
+                f1(self.measured_swsort_host),
+                self.sw_n
+            ),
+            format!("{} (simulated, n={})", f1(self.measured_hwsort), self.hw_n),
+        ]);
+        t.row([
+            "Clock frequency".to_string(),
+            format!("{:.2} GHz", self.paper_x86.clock_ghz),
+            format!("{:.2} GHz", self.paper_dba.clock_ghz),
+        ]);
+        t.row([
+            "Max. TDP".to_string(),
+            format!("{} W", self.paper_x86.tdp_w),
+            format!(
+                "{} W (model: {:.3} W)",
+                self.paper_dba.tdp_w, self.model_dba_power_w
+            ),
+        ]);
+        t.row([
+            "Cores/Threads".to_string(),
+            self.paper_x86.cores_threads.to_string(),
+            self.paper_dba.cores_threads.to_string(),
+        ]);
+        t.row([
+            "Feature size".to_string(),
+            format!("{} nm", self.paper_x86.feature_nm),
+            format!("{} nm", self.paper_dba.feature_nm),
+        ]);
+        t.row([
+            "Area (logic & memory)".to_string(),
+            format!("{} mm2", self.paper_x86.area_mm2),
+            format!("{} mm2", self.paper_dba.area_mm2),
+        ]);
+        let power_ratio = self.paper_x86.tdp_w / self.model_dba_power_w;
+        format!(
+            "Table 5 — merge-sort comparison\n{}\npower ratio (x86 TDP / DBA model): {:.0}x\n",
+            t.render(),
+            power_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwsort_lands_in_the_papers_regime() {
+        let t = run(0.5);
+        // Paper: 28.3 M elements/s. The simulated kernel should be the
+        // same order of magnitude (our pass driver differs in per-pair
+        // overhead; EXPERIMENTS.md records the delta).
+        assert!(
+            (10.0..90.0).contains(&t.measured_hwsort),
+            "hwsort {} M elements/s",
+            t.measured_hwsort
+        );
+        // The energy story is the headline: ~700x against the Q9550 TDP.
+        let ratio = t.paper_x86.tdp_w / t.model_dba_power_w;
+        assert!(ratio > 500.0, "power ratio {ratio}");
+        assert!(t.render().contains("Table 5"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "host wall-clock comparison is only meaningful optimized")]
+    fn host_swsort_beats_or_matches_scalar_sort() {
+        let n = 100_000;
+        let sw = host_sort_meps(n, 3, dbx_x86ref::swsort::sort);
+        let scalar = host_sort_meps(n, 3, dbx_x86ref::scalar::merge_sort);
+        // The register-blocked sort should not lose to the branchy scalar
+        // merge sort (usually wins well over 1.3x).
+        assert!(sw > 0.8 * scalar, "swsort {sw} vs scalar {scalar}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Section 2.2's vector-width design-space study as a report.
+
+use crate::report::{f1, TextTable};
+use dbx_synth::{width_study, Tech, WidthPoint};
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct WidthExp {
+    /// Design points at 65 nm.
+    pub points: Vec<WidthPoint>,
+}
+
+/// Runs the sweep.
+pub fn run() -> WidthExp {
+    WidthExp {
+        points: width_study(&Tech::tsmc65lp()),
+    }
+}
+
+impl WidthExp {
+    /// Renders the tradeoff table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Width",
+            "A2A cmps",
+            "Net cmps",
+            "Logic[mm2]",
+            "fMAX[MHz]",
+            "Peak@128b bus",
+            "Peak@matched bus",
+            "M el/s per mm2",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.w.to_string(),
+                p.a2a_comparators.to_string(),
+                p.network_comparators.to_string(),
+                format!("{:.3}", p.logic_mm2),
+                f1(p.fmax_mhz),
+                f1(p.peak_128bit_bus),
+                f1(p.peak_matched_bus),
+                f1(p.efficiency_128bit),
+            ]);
+        }
+        format!(
+            "Section 2.2 — vector-width tradeoff (all-to-all area ~w², bandwidth-capped throughput)\n{}\n\
+             The paper's w = 4 with 128-bit buses maximises throughput per mm²;\n\
+             wider windows only pay off if the memory buses widen with them.\n",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shows_the_tradeoff() {
+        let e = run();
+        assert_eq!(e.points.len(), 4);
+        let s = e.render();
+        assert!(s.contains("w = 4"));
+        assert!(s.contains("Peak@128b bus"));
+    }
+}

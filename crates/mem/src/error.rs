@@ -1,0 +1,116 @@
+//! Error type for memory accesses.
+
+use core::fmt;
+
+/// An error raised by a memory component.
+///
+/// In real hardware most of these conditions would be bus errors or silent
+/// corruption; the simulator surfaces them as typed errors so that kernel and
+/// extension bugs are caught immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The address (plus access width) falls outside the memory region.
+    OutOfBounds {
+        /// Address of the offending access.
+        addr: u32,
+        /// Access size in bytes.
+        len: usize,
+        /// Base address of the region that was addressed.
+        base: u32,
+        /// Size of the region in bytes.
+        size: usize,
+    },
+    /// The access is not naturally aligned for its width.
+    Misaligned {
+        /// Address of the offending access.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: usize,
+    },
+    /// No memory region is mapped at this address.
+    Unmapped {
+        /// Address of the offending access.
+        addr: u32,
+    },
+    /// A port exceeded its one-access-per-cycle budget.
+    ///
+    /// Local memories are single-ported per connected master (the dual-port
+    /// variants expose one port to the core and one to the prefetcher); two
+    /// accesses through the same port in one cycle is a structural hazard.
+    PortConflict {
+        /// Human-readable port name, e.g. `"dmem0:core"`.
+        port: &'static str,
+    },
+    /// The access is wider than the connected bus allows.
+    WidthUnsupported {
+        /// Requested access size in bytes.
+        requested: usize,
+        /// Bus width in bytes.
+        bus: usize,
+    },
+    /// A DMA descriptor is malformed (zero length, overlapping, unaligned).
+    BadDescriptor {
+        /// Explanation of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds {
+                addr,
+                len,
+                base,
+                size,
+            } => write!(
+                f,
+                "access of {len} bytes at {addr:#010x} outside region [{base:#010x}, {:#010x})",
+                *base as u64 + *size as u64
+            ),
+            MemError::Misaligned { addr, align } => {
+                write!(
+                    f,
+                    "misaligned access at {addr:#010x} (requires {align}-byte alignment)"
+                )
+            }
+            MemError::Unmapped { addr } => write!(f, "no memory mapped at {addr:#010x}"),
+            MemError::PortConflict { port } => {
+                write!(
+                    f,
+                    "structural hazard: two accesses on port {port} in one cycle"
+                )
+            }
+            MemError::WidthUnsupported { requested, bus } => {
+                write!(f, "{requested}-byte access on a {bus}-byte bus")
+            }
+            MemError::BadDescriptor { reason } => write!(f, "bad DMA descriptor: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds_mentions_region() {
+        let e = MemError::OutOfBounds {
+            addr: 0x100,
+            len: 4,
+            base: 0,
+            size: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x00000100"), "{s}");
+        assert!(s.contains("outside region"), "{s}");
+    }
+
+    #[test]
+    fn display_port_conflict_names_port() {
+        let e = MemError::PortConflict { port: "dmem0:core" };
+        assert!(e.to_string().contains("dmem0:core"));
+    }
+}

@@ -1,0 +1,444 @@
+//! Local (scratchpad) memories.
+//!
+//! The paper's DBA processors replace data caches with *local memories*
+//! ("local store", Section 3.2): software-managed SRAMs with single-cycle
+//! access. The extended configurations use dual-port local memories so that
+//! the data prefetcher can stream data in and out while the core executes.
+//!
+//! [`LocalMemory`] enforces bounds, natural alignment, and a per-cycle access
+//! budget per port. The simulator calls [`LocalMemory::begin_cycle`] once per
+//! simulated cycle to reset the budgets; an over-subscribed port reports a
+//! structural hazard instead of silently time-travelling data.
+
+use crate::error::MemError;
+use crate::Width;
+
+/// Identifies which port of a (potentially dual-ported) local memory is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPort {
+    /// Port connected to the processor's load–store unit.
+    Core,
+    /// Port connected to the data prefetcher / interconnection network.
+    Prefetcher,
+}
+
+/// A software-managed scratchpad memory with single-cycle access.
+#[derive(Debug, Clone)]
+pub struct LocalMemory {
+    name: &'static str,
+    base: u32,
+    data: Vec<u8>,
+    dual_port: bool,
+    core_accesses_this_cycle: u32,
+    pf_accesses_this_cycle: u32,
+    /// Lifetime statistics: total accesses through the core port.
+    pub core_accesses: u64,
+    /// Lifetime statistics: total accesses through the prefetcher port.
+    pub pf_accesses: u64,
+    /// Lifetime statistics: total bytes moved (both ports).
+    pub bytes_moved: u64,
+}
+
+impl LocalMemory {
+    /// Creates a single-port local memory of `size` bytes mapped at `base`.
+    pub fn new(name: &'static str, base: u32, size: usize) -> Self {
+        Self::with_ports(name, base, size, false)
+    }
+
+    /// Creates a dual-port local memory (core + prefetcher ports).
+    pub fn new_dual_port(name: &'static str, base: u32, size: usize) -> Self {
+        Self::with_ports(name, base, size, true)
+    }
+
+    fn with_ports(name: &'static str, base: u32, size: usize, dual_port: bool) -> Self {
+        assert!(size > 0, "local memory must be non-empty");
+        assert_eq!(base % 16, 0, "local memory base must be 128-bit aligned");
+        LocalMemory {
+            name,
+            base,
+            data: vec![0; size],
+            dual_port,
+            core_accesses_this_cycle: 0,
+            pf_accesses_this_cycle: 0,
+            core_accesses: 0,
+            pf_accesses: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Name of this memory (used in error messages and reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Base address of the mapped region.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size of the memory in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether this memory has a second (prefetcher) port.
+    pub fn is_dual_port(&self) -> bool {
+        self.dual_port
+    }
+
+    /// True if an access of `len` bytes at `addr` falls inside this region.
+    pub fn contains(&self, addr: u32, len: usize) -> bool {
+        let a = addr as u64;
+        let b = self.base as u64;
+        a >= b && a + len as u64 <= b + self.data.len() as u64
+    }
+
+    /// Resets the per-cycle port budgets. Call once per simulated cycle.
+    pub fn begin_cycle(&mut self) {
+        self.core_accesses_this_cycle = 0;
+        self.pf_accesses_this_cycle = 0;
+    }
+
+    fn check(&self, addr: u32, width: Width) -> Result<usize, MemError> {
+        let len = width.bytes();
+        if !(addr as usize).is_multiple_of(len) {
+            return Err(MemError::Misaligned { addr, align: len });
+        }
+        if !self.contains(addr, len) {
+            return Err(MemError::OutOfBounds {
+                addr,
+                len,
+                base: self.base,
+                size: self.data.len(),
+            });
+        }
+        Ok((addr - self.base) as usize)
+    }
+
+    fn charge_port(&mut self, port: AccessPort) -> Result<(), MemError> {
+        match port {
+            AccessPort::Core => {
+                if self.core_accesses_this_cycle >= 1 {
+                    return Err(MemError::PortConflict { port: self.name });
+                }
+                self.core_accesses_this_cycle += 1;
+                self.core_accesses += 1;
+            }
+            AccessPort::Prefetcher => {
+                if !self.dual_port {
+                    return Err(MemError::PortConflict { port: self.name });
+                }
+                if self.pf_accesses_this_cycle >= 1 {
+                    return Err(MemError::PortConflict { port: self.name });
+                }
+                self.pf_accesses_this_cycle += 1;
+                self.pf_accesses += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads an access of the given width through a port, enforcing the
+    /// one-access-per-port-per-cycle budget.
+    pub fn read(&mut self, port: AccessPort, addr: u32, width: Width) -> Result<u128, MemError> {
+        self.charge_port(port)?;
+        self.read_unmetered(addr, width)
+    }
+
+    /// Writes an access of the given width through a port.
+    pub fn write(
+        &mut self,
+        port: AccessPort,
+        addr: u32,
+        width: Width,
+        value: u128,
+    ) -> Result<(), MemError> {
+        self.charge_port(port)?;
+        self.write_unmetered(addr, width, value)
+    }
+
+    /// Reads without charging a port budget. Used for debug inspection and
+    /// for loading programs/data before simulation starts.
+    pub fn read_unmetered(&mut self, addr: u32, width: Width) -> Result<u128, MemError> {
+        let off = self.check(addr, width)?;
+        let len = width.bytes();
+        let mut v: u128 = 0;
+        for i in (0..len).rev() {
+            v = (v << 8) | self.data[off + i] as u128;
+        }
+        self.bytes_moved += len as u64;
+        Ok(v)
+    }
+
+    /// Writes without charging a port budget. Used to initialise memory
+    /// contents before simulation starts.
+    pub fn write_unmetered(
+        &mut self,
+        addr: u32,
+        width: Width,
+        value: u128,
+    ) -> Result<(), MemError> {
+        let off = self.check(addr, width)?;
+        let len = width.bytes();
+        let mut v = value;
+        for i in 0..len {
+            self.data[off + i] = (v & 0xff) as u8;
+            v >>= 8;
+        }
+        self.bytes_moved += len as u64;
+        Ok(())
+    }
+
+    /// Writes up to four 32-bit lanes starting at a word-aligned address,
+    /// charging one port access per 16-byte beat touched — this models the
+    /// byte-enabled partial stores of a 128-bit store unit (used by the
+    /// `ST_FLUSH` and copy instructions for result tails). Returns the
+    /// number of beats (port accesses) consumed.
+    pub fn write_lanes(
+        &mut self,
+        port: AccessPort,
+        addr: u32,
+        lanes: &[u32],
+    ) -> Result<u32, MemError> {
+        assert!(lanes.len() <= 4, "at most one 128-bit beat worth of lanes");
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Misaligned { addr, align: 4 });
+        }
+        if lanes.is_empty() {
+            return Ok(0);
+        }
+        let first_beat = addr / 16;
+        let last_beat = (addr + 4 * lanes.len() as u32 - 4) / 16;
+        let beats = last_beat - first_beat + 1;
+        for _ in 0..beats {
+            self.charge_port(port)?;
+        }
+        for (i, v) in lanes.iter().enumerate() {
+            self.write_unmetered(addr + 4 * i as u32, Width::W32, *v as u128)?;
+        }
+        Ok(beats)
+    }
+
+    /// Reads up to four 32-bit lanes from a word-aligned address, charging
+    /// one port access per beat touched (mirror of [`Self::write_lanes`]).
+    pub fn read_lanes(
+        &mut self,
+        port: AccessPort,
+        addr: u32,
+        n: usize,
+    ) -> Result<(Vec<u32>, u32), MemError> {
+        assert!(n <= 4, "at most one 128-bit beat worth of lanes");
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Misaligned { addr, align: 4 });
+        }
+        if n == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let first_beat = addr / 16;
+        let last_beat = (addr + 4 * n as u32 - 4) / 16;
+        let beats = last_beat - first_beat + 1;
+        for _ in 0..beats {
+            self.charge_port(port)?;
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.read_unmetered(addr + 4 * i as u32, Width::W32)? as u32);
+        }
+        Ok((out, beats))
+    }
+
+    /// Copies a `u32` slice into memory starting at `addr` (setup helper).
+    pub fn load_words(&mut self, addr: u32, words: &[u32]) -> Result<(), MemError> {
+        for (i, w) in words.iter().enumerate() {
+            self.write_unmetered(addr + 4 * i as u32, Width::W32, *w as u128)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` consecutive `u32`s starting at `addr` (inspection helper).
+    pub fn read_words(&mut self, addr: u32, n: usize) -> Result<Vec<u32>, MemError> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.read_unmetered(addr + 4 * i as u32, Width::W32)? as u32);
+        }
+        Ok(out)
+    }
+
+    /// Fills the whole memory with a byte value (test helper).
+    pub fn fill(&mut self, byte: u8) {
+        for b in &mut self.data {
+            *b = byte;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> LocalMemory {
+        LocalMemory::new("dmem0", 0x6000_0000, 1024)
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = mem();
+        m.write_unmetered(0x6000_0010, Width::W32, 0xdead_beef)
+            .unwrap();
+        assert_eq!(
+            m.read_unmetered(0x6000_0010, Width::W32).unwrap(),
+            0xdead_beef
+        );
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = mem();
+        m.write_unmetered(0x6000_0000, Width::W32, 0x0403_0201)
+            .unwrap();
+        assert_eq!(m.read_unmetered(0x6000_0000, Width::W8).unwrap(), 0x01);
+        assert_eq!(m.read_unmetered(0x6000_0001, Width::W8).unwrap(), 0x02);
+        assert_eq!(m.read_unmetered(0x6000_0003, Width::W8).unwrap(), 0x04);
+    }
+
+    #[test]
+    fn w128_roundtrip() {
+        let mut m = mem();
+        let v: u128 = 0x1111_2222_3333_4444_5555_6666_7777_8888;
+        m.write_unmetered(0x6000_0020, Width::W128, v).unwrap();
+        assert_eq!(m.read_unmetered(0x6000_0020, Width::W128).unwrap(), v);
+        // The four 32-bit lanes land in little-endian order.
+        assert_eq!(
+            m.read_unmetered(0x6000_0020, Width::W32).unwrap(),
+            0x7777_8888
+        );
+        assert_eq!(
+            m.read_unmetered(0x6000_002c, Width::W32).unwrap(),
+            0x1111_2222
+        );
+    }
+
+    #[test]
+    fn misaligned_access_rejected() {
+        let mut m = mem();
+        let e = m.read_unmetered(0x6000_0002, Width::W32).unwrap_err();
+        assert!(matches!(e, MemError::Misaligned { align: 4, .. }));
+        let e = m.read_unmetered(0x6000_0008, Width::W128).unwrap_err();
+        assert!(matches!(e, MemError::Misaligned { align: 16, .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = mem();
+        let e = m.read_unmetered(0x6000_0400, Width::W32).unwrap_err();
+        assert!(matches!(e, MemError::OutOfBounds { .. }));
+        // Access straddling the end is also rejected.
+        let e = m
+            .read_unmetered(0x6000_03f0 + 0x10, Width::W128)
+            .unwrap_err();
+        assert!(matches!(e, MemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn single_port_budget_enforced() {
+        let mut m = mem();
+        m.begin_cycle();
+        m.read(AccessPort::Core, 0x6000_0000, Width::W32).unwrap();
+        let e = m
+            .read(AccessPort::Core, 0x6000_0004, Width::W32)
+            .unwrap_err();
+        assert!(matches!(e, MemError::PortConflict { .. }));
+        m.begin_cycle();
+        m.read(AccessPort::Core, 0x6000_0004, Width::W32).unwrap();
+    }
+
+    #[test]
+    fn prefetcher_port_requires_dual_port() {
+        let mut m = mem();
+        m.begin_cycle();
+        let e = m
+            .read(AccessPort::Prefetcher, 0x6000_0000, Width::W32)
+            .unwrap_err();
+        assert!(matches!(e, MemError::PortConflict { .. }));
+
+        let mut d = LocalMemory::new_dual_port("dmem0", 0x6000_0000, 1024);
+        d.begin_cycle();
+        d.read(AccessPort::Core, 0x6000_0000, Width::W32).unwrap();
+        // Both ports may be used in the same cycle — that is the point of
+        // the dual-port memories in the paper.
+        d.read(AccessPort::Prefetcher, 0x6000_0010, Width::W128)
+            .unwrap();
+    }
+
+    #[test]
+    fn write_lanes_charges_per_beat() {
+        let mut m = mem();
+        m.begin_cycle();
+        // 3 lanes fully inside one beat: one access.
+        let beats = m
+            .write_lanes(AccessPort::Core, 0x6000_0000, &[1, 2, 3])
+            .unwrap();
+        assert_eq!(beats, 1);
+        assert_eq!(m.read_words(0x6000_0000, 3).unwrap(), vec![1, 2, 3]);
+        // Same cycle, second access: port conflict.
+        let e = m
+            .write_lanes(AccessPort::Core, 0x6000_0040, &[9])
+            .unwrap_err();
+        assert!(matches!(e, MemError::PortConflict { .. }));
+    }
+
+    #[test]
+    fn write_lanes_crossing_beats_costs_two() {
+        let mut m = mem();
+        m.begin_cycle();
+        // 4 lanes starting at offset 8 straddle two 16-byte beats, but the
+        // port only allows one access per cycle — structural conflict.
+        let e = m
+            .write_lanes(AccessPort::Core, 0x6000_0008, &[1, 2, 3, 4])
+            .unwrap_err();
+        assert!(matches!(e, MemError::PortConflict { .. }));
+
+        let mut d = LocalMemory::new_dual_port("x", 0x6000_0000, 1024);
+        d.begin_cycle();
+        // Within one beat it is fine even at offset 8 (2 lanes).
+        let beats = d
+            .write_lanes(AccessPort::Core, 0x6000_0008, &[7, 8])
+            .unwrap();
+        assert_eq!(beats, 1);
+    }
+
+    #[test]
+    fn read_lanes_roundtrip() {
+        let mut m = mem();
+        m.load_words(0x6000_0020, &[5, 6, 7, 8]).unwrap();
+        m.begin_cycle();
+        let (v, beats) = m.read_lanes(AccessPort::Core, 0x6000_0020, 4).unwrap();
+        assert_eq!(v, vec![5, 6, 7, 8]);
+        assert_eq!(beats, 1);
+        m.begin_cycle();
+        let (v, _) = m.read_lanes(AccessPort::Core, 0x6000_0028, 2).unwrap();
+        assert_eq!(v, vec![7, 8]);
+    }
+
+    #[test]
+    fn lane_access_rejects_unaligned_and_empty() {
+        let mut m = mem();
+        m.begin_cycle();
+        assert!(matches!(
+            m.write_lanes(AccessPort::Core, 0x6000_0002, &[1]),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert_eq!(
+            m.write_lanes(AccessPort::Core, 0x6000_0000, &[]).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn load_and_read_words_roundtrip() {
+        let mut m = mem();
+        let ws = [1u32, 2, 3, 0xffff_ffff];
+        m.load_words(0x6000_0040, &ws).unwrap();
+        assert_eq!(m.read_words(0x6000_0040, 4).unwrap(), ws);
+    }
+}

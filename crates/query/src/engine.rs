@@ -1,0 +1,336 @@
+//! The executor: predicate trees → ASIP set operations → RID lists.
+
+use crate::index::Table;
+use crate::predicate::Predicate;
+use dbx_core::multicore::run_partition;
+use dbx_core::runner::build_processor;
+use dbx_core::{run_sort, ProcModel, SetOpKind};
+use dbx_cpu::isa::regs::{A2, A3, A4, A5};
+use dbx_cpu::{ProgramBuilder, SimError, DMEM0_BASE, SYSMEM_BASE};
+
+/// Result of executing a query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Matching row ids, sorted.
+    pub rids: Vec<u32>,
+    /// Total simulated cycles across all offloaded operations.
+    pub cycles: u64,
+    /// Number of set operations offloaded to the ASIP.
+    pub set_ops: u64,
+    /// Total elements streamed through the set operations (the paper's
+    /// throughput denominator, summed over operations).
+    pub elements_processed: u64,
+}
+
+/// A sorted column projection (the `ORDER BY` output).
+#[derive(Debug, Clone)]
+pub struct SortedColumn {
+    /// Column values of the matching rows, sorted ascending.
+    pub values: Vec<u32>,
+    /// Simulated cycles of the sort.
+    pub cycles: u64,
+}
+
+/// A query engine bound to one processor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine {
+    /// The processor model running the set operations.
+    pub model: ProcModel,
+}
+
+impl QueryEngine {
+    /// Creates an engine for a processor model.
+    pub fn new(model: ProcModel) -> Self {
+        QueryEngine { model }
+    }
+
+    fn offload(
+        &self,
+        kind: SetOpKind,
+        a: &[u32],
+        b: &[u32],
+        out: &mut QueryOutput,
+    ) -> Result<Vec<u32>, SimError> {
+        // `run_partition` batches inputs larger than the local store into
+        // sequential value-aligned chunks on the same core.
+        let (result, cycles) = run_partition(self.model, kind, a, b)?;
+        out.cycles += cycles;
+        out.set_ops += 1;
+        out.elements_processed += (a.len() + b.len()) as u64;
+        Ok(result)
+    }
+
+    /// Merges posting lists of a key range into one sorted RID list with
+    /// a balanced tree of ASIP unions (posting lists of different keys
+    /// interleave arbitrarily in RID space).
+    fn merge_postings(
+        &self,
+        lists: Vec<&[u32]>,
+        out: &mut QueryOutput,
+    ) -> Result<Vec<u32>, SimError> {
+        let mut level: Vec<Vec<u32>> = lists.into_iter().map(<[u32]>::to_vec).collect();
+        if level.is_empty() {
+            return Ok(Vec::new());
+        }
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(self.offload(SetOpKind::Union, &a, &b, out)?),
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        Ok(level.pop().unwrap())
+    }
+
+    fn eval(
+        &self,
+        table: &Table,
+        pred: &Predicate,
+        out: &mut QueryOutput,
+    ) -> Result<Vec<u32>, SimError> {
+        match pred {
+            Predicate::Eq { column, value } => {
+                let ix = table.index(column).ok_or_else(|| {
+                    SimError::BadProgram(format!("no index on column '{column}'"))
+                })?;
+                Ok(ix.lookup(*value).to_vec())
+            }
+            Predicate::Range { column, lo, hi } => {
+                let ix = table.index(column).ok_or_else(|| {
+                    SimError::BadProgram(format!("no index on column '{column}'"))
+                })?;
+                self.merge_postings(ix.range(*lo, *hi), out)
+            }
+            Predicate::And(a, b) => {
+                let ra = self.eval(table, a, out)?;
+                let rb = self.eval(table, b, out)?;
+                self.offload(SetOpKind::Intersect, &ra, &rb, out)
+            }
+            Predicate::Or(a, b) => {
+                let ra = self.eval(table, a, out)?;
+                let rb = self.eval(table, b, out)?;
+                self.offload(SetOpKind::Union, &ra, &rb, out)
+            }
+            Predicate::AndNot(a, b) => {
+                let ra = self.eval(table, a, out)?;
+                let rb = self.eval(table, b, out)?;
+                self.offload(SetOpKind::Difference, &ra, &rb, out)
+            }
+        }
+    }
+
+    /// Executes a predicate tree and returns the matching RIDs with the
+    /// simulated cost.
+    pub fn execute(&self, table: &Table, pred: &Predicate) -> Result<QueryOutput, SimError> {
+        let mut out = QueryOutput {
+            rids: Vec::new(),
+            cycles: 0,
+            set_ops: 0,
+            elements_processed: 0,
+        };
+        out.rids = self.eval(table, pred, &mut out)?;
+        Ok(out)
+    }
+
+    /// `SUM(column)` over a RID list, computed *on the ASIP*: the
+    /// projected values are staged into the core's data memory and a
+    /// hardware-loop reduction program runs over them. Returns the 32-bit
+    /// wrapping sum and the simulated cycles.
+    pub fn sum(&self, table: &Table, rids: &[u32], column: &str) -> Result<(u32, u64), SimError> {
+        let col = table
+            .column(column)
+            .ok_or_else(|| SimError::BadProgram(format!("no column '{column}'")))?;
+        let projected: Vec<u32> = rids.iter().map(|&r| col[r as usize]).collect();
+        if projected.is_empty() {
+            return Ok((0, 0));
+        }
+        let mut p = build_processor(self.model)?;
+        let base = if self.model == ProcModel::Mini108 {
+            SYSMEM_BASE
+        } else {
+            DMEM0_BASE
+        };
+        let cap = match self.model {
+            ProcModel::Mini108 => usize::MAX,
+            ProcModel::Dba2Lsu | ProcModel::Dba2LsuEis { .. } => 32 * 1024 / 4,
+            _ => 64 * 1024 / 4,
+        };
+        if projected.len() > cap {
+            return Err(SimError::BadProgram(format!(
+                "{} projected values exceed the local store",
+                projected.len()
+            )));
+        }
+        // a2 = sum, a3 = ptr, a4 = count, a5 = value.
+        let mut b = ProgramBuilder::new();
+        b.movi(A2, 0);
+        b.movi(A3, base as i32);
+        b.movi(A4, projected.len() as i32);
+        b.hw_loop(A4, "done");
+        b.l32i(A5, A3, 0);
+        b.add(A2, A2, A5);
+        b.addi(A3, A3, 4);
+        b.label("done");
+        b.halt();
+        p.load_program(b.build()?)?;
+        p.mem.poke_words(base, &projected)?;
+        let stats = p.run(1_000_000_000)?;
+        Ok((p.ar[2], stats.cycles))
+    }
+
+    /// `ORDER BY column` over a RID list: projects the column and sorts
+    /// it with the ASIP's merge-sort kernel.
+    pub fn order_by(
+        &self,
+        table: &Table,
+        rids: &[u32],
+        column: &str,
+    ) -> Result<SortedColumn, SimError> {
+        let col = table
+            .column(column)
+            .ok_or_else(|| SimError::BadProgram(format!("no column '{column}'")))?;
+        let projected: Vec<u32> = rids.iter().map(|&r| col[r as usize]).collect();
+        let r = run_sort(self.model, &projected)?;
+        Ok(SortedColumn {
+            values: r.result,
+            cycles: r.cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table(rows: u32) -> Table {
+        let color: Vec<u32> = (0..rows).map(|i| i % 5).collect();
+        let size: Vec<u32> = (0..rows).map(|i| (i * 7) % 40).collect();
+        let region: Vec<u32> = (0..rows).map(|i| (i / 16) % 8).collect();
+        Table::build(
+            "demo",
+            &[("color", color), ("size", size), ("region", region)],
+        )
+    }
+
+    /// Reference evaluation by scanning all rows.
+    fn scan(table: &Table, pred: &Predicate) -> Vec<u32> {
+        (0..table.n_rows)
+            .filter(|&rid| pred.matches(&|c: &str| table.column(c).expect("column")[rid as usize]))
+            .collect()
+    }
+
+    #[test]
+    fn eq_and_intersection() {
+        let t = demo_table(500);
+        let engine = QueryEngine::new(ProcModel::Dba2LsuEis { partial: true });
+        let pred = Predicate::eq("color", 2).and(Predicate::eq("region", 3));
+        let out = engine.execute(&t, &pred).unwrap();
+        assert_eq!(out.rids, scan(&t, &pred));
+        assert_eq!(out.set_ops, 1);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn range_merges_posting_lists() {
+        let t = demo_table(800);
+        let engine = QueryEngine::new(ProcModel::Dba2LsuEis { partial: true });
+        let pred = Predicate::between("size", 10, 25);
+        let out = engine.execute(&t, &pred).unwrap();
+        assert_eq!(out.rids, scan(&t, &pred));
+        assert!(out.set_ops >= 1, "a multi-key range needs unions");
+        // The output must be sorted and duplicate-free.
+        assert!(out.rids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn complex_tree_with_all_operators() {
+        let t = demo_table(1000);
+        let engine = QueryEngine::new(ProcModel::Dba1LsuEis { partial: true });
+        let pred = Predicate::eq("color", 1)
+            .or(Predicate::eq("color", 3))
+            .and(Predicate::between("size", 5, 30))
+            .and_not(Predicate::eq("region", 0));
+        let out = engine.execute(&t, &pred).unwrap();
+        assert_eq!(out.rids, scan(&t, &pred));
+    }
+
+    #[test]
+    fn every_model_computes_the_same_answer_with_different_cost() {
+        let t = demo_table(600);
+        let pred = Predicate::eq("color", 0).or(Predicate::between("size", 0, 12));
+        let reference = scan(&t, &pred);
+        let mut costs = Vec::new();
+        for model in ProcModel::all() {
+            let out = QueryEngine::new(model).execute(&t, &pred).unwrap();
+            assert_eq!(out.rids, reference, "{}", model.name());
+            costs.push(out.cycles);
+        }
+        // The scalar baseline must be slower than the full EIS config.
+        assert!(
+            costs[0] > 3 * costs[5],
+            "108Mini {} vs 2LSU_EIS {}",
+            costs[0],
+            costs[5]
+        );
+    }
+
+    #[test]
+    fn order_by_sorts_the_projection() {
+        let t = demo_table(400);
+        let engine = QueryEngine::new(ProcModel::Dba2LsuEis { partial: true });
+        let out = engine.execute(&t, &Predicate::eq("color", 4)).unwrap();
+        let sorted = engine.order_by(&t, &out.rids, "size").unwrap();
+        let mut expect: Vec<u32> = out
+            .rids
+            .iter()
+            .map(|&r| t.column("size").unwrap()[r as usize])
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(sorted.values, expect);
+        assert!(sorted.cycles > 0);
+    }
+
+    #[test]
+    fn sum_aggregation_runs_on_the_asip() {
+        let t = demo_table(500);
+        let engine = QueryEngine::new(ProcModel::Dba1LsuEis { partial: true });
+        let out = engine.execute(&t, &Predicate::eq("color", 3)).unwrap();
+        let (sum, cycles) = engine.sum(&t, &out.rids, "size").unwrap();
+        let expect: u32 = out
+            .rids
+            .iter()
+            .map(|&r| t.column("size").unwrap()[r as usize])
+            .fold(0u32, |a, b| a.wrapping_add(b));
+        assert_eq!(sum, expect);
+        // Hardware loop: ~3 cycles per element plus setup.
+        assert!(
+            cycles < 5 * out.rids.len() as u64 + 50,
+            "sum took {cycles} cycles"
+        );
+        let (zero, c0) = engine.sum(&t, &[], "size").unwrap();
+        assert_eq!((zero, c0), (0, 0));
+    }
+
+    #[test]
+    fn missing_index_is_reported() {
+        let t = demo_table(10);
+        let engine = QueryEngine::new(ProcModel::Dba1Lsu);
+        let e = engine.execute(&t, &Predicate::eq("nope", 1)).unwrap_err();
+        assert!(matches!(e, SimError::BadProgram(_)));
+    }
+
+    #[test]
+    fn empty_results_flow_through() {
+        let t = demo_table(100);
+        let engine = QueryEngine::new(ProcModel::Dba2LsuEis { partial: false });
+        let pred = Predicate::eq("color", 99).and(Predicate::eq("size", 0));
+        let out = engine.execute(&t, &pred).unwrap();
+        assert!(out.rids.is_empty());
+        let sorted = engine.order_by(&t, &out.rids, "size").unwrap();
+        assert!(sorted.values.is_empty());
+    }
+}

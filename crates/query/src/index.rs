@@ -1,0 +1,131 @@
+//! Tables and secondary indexes producing sorted RID lists.
+
+use std::collections::BTreeMap;
+
+/// A secondary index: column value → sorted list of row ids.
+#[derive(Debug, Clone, Default)]
+pub struct SecondaryIndex {
+    postings: BTreeMap<u32, Vec<u32>>,
+}
+
+impl SecondaryIndex {
+    /// Builds the index over a column (row id = position).
+    pub fn build(column: &[u32]) -> Self {
+        let mut postings: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (rid, &v) in column.iter().enumerate() {
+            postings.entry(v).or_default().push(rid as u32);
+        }
+        SecondaryIndex { postings }
+    }
+
+    /// The sorted RID list for one key (empty when absent).
+    pub fn lookup(&self, value: u32) -> &[u32] {
+        self.postings.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The posting lists for an inclusive key range, in key order. Each
+    /// list is sorted; lists for different keys are *not* mutually sorted
+    /// — the executor merges them (with the ASIP's union instruction).
+    pub fn range(&self, lo: u32, hi: u32) -> Vec<&[u32]> {
+        self.postings
+            .range(lo..=hi)
+            .map(|(_, v)| v.as_slice())
+            .collect()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// An in-memory table with secondary indexes on every provided column.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (reports only).
+    pub name: String,
+    /// Row count.
+    pub n_rows: u32,
+    columns: BTreeMap<String, Vec<u32>>,
+    indexes: BTreeMap<String, SecondaryIndex>,
+}
+
+impl Table {
+    /// Builds a table from named columns (all must have equal length).
+    ///
+    /// # Panics
+    /// Panics on empty column sets or mismatched lengths — those are
+    /// construction bugs, not data errors.
+    pub fn build(name: &str, columns: &[(&str, Vec<u32>)]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        let n_rows = columns[0].1.len();
+        let mut cols = BTreeMap::new();
+        let mut indexes = BTreeMap::new();
+        for (cname, data) in columns {
+            assert_eq!(data.len(), n_rows, "column '{cname}' length mismatch");
+            indexes.insert(cname.to_string(), SecondaryIndex::build(data));
+            cols.insert(cname.to_string(), data.clone());
+        }
+        Table {
+            name: name.to_string(),
+            n_rows: n_rows as u32,
+            columns: cols,
+            indexes,
+        }
+    }
+
+    /// The index for a column.
+    pub fn index(&self, column: &str) -> Option<&SecondaryIndex> {
+        self.indexes.get(column)
+    }
+
+    /// Raw column data.
+    pub fn column(&self, column: &str) -> Option<&[u32]> {
+        self.columns.get(column).map(Vec::as_slice)
+    }
+
+    /// Column names.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_builds_sorted_postings() {
+        let ix = SecondaryIndex::build(&[5, 3, 5, 5, 3]);
+        assert_eq!(ix.lookup(5), &[0, 2, 3]);
+        assert_eq!(ix.lookup(3), &[1, 4]);
+        assert_eq!(ix.lookup(9), &[] as &[u32]);
+        assert_eq!(ix.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn range_returns_lists_in_key_order() {
+        let ix = SecondaryIndex::build(&[10, 20, 30, 20, 10]);
+        let lists = ix.range(10, 20);
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0], &[0, 4]);
+        assert_eq!(lists[1], &[1, 3]);
+        assert!(ix.range(40, 50).is_empty());
+    }
+
+    #[test]
+    fn table_wires_columns_and_indexes() {
+        let t = Table::build("t", &[("a", vec![1, 2, 1]), ("b", vec![7, 7, 8])]);
+        assert_eq!(t.n_rows, 3);
+        assert_eq!(t.index("a").unwrap().lookup(1), &[0, 2]);
+        assert_eq!(t.column("b").unwrap(), &[7, 7, 8]);
+        assert!(t.index("missing").is_none());
+        assert_eq!(t.column_names().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_columns_panic() {
+        Table::build("t", &[("a", vec![1]), ("b", vec![1, 2])]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Predicate trees for `WHERE` clauses.
+
+/// A boolean predicate over indexed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `column = value`
+    Eq {
+        /// Column name.
+        column: String,
+        /// Key value.
+        value: u32,
+    },
+    /// `lo <= column <= hi`
+    Range {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Conjunction — RID-list intersection.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction — RID-list union.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// `a AND NOT b` — RID-list difference.
+    AndNot(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`
+    pub fn eq(column: &str, value: u32) -> Predicate {
+        Predicate::Eq {
+            column: column.to_string(),
+            value,
+        }
+    }
+
+    /// `lo <= column <= hi`
+    pub fn between(column: &str, lo: u32, hi: u32) -> Predicate {
+        Predicate::Range {
+            column: column.to_string(),
+            lo,
+            hi,
+        }
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self AND NOT other`
+    pub fn and_not(self, other: Predicate) -> Predicate {
+        Predicate::AndNot(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the predicate against one row (reference semantics for
+    /// tests and verification).
+    pub fn matches(&self, row: &dyn Fn(&str) -> u32) -> bool {
+        match self {
+            Predicate::Eq { column, value } => row(column) == *value,
+            Predicate::Range { column, lo, hi } => {
+                let v = row(column);
+                *lo <= v && v <= *hi
+            }
+            Predicate::And(a, b) => a.matches(row) && b.matches(row),
+            Predicate::Or(a, b) => a.matches(row) || b.matches(row),
+            Predicate::AndNot(a, b) => a.matches(row) && !b.matches(row),
+        }
+    }
+
+    /// Number of set operations the executor will issue for this tree.
+    pub fn set_op_count(&self) -> usize {
+        match self {
+            Predicate::Eq { .. } => 0,
+            // A range over k keys needs k-1 unions; counted at runtime.
+            Predicate::Range { .. } => 0,
+            Predicate::And(a, b) | Predicate::Or(a, b) | Predicate::AndNot(a, b) => {
+                1 + a.set_op_count() + b.set_op_count()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sugar_constructs_trees() {
+        let p = Predicate::eq("a", 1)
+            .and(Predicate::between("b", 2, 5))
+            .or(Predicate::eq("c", 9));
+        assert_eq!(p.set_op_count(), 2);
+        match &p {
+            Predicate::Or(lhs, _) => assert!(matches!(**lhs, Predicate::And(_, _))),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_reference_semantics() {
+        let row = |col: &str| match col {
+            "a" => 1u32,
+            "b" => 4,
+            _ => 0,
+        };
+        assert!(Predicate::eq("a", 1).matches(&row));
+        assert!(Predicate::between("b", 2, 5).matches(&row));
+        assert!(!Predicate::between("b", 5, 9).matches(&row));
+        assert!(Predicate::eq("a", 1)
+            .and_not(Predicate::eq("b", 9))
+            .matches(&row));
+        assert!(!Predicate::eq("a", 1)
+            .and_not(Predicate::eq("b", 4))
+            .matches(&row));
+    }
+}

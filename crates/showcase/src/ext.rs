@@ -1,0 +1,146 @@
+//! The checksum/bit-manipulation extension.
+
+use crate::reference::crc32_step_word;
+use dbx_cpu::ext::{Extension, LsuUse, OpDescriptor, TieCtx};
+use dbx_cpu::{OpArgs, SimError};
+
+/// Opcodes of the showcase extension.
+pub mod opcodes {
+    /// Reset the CRC state to the 0xFFFFFFFF seed.
+    pub const CRC_INIT: u16 = 0;
+    /// Fold `ar[s]` (one little-endian word) into the CRC in one cycle.
+    pub const CRC_WORD: u16 = 1;
+    /// Load a word via LSU0 from `ar[s]` and fold it in the same cycle
+    /// (the fused load+CRC form; advances `ar[s]`-the-pointer is the
+    /// program's business).
+    pub const CRC_LD_WORD: u16 = 2;
+    /// `ar[r] = finalised CRC` (bitwise NOT of the state).
+    pub const CRC_RD: u16 = 3;
+    /// `ar[r] = bit-reverse(ar[s])` — dozens of software instructions,
+    /// zero gates of delay in hardware (pure wiring).
+    pub const BITREV: u16 = 4;
+    /// `ar[r] = popcount(ar[s])`.
+    pub const POPCNT: u16 = 5;
+    /// Push `ar[s]` to TIE queue 0; `ar[r] = 1` on success, 0 when the
+    /// queue was full (retry next cycle).
+    pub const QPUSH: u16 = 6;
+    /// Pop TIE queue 1 into the POP buffer; `ar[r] = 1` when a value was
+    /// available.
+    pub const QPOP: u16 = 7;
+    /// `ar[r] = the last popped value`.
+    pub const QVAL: u16 = 8;
+    /// Number of opcodes.
+    pub const COUNT: u16 = 9;
+}
+
+use opcodes as op;
+
+/// The extension: one 32-bit CRC state plus a one-word pop buffer.
+#[derive(Debug, Default)]
+pub struct ChecksumExt {
+    crc: u32,
+    pop_buf: u32,
+}
+
+impl ChecksumExt {
+    /// Creates the extension with power-on state.
+    pub fn new() -> Self {
+        ChecksumExt {
+            crc: 0xFFFF_FFFF,
+            pop_buf: 0,
+        }
+    }
+}
+
+impl Extension for ChecksumExt {
+    fn name(&self) -> &'static str {
+        "crcq"
+    }
+
+    fn op_count(&self) -> u16 {
+        op::COUNT
+    }
+
+    fn op_descriptor(&self, opcode: u16) -> Result<OpDescriptor, SimError> {
+        let (name, lsu, writes_ar) = match opcode {
+            op::CRC_INIT => ("crc.init", LsuUse::None, false),
+            op::CRC_WORD => ("crc.word", LsuUse::None, false),
+            op::CRC_LD_WORD => ("crc.ld.word", LsuUse::One(0), false),
+            op::CRC_RD => ("crc.rd", LsuUse::None, true),
+            op::BITREV => ("bit.rev", LsuUse::None, true),
+            op::POPCNT => ("bit.popcnt", LsuUse::None, true),
+            op::QPUSH => ("q.push", LsuUse::None, true),
+            op::QPOP => ("q.pop", LsuUse::None, true),
+            op::QVAL => ("q.val", LsuUse::None, true),
+            other => return Err(SimError::UnknownExtOp { op: other }),
+        };
+        Ok(OpDescriptor {
+            name,
+            lsu,
+            writes_ar,
+            slot_ok: true,
+        })
+    }
+
+    fn execute(&mut self, ops: &[(u16, OpArgs)], ctx: &mut TieCtx<'_>) -> Result<u32, SimError> {
+        let mut extra = 0;
+        for (opcode, args) in ops {
+            let r = args.r as usize & 15;
+            let s = args.s as usize & 15;
+            match *opcode {
+                op::CRC_INIT => self.crc = 0xFFFF_FFFF,
+                op::CRC_WORD => self.crc = crc32_step_word(self.crc, ctx.ar[s]),
+                op::CRC_LD_WORD => {
+                    let addr = ctx.ar[s];
+                    let (v, cy) = ctx.mem.load(0, addr, dbx_mem::Width::W32, ctx.counters)?;
+                    extra += cy;
+                    self.crc = crc32_step_word(self.crc, v as u32);
+                }
+                op::CRC_RD => ctx.ar[r] = !self.crc,
+                op::BITREV => ctx.ar[r] = ctx.ar[s].reverse_bits(),
+                op::POPCNT => ctx.ar[r] = ctx.ar[s].count_ones(),
+                op::QPUSH => {
+                    let q = ctx.queues.first_mut().ok_or(SimError::WriteConflict {
+                        state: "TIE queue 0 not attached",
+                    })?;
+                    ctx.ar[r] = q.try_push(ctx.ar[s]) as u32;
+                }
+                op::QPOP => {
+                    let q = ctx.queues.get_mut(1).ok_or(SimError::WriteConflict {
+                        state: "TIE queue 1 not attached",
+                    })?;
+                    match q.try_pop() {
+                        Some(v) => {
+                            self.pop_buf = v;
+                            ctx.ar[r] = 1;
+                        }
+                        None => ctx.ar[r] = 0,
+                    }
+                }
+                op::QVAL => ctx.ar[r] = self.pop_buf,
+                other => return Err(SimError::UnknownExtOp { op: other }),
+            }
+            ctx.counters.count_ext_op(*opcode);
+        }
+        Ok(extra)
+    }
+
+    fn reset(&mut self) {
+        self.crc = 0xFFFF_FFFF;
+        self.pop_buf = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_resolve_by_name() {
+        let e = ChecksumExt::new();
+        assert_eq!(e.op_by_name("crc.word"), Some(op::CRC_WORD));
+        assert_eq!(e.op_by_name("bit.rev"), Some(op::BITREV));
+        assert_eq!(e.op_by_name("nope"), None);
+        assert!(e.op_descriptor(op::COUNT).is_err());
+    }
+}

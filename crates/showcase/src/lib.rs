@@ -1,0 +1,29 @@
+//! A *second* instruction-set extension, built with the same framework as
+//! the DB extension — the paper's reuse claim made concrete.
+//!
+//! Section 1: *"The techniques for developing application-specific
+//! processors proposed in this paper can be easily reused to obtain
+//! instruction sets for other (and even more complex) database primitives
+//! and may trigger research for a second wave of database processors."*
+//!
+//! Section 2.2 names the canonical candidates, and this crate implements
+//! exactly those:
+//!
+//! * **CRC32** — "Calculating a CRC value, for example, requires shift,
+//!   comparison, and XOR instructions, which can all be combined into a
+//!   single instruction." `crc.word` folds 32 bits into the running CRC
+//!   in one cycle (useful for page checksums in a database engine).
+//! * **Bit reversal** — "reversing the order of the bits in a 32-bit word
+//!   is cheap in hardware whereas it requires dozens of instructions in
+//!   software."
+//! * **Population count** — the classic bit-manipulation primitive
+//!   (bitmap-index cardinality).
+//! * **TIE queues** — `q.push`/`q.pop` stream data past the load–store
+//!   units (Section 3.2's "TIE queues read or write data from external
+//!   queues"), demonstrated by a popcount-threshold stream filter.
+
+pub mod ext;
+pub mod kernels;
+pub mod reference;
+
+pub use ext::{opcodes, ChecksumExt};

@@ -1,0 +1,61 @@
+//! Software reference implementations the extension is verified against.
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over a byte slice —
+/// the bit-by-bit formulation, i.e. exactly the shift/compare/XOR
+/// sequence the paper's Section 2.2 describes merging into one
+/// instruction.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// CRC-32 over little-endian words (the extension processes one 32-bit
+/// word per cycle).
+pub fn crc32_words(words: &[u32]) -> u32 {
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    crc32(&bytes)
+}
+
+/// Folds one 32-bit word into a running (non-finalised) CRC state — the
+/// combinational function of the `crc.word` instruction.
+pub fn crc32_step_word(state: u32, word: u32) -> u32 {
+    let mut crc = state;
+    for byte in word.to_le_bytes() {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn word_stepper_composes_to_the_byte_crc() {
+        let words = [0x6762_6173u32, 0x1234_5678, 0xdead_beef];
+        let mut state = 0xFFFF_FFFFu32;
+        for &w in &words {
+            state = crc32_step_word(state, w);
+        }
+        assert_eq!(!state, crc32_words(&words));
+    }
+}

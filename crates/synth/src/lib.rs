@@ -1,0 +1,37 @@
+//! Structural synthesis model: area, timing, and power estimation for the
+//! dbasip processor configurations.
+//!
+//! The paper obtains these numbers from Synopsys Design Compiler /
+//! PrimeTime runs on a 65 nm TSMC low-power process and a 28 nm GF
+//! super-low-power process (Section 5.1). We cannot run proprietary EDA
+//! tools, so this crate provides a *calibrated structural model*:
+//!
+//! * every circuit is described by its structure (comparator bits, mux
+//!   lanes, state bits, decode terms — taken from the actual datapath
+//!   definitions in `dbx-core`), and
+//! * per-unit silicon costs (gate-equivalents per comparator bit, µm² per
+//!   gate, SRAM macro density, switching energy) are fitted so the model
+//!   reproduces the paper's published synthesis results (Tables 3 and 4)
+//!   for the reference configurations.
+//!
+//! The calibration gives the model the paper's absolute scale; the
+//! *structure* gives it the right sensitivities — adding a second LSU or
+//! the extension moves area/fMAX/power through the same mechanisms the
+//! paper describes (the union circuit is the largest op, the EIS costs a
+//! few percent of fMAX, the 28 nm shrink buys ~3.8x area and ~2.9x
+//! power). EXPERIMENTS.md records model-vs-paper deltas for every cell of
+//! Tables 3 and 4.
+
+pub mod area;
+pub mod power;
+pub mod report;
+pub mod tech;
+pub mod timing;
+pub mod width;
+
+pub use area::{area_report, table4_breakdown, AreaReport, Component};
+pub use power::{power_from_activity, power_report, PowerReport};
+pub use report::{synthesis_row, SynthesisRow};
+pub use tech::Tech;
+pub use timing::fmax_mhz;
+pub use width::{width_point, width_study, WidthPoint};

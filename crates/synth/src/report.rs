@@ -1,0 +1,102 @@
+//! Assembled synthesis rows (the shape of the paper's Table 3).
+
+use crate::area::area_report;
+use crate::power::power_report;
+use crate::tech::Tech;
+use crate::timing::fmax_mhz;
+use dbx_core::ProcModel;
+
+/// One Table 3 row: a configuration synthesised at a node.
+#[derive(Debug, Clone)]
+pub struct SynthesisRow {
+    /// Technology node name.
+    pub tech: &'static str,
+    /// Configuration name.
+    pub model: ProcModel,
+    /// Logic area, mm².
+    pub logic_mm2: f64,
+    /// Memory area, mm² (0 when the configuration has no local store).
+    pub mem_mm2: f64,
+    /// Maximum frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Power at fMAX, mW.
+    pub power_mw: f64,
+}
+
+/// Synthesises one configuration at one node.
+pub fn synthesis_row(model: ProcModel, tech: Tech) -> SynthesisRow {
+    let area = area_report(model, tech);
+    SynthesisRow {
+        tech: tech.name,
+        model,
+        logic_mm2: area.logic_mm2,
+        mem_mm2: area.mem_mm2,
+        fmax_mhz: fmax_mhz(model, &tech),
+        power_mw: power_report(model, tech).total_mw(),
+    }
+}
+
+/// One published Table 3 row: `(tech, model, logic mm², mem mm²
+/// (None = "-"), fMAX MHz, power mW)`.
+pub type PaperTable3Row = (&'static str, ProcModel, f64, Option<f64>, f64, f64);
+
+/// The paper's published Table 3 values for comparison.
+pub fn paper_table3() -> Vec<PaperTable3Row> {
+    vec![
+        ("65nm", ProcModel::Mini108, 0.2201, None, 442.0, 27.4),
+        ("65nm", ProcModel::Dba1Lsu, 0.177, Some(0.874), 435.0, 56.6),
+        ("65nm", ProcModel::Dba2Lsu, 0.177, Some(0.870), 429.0, 57.1),
+        (
+            "65nm",
+            ProcModel::Dba1LsuEis { partial: true },
+            0.523,
+            Some(0.874),
+            424.0,
+            123.5,
+        ),
+        (
+            "65nm",
+            ProcModel::Dba2LsuEis { partial: true },
+            0.645,
+            Some(0.870),
+            410.0,
+            135.1,
+        ),
+        (
+            "28nm",
+            ProcModel::Dba2LsuEis { partial: true },
+            0.169,
+            Some(0.232),
+            500.0,
+            47.0,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_every_paper_row_within_tolerance() {
+        for (tech_name, model, logic, mem, f, p) in paper_table3() {
+            let tech = if tech_name == "65nm" {
+                Tech::tsmc65lp()
+            } else {
+                Tech::gf28slp()
+            };
+            let row = synthesis_row(model, tech);
+            assert!(
+                (row.logic_mm2 - logic).abs() / logic < 0.05,
+                "{tech_name} {} logic: {} vs {logic}",
+                model.name(),
+                row.logic_mm2
+            );
+            if let Some(mem) = mem {
+                assert!((row.mem_mm2 - mem).abs() / mem < 0.05);
+            }
+            assert!((row.fmax_mhz - f).abs() < 6.0);
+            assert!((row.power_mw - p).abs() / p < 0.08);
+        }
+    }
+}

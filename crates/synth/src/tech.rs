@@ -1,0 +1,91 @@
+//! Technology nodes.
+//!
+//! Per-unit silicon costs for the two processes the paper synthesises to
+//! (Section 5.1): a 65 nm TSMC low-power process at 1.25 V typical, and a
+//! 28 nm GlobalFoundries super-low-power process with super-low-voltage
+//! libraries at 0.8 V. Constants are calibrated against the paper's
+//! Table 3 (see the crate docs).
+
+/// A silicon process node with fitted unit costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tech {
+    /// Display name.
+    pub name: &'static str,
+    /// Feature size in nm.
+    pub node_nm: u32,
+    /// Supply voltage (typical corner).
+    pub vdd: f64,
+    /// Area of one gate equivalent (NAND2 incl. routing overhead), µm².
+    pub ge_um2: f64,
+    /// Delay of one equivalent gate along the critical path, ps.
+    pub gate_delay_ps: f64,
+    /// Single-port SRAM macro density, µm² per KiB.
+    pub sram_sp_um2_per_kb: f64,
+    /// Dual-port SRAM macro density, µm² per KiB.
+    pub sram_dp_um2_per_kb: f64,
+    /// Dynamic power per active gate equivalent, mW per (kGE·MHz).
+    pub dyn_mw_per_kge_mhz: f64,
+    /// Dynamic power of SRAM, mW per (KiB·MHz) at typical activity.
+    pub mem_mw_per_kb_mhz: f64,
+    /// Static leakage per kGE, mW (low-power processes: tiny).
+    pub leak_mw_per_kge: f64,
+}
+
+impl Tech {
+    /// The 65 nm TSMC low-power process (typical: 25 °C, 1.25 V).
+    pub fn tsmc65lp() -> Tech {
+        Tech {
+            name: "65nm TSMC LP",
+            node_nm: 65,
+            vdd: 1.25,
+            ge_um2: 1.44,
+            gate_delay_ps: 65.0,
+            sram_sp_um2_per_kb: 6000.0,
+            sram_dp_um2_per_kb: 10_656.0,
+            dyn_mw_per_kge_mhz: 4.06e-4,
+            mem_mw_per_kb_mhz: 8.36e-4,
+            leak_mw_per_kge: 0.002,
+        }
+    }
+
+    /// The 28 nm GF super-low-power process with SLVT libraries
+    /// (typical: 25 °C, 0.8 V).
+    pub fn gf28slp() -> Tech {
+        let t65 = Tech::tsmc65lp();
+        Tech {
+            name: "28nm GF SLP",
+            node_nm: 28,
+            vdd: 0.8,
+            // Paper: area shrinks by 3.8x at 28 nm (Section 5.3).
+            ge_um2: t65.ge_um2 / 3.82,
+            // The SLP process and 0.8 V restrict fMAX: the paper reports
+            // only 500 MHz for the largest configuration.
+            gate_delay_ps: 53.3,
+            sram_sp_um2_per_kb: t65.sram_sp_um2_per_kb / 3.77,
+            sram_dp_um2_per_kb: t65.sram_dp_um2_per_kb / 3.77,
+            // Power shrinks by 2.9x at equal work but the 28 nm part also
+            // clocks higher; fitted to the published 47 mW at 500 MHz.
+            dyn_mw_per_kge_mhz: t65.dyn_mw_per_kge_mhz * 0.27,
+            mem_mw_per_kb_mhz: t65.mem_mw_per_kb_mhz * 0.27,
+            leak_mw_per_kge: 0.004,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_ratios_match_paper() {
+        let t65 = Tech::tsmc65lp();
+        let t28 = Tech::gf28slp();
+        let area_shrink = t65.ge_um2 / t28.ge_um2;
+        assert!(
+            (3.7..3.95).contains(&area_shrink),
+            "area shrink {area_shrink}"
+        );
+        assert!(t28.vdd < t65.vdd);
+        assert!(t28.gate_delay_ps < t65.gate_delay_ps);
+    }
+}

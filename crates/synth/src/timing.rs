@@ -1,0 +1,110 @@
+//! Structural timing model: critical path → maximum core frequency.
+//!
+//! The paper observes (Section 5.2) that the extension is "well-designed
+//! because it has only a small impact on the core frequency": 442 MHz for
+//! the bare 108Mini down to 410 MHz with every feature enabled, and that
+//! partial loading costs no frequency at all. The model expresses the
+//! critical path in equivalent gate delays: a base pipeline path plus
+//! increments for the wide buses, the EIS result bypass, and the
+//! second LSU's arbitration muxes.
+
+use crate::tech::Tech;
+use dbx_core::ProcModel;
+
+/// Base pipeline critical path of the Xtensa-class core, in equivalent
+/// gate delays (442 MHz at 65 ps/gate).
+const BASE_PATH_GATES: f64 = 34.8;
+/// Added by widening data/instruction buses to 128/64 bits.
+const WIDE_BUS_GATES: f64 = 0.58;
+/// Added by the EIS: the SOP result mux sits on the write-back bypass.
+const EIS_GATES: f64 = 0.92;
+/// Added per extra LSU with the EIS attached (stream arbitration).
+const EXTRA_LSU_EIS_GATES: f64 = 1.2;
+/// Added per extra LSU without the EIS.
+const EXTRA_LSU_GATES: f64 = 0.49;
+
+/// Critical path of a configuration in equivalent gate delays.
+pub fn critical_path_gates(model: ProcModel) -> f64 {
+    let mut gates = BASE_PATH_GATES;
+    if !matches!(model, ProcModel::Mini108) {
+        gates += WIDE_BUS_GATES;
+    }
+    if model.has_eis() {
+        gates += EIS_GATES;
+        gates += EXTRA_LSU_EIS_GATES * (model.n_lsus() as f64 - 1.0);
+    } else {
+        gates += EXTRA_LSU_GATES * (model.n_lsus() as f64 - 1.0);
+    }
+    // Partial loading adds no critical path: the refill network works in
+    // parallel with the load datapath (paper Section 5.2: "For partial
+    // loading however, we observe no decrease in the core frequency").
+    gates
+}
+
+/// Maximum core frequency in MHz for a configuration at a node.
+pub fn fmax_mhz(model: ProcModel, tech: &Tech) -> f64 {
+    1.0e6 / (critical_path_gates(model) * tech.gate_delay_ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(got: f64, want: f64, tol_mhz: f64) -> bool {
+        (got - want).abs() <= tol_mhz
+    }
+
+    #[test]
+    fn table2_frequencies_65nm() {
+        let t = Tech::tsmc65lp();
+        assert!(close(fmax_mhz(ProcModel::Mini108, &t), 442.0, 4.0));
+        assert!(close(fmax_mhz(ProcModel::Dba1Lsu, &t), 435.0, 4.0));
+        assert!(close(
+            fmax_mhz(ProcModel::Dba1LsuEis { partial: true }, &t),
+            424.0,
+            4.0
+        ));
+        assert!(close(
+            fmax_mhz(ProcModel::Dba2LsuEis { partial: true }, &t),
+            410.0,
+            4.0
+        ));
+    }
+
+    #[test]
+    fn partial_loading_is_frequency_neutral() {
+        let t = Tech::tsmc65lp();
+        assert_eq!(
+            fmax_mhz(ProcModel::Dba2LsuEis { partial: true }, &t),
+            fmax_mhz(ProcModel::Dba2LsuEis { partial: false }, &t),
+        );
+    }
+
+    #[test]
+    fn more_features_lower_frequency() {
+        let t = Tech::tsmc65lp();
+        let f = |m| fmax_mhz(m, &t);
+        assert!(f(ProcModel::Mini108) > f(ProcModel::Dba1Lsu));
+        assert!(f(ProcModel::Dba1Lsu) > f(ProcModel::Dba1LsuEis { partial: true }));
+        assert!(
+            f(ProcModel::Dba1LsuEis { partial: true }) > f(ProcModel::Dba2LsuEis { partial: true })
+        );
+    }
+
+    #[test]
+    fn frequency_impact_of_eis_is_small() {
+        // Paper: "our instruction set extension is well-designed because
+        // it has only a small impact on the core frequency" — under 7%.
+        let t = Tech::tsmc65lp();
+        let drop = 1.0
+            - fmax_mhz(ProcModel::Dba2LsuEis { partial: true }, &t)
+                / fmax_mhz(ProcModel::Mini108, &t);
+        assert!(drop < 0.08, "frequency drop {drop:.3}");
+    }
+
+    #[test]
+    fn gf28_reaches_500mhz() {
+        let f = fmax_mhz(ProcModel::Dba2LsuEis { partial: true }, &Tech::gf28slp());
+        assert!(close(f, 500.0, 5.0), "got {f}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Vector-width tradeoff study — Section 2.2's design-space question,
+//! quantified.
+//!
+//! *"Depending on the operation, the area occupied by intra-element wise
+//! instructions grows more than linear (e.g., quadratic) when the vector
+//! length is linearly increased. Therefore, a tradeoff between the
+//! performance improvement through increasing the vector width and the
+//! area required for the instruction must be found."* And: *"The main
+//! limitation of SIMD instruction is the bandwidth to main memory, which
+//! may not be arbitrarily increased."*
+//!
+//! This module scales the calibrated w = 4 design point across window
+//! widths: the all-to-all array and the emit networks grow ~quadratically,
+//! the state arrays linearly, while the achievable throughput saturates at
+//! the load–store units' bandwidth unless the buses widen with the
+//! datapath. The study shows why the paper's w = 4 with 128-bit buses is
+//! the sweet spot.
+
+use crate::area::components;
+use crate::tech::Tech;
+use crate::timing::critical_path_gates;
+use dbx_core::datapath::{bitonic_merge_comparators, sort_network_comparators};
+use dbx_core::ProcModel;
+
+/// One width design point.
+#[derive(Debug, Clone, Copy)]
+pub struct WidthPoint {
+    /// Window width in elements.
+    pub w: usize,
+    /// Comparators in the all-to-all array (w²).
+    pub a2a_comparators: usize,
+    /// Comparators in the presort + merge networks.
+    pub network_comparators: usize,
+    /// EIS logic area in mm² (2-LSU configuration shape).
+    pub logic_mm2: f64,
+    /// Maximum frequency (deeper reduction trees lower it), MHz.
+    pub fmax_mhz: f64,
+    /// Peak intersection throughput with the paper's 128-bit buses
+    /// (M elements/s) — bandwidth-capped.
+    pub peak_128bit_bus: f64,
+    /// Peak throughput if the buses widen with the datapath (32·w bits).
+    pub peak_matched_bus: f64,
+    /// Area efficiency on 128-bit buses: M elements/s per mm² of logic.
+    pub efficiency_128bit: f64,
+}
+
+/// Scales the calibrated w = 4 EIS components to window width `w` and
+/// evaluates the design point.
+pub fn width_point(w: usize, tech: &Tech) -> WidthPoint {
+    assert!(w.is_power_of_two() && (2..=32).contains(&w));
+    let base = components(ProcModel::Dba2LsuEis { partial: true });
+    let scale_sq = (w as f64 / 4.0).powi(2);
+    let scale_lin = w as f64 / 4.0;
+    let net_scale = (sort_network_comparators(w) + bitonic_merge_comparators(w)) as f64
+        / (sort_network_comparators(4) + bitonic_merge_comparators(4)) as f64;
+
+    let ge: f64 = base
+        .iter()
+        .map(|c| {
+            let factor = match c.name {
+                // Comparator arrays and emit/shuffle networks: ~quadratic.
+                "Op: All" | "Op: Intersection" | "Op: Difference" | "Op: Union" => scale_sq,
+                // Sorting/merge networks: n log² n.
+                "Op: Merge-Sort" => net_scale,
+                // Buffers and windows: linear.
+                "States" => scale_lin,
+                // Decode and the base core do not scale with the width.
+                _ => 1.0,
+            };
+            c.ge * factor
+        })
+        .sum();
+
+    // Wider reduction trees (boundary counts, match-OR) add ~0.6 gate
+    // delays per doubling beyond the calibrated point.
+    let extra_gates = 0.6 * (w as f64 / 4.0).log2().max(-1.0);
+    let gates = critical_path_gates(ProcModel::Dba2LsuEis { partial: true }) + extra_gates;
+    let fmax = 1.0e6 / (gates * tech.gate_delay_ps);
+
+    // Steady state at 100 % selectivity (the paper's peak): one SOP cycle
+    // consumes 2w elements; refilling them costs load cycles. On the
+    // paper's 128-bit buses the two LSUs deliver 8 elements per load
+    // cycle, so wider windows need proportionally more load cycles and
+    // the throughput asymptotes at the memory bandwidth (Section 2.2).
+    let loads_128 = ((2 * w) as f64 / 8.0).ceil();
+    let cycles_128 = 1.0 + loads_128 + 1.0 / 32.0;
+    let peak_128 = 2.0 * w as f64 / cycles_128 * fmax;
+    // With buses matched to the window (32·w bits) one load cycle always
+    // suffices — the 2.03-cycle schedule at any width.
+    let peak_matched = 2.0 * w as f64 / 2.03 * fmax;
+
+    let logic_mm2 = ge * tech.ge_um2 / 1.0e6;
+    WidthPoint {
+        w,
+        a2a_comparators: w * w,
+        network_comparators: sort_network_comparators(w) + bitonic_merge_comparators(w),
+        logic_mm2,
+        fmax_mhz: fmax,
+        peak_128bit_bus: peak_128,
+        peak_matched_bus: peak_matched,
+        efficiency_128bit: peak_128 / logic_mm2,
+    }
+}
+
+/// The full sweep at one node.
+pub fn width_study(tech: &Tech) -> Vec<WidthPoint> {
+    [2usize, 4, 8, 16]
+        .into_iter()
+        .map(|w| width_point(w, tech))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::area_report;
+
+    #[test]
+    fn w4_matches_the_calibrated_design_point() {
+        let tech = Tech::tsmc65lp();
+        let p = width_point(4, &tech);
+        let cal = area_report(ProcModel::Dba2LsuEis { partial: true }, tech);
+        assert!((p.logic_mm2 - cal.logic_mm2).abs() < 1e-9);
+        assert!((p.fmax_mhz - 410.3).abs() < 1.0);
+        // Peak at w=4 on 128-bit buses: 8/2.03 x 410 ~ 1617 M elements/s,
+        // the Figure 13 endpoint.
+        assert!((p.peak_128bit_bus - 1617.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn area_grows_superlinearly_with_width() {
+        let tech = Tech::tsmc65lp();
+        let s = width_study(&tech);
+        let by_w = |w: usize| s.iter().find(|p| p.w == w).unwrap();
+        let ratio_8_4 = by_w(8).logic_mm2 / by_w(4).logic_mm2;
+        let ratio_16_8 = by_w(16).logic_mm2 / by_w(8).logic_mm2;
+        assert!(
+            ratio_8_4 > 2.0,
+            "doubling width should >2x the EIS logic, got {ratio_8_4}"
+        );
+        assert!(
+            ratio_16_8 > ratio_8_4,
+            "growth accelerates (quadratic terms dominate)"
+        );
+    }
+
+    #[test]
+    fn bandwidth_caps_throughput_on_fixed_buses() {
+        // Section 2.2: memory bandwidth is the SIMD limit. On 128-bit
+        // buses, w = 8 gains almost nothing over w = 4.
+        let tech = Tech::tsmc65lp();
+        let s = width_study(&tech);
+        let by_w = |w: usize| s.iter().find(|p| p.w == w).unwrap();
+        let gain = by_w(8).peak_128bit_bus / by_w(4).peak_128bit_bus;
+        assert!(gain < 1.4, "bandwidth-capped gain {gain}");
+        // ...and the asymptote is the raw bandwidth: 8 elements/cycle.
+        let w16 = by_w(16);
+        assert!(w16.peak_128bit_bus < 8.0 * w16.fmax_mhz);
+        // With matched buses the width pays off...
+        let matched_gain = by_w(8).peak_matched_bus / by_w(4).peak_matched_bus;
+        assert!(matched_gain > 1.8, "matched-bus gain {matched_gain}");
+    }
+
+    #[test]
+    fn w4_is_the_area_efficiency_sweet_spot_on_128bit_buses() {
+        let tech = Tech::tsmc65lp();
+        let s = width_study(&tech);
+        let best = s
+            .iter()
+            .max_by(|a, b| a.efficiency_128bit.total_cmp(&b.efficiency_128bit))
+            .unwrap();
+        assert_eq!(best.w, 4, "the paper's choice should win");
+    }
+}

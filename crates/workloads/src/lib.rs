@@ -1,0 +1,302 @@
+//! Workload generators for the set-oriented database primitives.
+//!
+//! The paper's experiments (Section 5.2) run on sorted RID sets with a
+//! controlled *selectivity*: "the number of results which can be minimally
+//! (0%) and maximally (100%) obtained ... the intersection has 100%
+//! selectivity if both input sets contain the same elements". This crate
+//! generates such inputs deterministically:
+//!
+//! * [`set_pair_with_selectivity`] — two strictly-increasing sets with an
+//!   exact overlap count, for Table 2 / Figure 13 style sweeps;
+//! * [`sorted_set`] — single sets with several value distributions;
+//! * [`sort_input`] — unsorted columns for the merge-sort experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Value distribution of generated RID sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Values uniform over the whole 32-bit space (sparse RIDs).
+    Uniform,
+    /// Dense ascending runs with random gaps between them (RID lists from
+    /// clustered index scans).
+    Clustered {
+        /// Average run length.
+        run_len: u32,
+    },
+    /// Consecutive values starting near zero (a full scan's RID list).
+    Dense,
+    /// Zipf-distributed gaps: most neighbours are adjacent, a heavy tail
+    /// of large jumps (skewed key popularity projected onto RID space).
+    ZipfGaps {
+        /// Skew parameter; larger = heavier tail. Typical: 1.2.
+        theta_x10: u32,
+    },
+}
+
+/// Input orderings for the sort experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Uniformly random values.
+    Random,
+    /// Already ascending.
+    Ascending,
+    /// Descending (worst case for naive algorithms).
+    Descending,
+    /// Mostly sorted with a few displaced elements.
+    NearlySorted,
+    /// Many duplicates (few distinct values).
+    FewDistinct,
+}
+
+/// Generates `n` distinct sorted values with the given distribution.
+pub fn sorted_set(n: usize, dist: Distribution, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: BTreeSet<u32> = BTreeSet::new();
+    match dist {
+        Distribution::Uniform => {
+            while out.len() < n {
+                out.insert(rng.gen_range(0..u32::MAX - 1));
+            }
+        }
+        Distribution::Clustered { run_len } => {
+            let mut v = rng.gen_range(0..1024u32);
+            while out.len() < n {
+                let run = rng.gen_range(1..=run_len.max(1) * 2);
+                for _ in 0..run {
+                    if out.len() >= n {
+                        break;
+                    }
+                    out.insert(v);
+                    v = v.saturating_add(1);
+                }
+                v = v.saturating_add(rng.gen_range(2..10_000));
+            }
+        }
+        Distribution::Dense => {
+            let start = rng.gen_range(0..1024u32);
+            for i in 0..n as u32 {
+                out.insert(start + i);
+            }
+        }
+        Distribution::ZipfGaps { theta_x10 } => {
+            let theta = theta_x10 as f64 / 10.0;
+            let mut v = rng.gen_range(0..1024u32);
+            out.insert(v);
+            while out.len() < n {
+                // Inverse-transform sample of a bounded power law.
+                let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+                let gap = (u.powf(-1.0 / theta.max(0.1)) as u64).clamp(1, 100_000) as u32;
+                v = v.saturating_add(gap);
+                out.insert(v);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Generates a set pair where `b` is an exact subset of `a` (`lb <= la`) —
+/// the foreign-key-containment pattern of semi-joins.
+pub fn subset_pair(la: usize, lb: usize, dist: Distribution, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    assert!(lb <= la, "subset cannot exceed the superset");
+    let a = sorted_set(la, dist, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+    let mut idx: Vec<usize> = (0..la).collect();
+    idx.shuffle(&mut rng);
+    let mut b: Vec<u32> = idx[..lb].iter().map(|&i| a[i]).collect();
+    b.sort_unstable();
+    (a, b)
+}
+
+/// Generates a pair with heavily skewed sizes and an exact overlap count
+/// (`common <= min(la, lb)`) — the probe-vs-build asymmetry of index
+/// anding.
+pub fn skewed_pair(la: usize, lb: usize, common: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    assert!(common <= la.min(lb));
+    let sel = if la.min(lb) == 0 {
+        0.0
+    } else {
+        common as f64 / la.min(lb) as f64
+    };
+    set_pair_with_selectivity(la, lb, sel, seed)
+}
+
+/// Generates a pair of strictly-increasing sets of `la` and `lb` elements
+/// whose intersection has exactly `round(sel * min(la, lb))` elements —
+/// the paper's selectivity definition with `sel` in `[0, 1]`.
+pub fn set_pair_with_selectivity(
+    la: usize,
+    lb: usize,
+    sel: f64,
+    seed: u64,
+) -> (Vec<u32>, Vec<u32>) {
+    assert!(
+        (0.0..=1.0).contains(&sel),
+        "selectivity must be within [0, 1]"
+    );
+    let common = (sel * la.min(lb) as f64).round() as usize;
+    let total = la + lb - common;
+    let universe = sorted_set(total, Distribution::Uniform, seed);
+
+    // Randomly assign universe values to {common, a-only, b-only}.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut idx: Vec<usize> = (0..total).collect();
+    idx.shuffle(&mut rng);
+    let mut a: Vec<u32> = idx[..common].iter().map(|&i| universe[i]).collect();
+    let mut b = a.clone();
+    a.extend(
+        idx[common..common + (la - common)]
+            .iter()
+            .map(|&i| universe[i]),
+    );
+    b.extend(idx[common + (la - common)..].iter().map(|&i| universe[i]));
+    a.sort_unstable();
+    b.sort_unstable();
+    (a, b)
+}
+
+/// Generates `n` values for the sort experiments.
+pub fn sort_input(n: usize, order: SortOrder, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match order {
+        SortOrder::Random => (0..n).map(|_| rng.gen()).collect(),
+        SortOrder::Ascending => (0..n as u32).map(|i| i * 3).collect(),
+        SortOrder::Descending => (0..n as u32).rev().map(|i| i * 3).collect(),
+        SortOrder::NearlySorted => {
+            let mut v: Vec<u32> = (0..n as u32).map(|i| i * 2).collect();
+            for _ in 0..n / 20 {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                v.swap(i, j);
+            }
+            v
+        }
+        SortOrder::FewDistinct => (0..n).map(|_| rng.gen_range(0..16u32) * 1000).collect(),
+    }
+}
+
+/// Measures the actual selectivity of a set pair (intersection size over
+/// the smaller set size).
+pub fn measured_selectivity(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let bs: BTreeSet<u32> = b.iter().copied().collect();
+    let common = a.iter().filter(|x| bs.contains(x)).count();
+    common as f64 / a.len().min(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strictly_increasing(v: &[u32]) -> bool {
+        v.windows(2).all(|w| w[0] < w[1])
+    }
+
+    #[test]
+    fn sorted_sets_are_strictly_increasing_and_sized() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::Clustered { run_len: 8 },
+            Distribution::Dense,
+            Distribution::ZipfGaps { theta_x10: 12 },
+        ] {
+            let s = sorted_set(500, dist, 7);
+            assert_eq!(s.len(), 500, "{dist:?}");
+            assert!(strictly_increasing(&s), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn selectivity_is_exact() {
+        for sel in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let (a, b) = set_pair_with_selectivity(2500, 2500, sel, 42);
+            assert_eq!(a.len(), 2500);
+            assert_eq!(b.len(), 2500);
+            assert!(strictly_increasing(&a));
+            assert!(strictly_increasing(&b));
+            let measured = measured_selectivity(&a, &b);
+            assert!(
+                (measured - sel).abs() < 1e-3,
+                "sel {sel}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_with_skewed_lengths() {
+        let (a, b) = set_pair_with_selectivity(100, 1000, 0.5, 1);
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 1000);
+        assert!((measured_selectivity(&a, &b) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a1, b1) = set_pair_with_selectivity(300, 300, 0.5, 9);
+        let (a2, b2) = set_pair_with_selectivity(300, 300, 0.5, 9);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = set_pair_with_selectivity(300, 300, 0.5, 10);
+        assert_ne!(a1, a3, "different seeds should differ");
+    }
+
+    #[test]
+    fn sort_inputs_have_requested_shape() {
+        let asc = sort_input(100, SortOrder::Ascending, 0);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let desc = sort_input(100, SortOrder::Descending, 0);
+        assert!(desc.windows(2).all(|w| w[0] >= w[1]));
+        let few = sort_input(1000, SortOrder::FewDistinct, 3);
+        let distinct: BTreeSet<u32> = few.iter().copied().collect();
+        assert!(distinct.len() <= 16);
+        assert_eq!(
+            sort_input(64, SortOrder::Random, 5),
+            sort_input(64, SortOrder::Random, 5)
+        );
+    }
+
+    #[test]
+    fn zipf_gaps_have_a_heavy_tail() {
+        let s = sorted_set(5000, Distribution::ZipfGaps { theta_x10: 12 }, 3);
+        let gaps: Vec<u32> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        let ones = gaps.iter().filter(|&&g| g == 1).count();
+        let large = gaps.iter().filter(|&&g| g > 100).count();
+        assert!(ones > gaps.len() / 3, "most gaps should be 1, got {ones}");
+        assert!(large > 0, "the tail should contain large jumps");
+    }
+
+    #[test]
+    fn subset_pair_is_contained() {
+        let (a, b) = subset_pair(1000, 200, Distribution::Uniform, 5);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(b.len(), 200);
+        assert!(strictly_increasing(&b));
+        assert!(b.iter().all(|x| a.binary_search(x).is_ok()));
+        assert!(
+            (measured_selectivity(&a, &b) - 1.0).abs() < 1e-9,
+            "b fully overlaps"
+        );
+    }
+
+    #[test]
+    fn skewed_pair_has_exact_overlap() {
+        let (a, b) = skewed_pair(5000, 100, 40, 6);
+        assert_eq!(a.len(), 5000);
+        assert_eq!(b.len(), 100);
+        let bs: std::collections::BTreeSet<u32> = b.iter().copied().collect();
+        let common = a.iter().filter(|x| bs.contains(x)).count();
+        assert_eq!(common, 40);
+    }
+
+    #[test]
+    fn no_sentinel_values_generated() {
+        let (a, b) = set_pair_with_selectivity(1000, 1000, 0.5, 11);
+        assert!(!a.contains(&u32::MAX));
+        assert!(!b.contains(&u32::MAX));
+    }
+}

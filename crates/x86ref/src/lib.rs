@@ -1,0 +1,109 @@
+//! Optimized software baselines for the paper's cross-architecture
+//! comparison (Section 5.4).
+//!
+//! * [`swsort`] — a register-blocked merge-sort in the style of Chhugani
+//!   et al. (VLDB 2008): 4-wide sorting networks build the initial runs
+//!   and a 4-wide bitonic merge network replaces the branchy merge loop.
+//!   This is the `swsort` of the paper's Table 5.
+//! * [`swset`] — a block sorted-set intersection in the style of Schlegel
+//!   et al. (ADMS 2011): an all-to-all comparison over 4-element blocks
+//!   with block-granular advancement. This is the `swset` of Table 6.
+//! * [`scalar`] — the plain branchy algorithms (Figures 2 and 3), the
+//!   software lower bound.
+//!
+//! These run on the *host* CPU; the harness reports host measurements
+//! alongside the paper's published Q9550/i7-920 numbers. The kernels are
+//! written over `[u32; 4]` lanes with element-wise min/max so the
+//! compiler's auto-vectorizer maps them to SIMD.
+
+pub mod scalar;
+pub mod swset;
+pub mod swsort;
+
+/// Element-wise minimum of two 4-lanes.
+#[inline(always)]
+pub(crate) fn vmin(a: [u32; 4], b: [u32; 4]) -> [u32; 4] {
+    [
+        a[0].min(b[0]),
+        a[1].min(b[1]),
+        a[2].min(b[2]),
+        a[3].min(b[3]),
+    ]
+}
+
+/// Element-wise maximum of two 4-lanes.
+#[inline(always)]
+pub(crate) fn vmax(a: [u32; 4], b: [u32; 4]) -> [u32; 4] {
+    [
+        a[0].max(b[0]),
+        a[1].max(b[1]),
+        a[2].max(b[2]),
+        a[3].max(b[3]),
+    ]
+}
+
+/// Merges two sorted 4-lanes into a sorted 8-sequence returned as
+/// `(low, high)` — the bitonic merge network of both `swsort` and the
+/// hardware merge instruction.
+#[inline(always)]
+pub fn bitonic_merge8(a: [u32; 4], b: [u32; 4]) -> ([u32; 4], [u32; 4]) {
+    // Reverse b, then three compare-exchange stages (stride 4, 2, 1).
+    let b = [b[3], b[2], b[1], b[0]];
+    let lo1 = vmin(a, b);
+    let hi1 = vmax(a, b);
+    // stride 2 within each half.
+    let l = [
+        lo1[0].min(lo1[2]),
+        lo1[1].min(lo1[3]),
+        lo1[0].max(lo1[2]),
+        lo1[1].max(lo1[3]),
+    ];
+    let h = [
+        hi1[0].min(hi1[2]),
+        hi1[1].min(hi1[3]),
+        hi1[0].max(hi1[2]),
+        hi1[1].max(hi1[3]),
+    ];
+    // stride 1.
+    let low = [
+        l[0].min(l[1]),
+        l[0].max(l[1]),
+        l[2].min(l[3]),
+        l[2].max(l[3]),
+    ];
+    let high = [
+        h[0].min(h[1]),
+        h[0].max(h[1]),
+        h[2].min(h[3]),
+        h[2].max(h[3]),
+    ];
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitonic_merge8_merges() {
+        let cases = [
+            ([1u32, 3, 5, 7], [2u32, 4, 6, 8]),
+            ([1, 2, 3, 4], [5, 6, 7, 8]),
+            ([5, 6, 7, 8], [1, 2, 3, 4]),
+            ([0, 0, 1, 9], [0, 2, 9, 9]),
+            ([u32::MAX; 4], [0, 1, 2, 3]),
+        ];
+        for (a, b) in cases {
+            let (lo, hi) = bitonic_merge8(a, b);
+            let mut all: Vec<u32> = lo.iter().chain(hi.iter()).copied().collect();
+            let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+            expect.sort_unstable();
+            all.sort_unstable(); // both halves individually sorted; check content
+            assert_eq!(all, expect, "content a={a:?} b={b:?}");
+            let (lo, hi) = bitonic_merge8(a, b);
+            assert!(lo.windows(2).all(|w| w[0] <= w[1]), "low sorted {lo:?}");
+            assert!(hi.windows(2).all(|w| w[0] <= w[1]), "high sorted {hi:?}");
+            assert!(lo[3] <= hi[0], "halves ordered {lo:?} {hi:?}");
+        }
+    }
+}

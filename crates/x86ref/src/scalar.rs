@@ -1,0 +1,152 @@
+//! Plain scalar baselines — the C algorithms of the paper's Figures 2
+//! and 3 on the host CPU.
+
+/// Sorted-set intersection (Figure 3).
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    out
+}
+
+/// Sorted-set union.
+pub fn union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sorted-set difference (A − B).
+pub fn difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Bottom-up merge-sort (Figure 2's merge procedure in a width-doubling
+/// driver), the scalar sorting baseline.
+pub fn merge_sort(data: &mut [u32]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let mut src = data.to_vec();
+    let mut dst = vec![0u32; n];
+    let mut width = 1usize;
+    while width < n {
+        let mut l = 0;
+        while l < n {
+            let m = (l + width).min(n);
+            let r = (l + 2 * width).min(n);
+            let (mut i, mut j, mut o) = (l, m, l);
+            while i < m && j < r {
+                if src[i] <= src[j] {
+                    dst[o] = src[i];
+                    i += 1;
+                } else {
+                    dst[o] = src[j];
+                    j += 1;
+                }
+                o += 1;
+            }
+            dst[o..o + (m - i)].copy_from_slice(&src[i..m]);
+            let o = o + (m - i);
+            dst[o..o + (r - j)].copy_from_slice(&src[j..r]);
+            l = r;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+    data.copy_from_slice(&src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn sets() -> (Vec<u32>, Vec<u32>) {
+        let a: Vec<u32> = (0..200).map(|i| 3 * i).collect();
+        let b: Vec<u32> = (0..200).map(|i| 5 * i + 1).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn ops_match_btreeset() {
+        let (a, b) = sets();
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        assert_eq!(
+            intersect(&a, &b),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(union(&a, &b), sa.union(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            difference(&a, &b),
+            sa.difference(&sb).copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(intersect(&[], &[1]).is_empty());
+        assert_eq!(union(&[], &[1]), vec![1]);
+        assert_eq!(difference(&[2], &[]), vec![2]);
+    }
+
+    #[test]
+    fn merge_sort_matches_std() {
+        for n in [0usize, 1, 2, 3, 17, 100, 1023] {
+            let mut v: Vec<u32> = (0..n as u32)
+                .map(|i| i.wrapping_mul(2654435761) % 1000)
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            merge_sort(&mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! `swsort` — register-blocked SIMD-style merge-sort after Chhugani et
+//! al. (VLDB 2008), the software comparison point of the paper's Table 5.
+//!
+//! Phase 1 sorts blocks of 16 elements with a 4x4 column sorting network
+//! plus an in-register transpose, producing sorted runs of four. Phase 2
+//! merges runs pairwise with the 4-wide bitonic merge network
+//! ([`crate::bitonic_merge8`]), taking the next block from whichever run
+//! has the smaller head — no data-dependent branch in the inner network.
+
+use crate::{bitonic_merge8, vmax, vmin};
+
+/// Sorts a `u32` slice.
+pub fn sort(data: &mut [u32]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    // Pad to a multiple of 16 with MAX sentinels in a scratch buffer.
+    let padded = n.div_ceil(16) * 16;
+    let mut src = Vec::with_capacity(padded);
+    src.extend_from_slice(data);
+    src.resize(padded, u32::MAX);
+    let mut dst = vec![0u32; padded];
+
+    presort_runs_of_4(&mut src);
+
+    let mut width = 4usize;
+    while width < padded {
+        let mut l = 0;
+        while l < padded {
+            let m = (l + width).min(padded);
+            let r = (l + 2 * width).min(padded);
+            if m == r {
+                dst[l..r].copy_from_slice(&src[l..r]);
+            } else {
+                merge_runs(&src[l..m], &src[m..r], &mut dst[l..r]);
+            }
+            l = r;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+    data.copy_from_slice(&src[..n]);
+}
+
+#[inline(always)]
+fn load4(s: &[u32]) -> [u32; 4] {
+    [s[0], s[1], s[2], s[3]]
+}
+
+/// Sorts every aligned block of 4 using the 16-element register kernel:
+/// a column-wise sorting network over four 4-lanes plus a transpose.
+fn presort_runs_of_4(v: &mut [u32]) {
+    debug_assert_eq!(v.len() % 16, 0);
+    for chunk in v.chunks_exact_mut(16) {
+        let mut r0 = load4(&chunk[0..4]);
+        let mut r1 = load4(&chunk[4..8]);
+        let mut r2 = load4(&chunk[8..12]);
+        let mut r3 = load4(&chunk[12..16]);
+        // Column sort (each column independently) with the 5-comparator
+        // network — lanes stay element-wise, so this vectorizes.
+        let (a, b) = (vmin(r0, r2), vmax(r0, r2));
+        r0 = a;
+        r2 = b;
+        let (a, b) = (vmin(r1, r3), vmax(r1, r3));
+        r1 = a;
+        r3 = b;
+        let (a, b) = (vmin(r0, r1), vmax(r0, r1));
+        r0 = a;
+        r1 = b;
+        let (a, b) = (vmin(r2, r3), vmax(r2, r3));
+        r2 = a;
+        r3 = b;
+        let (a, b) = (vmin(r1, r2), vmax(r1, r2));
+        r1 = a;
+        r2 = b;
+        // Transpose: columns become sorted rows of 4.
+        for c in 0..4 {
+            chunk[4 * c] = r0[c];
+            chunk[4 * c + 1] = r1[c];
+            chunk[4 * c + 2] = r2[c];
+            chunk[4 * c + 3] = r3[c];
+        }
+    }
+}
+
+/// Merges two sorted runs (lengths multiples of 4) into `out` with the
+/// bitonic merge kernel.
+fn merge_runs(a: &[u32], b: &[u32], out: &mut [u32]) {
+    debug_assert_eq!(a.len() % 4, 0);
+    debug_assert_eq!(b.len() % 4, 0);
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+
+    // Prime the work vector from the run with the smaller head.
+    let mut va = if b.is_empty() || (!a.is_empty() && a[0] <= b[0]) {
+        let v = load4(&a[0..4]);
+        i = 4;
+        v
+    } else {
+        let v = load4(&b[0..4]);
+        j = 4;
+        v
+    };
+    loop {
+        let take_a = if i < a.len() && j < b.len() {
+            a[i] <= b[j]
+        } else if i < a.len() {
+            true
+        } else if j < b.len() {
+            false
+        } else {
+            break;
+        };
+        let vb = if take_a {
+            let v = load4(&a[i..i + 4]);
+            i += 4;
+            v
+        } else {
+            let v = load4(&b[j..j + 4]);
+            j += 4;
+            v
+        };
+        let (lo, hi) = bitonic_merge8(va, vb);
+        out[o..o + 4].copy_from_slice(&lo);
+        o += 4;
+        va = hi;
+    }
+    out[o..o + 4].copy_from_slice(&va);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(mut v: Vec<u32>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_various_sizes() {
+        for n in [0usize, 1, 3, 4, 15, 16, 17, 64, 100, 1000, 4096, 9999] {
+            let v: Vec<u32> = (0..n as u32)
+                .map(|i| i.wrapping_mul(2654435761).rotate_left(7))
+                .collect();
+            check(v);
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        check((0..512).rev().collect());
+        check(vec![5; 333]);
+        check(
+            (0..256)
+                .map(|i| if i % 2 == 0 { 0 } else { u32::MAX - 1 })
+                .collect(),
+        );
+        check(vec![u32::MAX, 0, u32::MAX, 0, 7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn presort_produces_runs_of_4() {
+        let mut v: Vec<u32> = (0..32u32).rev().collect();
+        presort_runs_of_4(&mut v);
+        for run in v.chunks_exact(4) {
+            assert!(run.windows(2).all(|w| w[0] <= w[1]), "{run:?}");
+        }
+    }
+
+    #[test]
+    fn merge_runs_handles_skew() {
+        let a: Vec<u32> = (0..64).map(|i| 2 * i).collect();
+        let b: Vec<u32> = vec![1000, 1001, 1002, 1003];
+        let mut out = vec![0u32; a.len() + b.len()];
+        merge_runs(&a, &b, &mut out);
+        let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+}

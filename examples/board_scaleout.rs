@@ -1,0 +1,63 @@
+//! Scale-out on a board of DBA cores — the paper's introduction: *"The
+//! extremely low-energy design enables us to put hundreds of chips on a
+//! single board without any thermal restrictions."*
+//!
+//! ```text
+//! cargo run --release --example board_scaleout
+//! ```
+//!
+//! Intersects two 100k-element RID sets across a growing shared-nothing
+//! core count (value-aligned partitions, per-core local stores) and
+//! prices each point with the synthesis model. The punchline: an
+//! x86-die-sized array of these cores delivers two orders of magnitude
+//! more throughput at a fraction of the TDP.
+
+use dbasip::dbisa::multicore::multicore_set_op;
+use dbasip::dbisa::{ProcModel, SetOpKind};
+use dbasip::synth::{area_report, fmax_mhz, power_report, Tech};
+use dbasip::workloads::set_pair_with_selectivity;
+
+fn main() {
+    let model = ProcModel::Dba2LsuEis { partial: true };
+    let tech = Tech::tsmc65lp();
+    let f = fmax_mhz(model, &tech);
+    let core_area = area_report(model, tech).total_mm2();
+    let core_power_w = power_report(model, tech).total_mw() / 1000.0;
+
+    let n = 100_000;
+    let (a, b) = set_pair_with_selectivity(n, n, 0.5, 77);
+    println!("workload: intersection of 2x{n} RIDs at 50% selectivity");
+    println!(
+        "one core: {:.2} mm2, {:.3} W at {:.0} MHz\n",
+        core_area, core_power_w, f
+    );
+
+    println!(
+        "{:>6} {:>12} {:>10} {:>11} {:>10}",
+        "cores", "M elem/s", "speedup", "area mm2", "power W"
+    );
+    let mut single = 0.0;
+    for cores in [1usize, 4, 16, 64] {
+        let run = multicore_set_op(model, SetOpKind::Intersect, &a, &b, cores).expect("run");
+        let tput = run.throughput_meps(2 * n as u64, f);
+        if cores == 1 {
+            single = tput;
+        }
+        println!(
+            "{:>6} {:>12.0} {:>9.1}x {:>11.1} {:>10.2}",
+            cores,
+            tput,
+            tput / single,
+            cores as f64 * core_area,
+            cores as f64 * core_power_w
+        );
+    }
+
+    let in_q9550 = (214.0 / core_area) as usize;
+    println!(
+        "\na Q9550-sized die fits {in_q9550} cores: ~{:.0} M elements/s at {:.1} W",
+        in_q9550 as f64 * single,
+        in_q9550 as f64 * core_power_w
+    );
+    println!("(the Q9550 itself: 95 W TDP; the i7-920: 130 W — Section 5.4's argument)");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run a sorted-set intersection on the database ASIP.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's full configuration (DBA_2LSU_EIS with partial
+//! loading), intersects two RID sets with the DB instruction-set
+//! extension, and reports cycles, throughput at the synthesised core
+//! frequency, and energy per element.
+
+use dbasip::dbisa::{run_set_op, ProcModel, SetOpKind};
+use dbasip::synth::{fmax_mhz, power_report, Tech};
+use dbasip::workloads::set_pair_with_selectivity;
+
+fn main() {
+    // Two sorted RID sets, as they would come out of two secondary-index
+    // lookups: 50 % of the RIDs match (the paper's default selectivity).
+    let (a, b) = set_pair_with_selectivity(2500, 2500, 0.5, 42);
+
+    // The paper's headline configuration: two 128-bit load-store units,
+    // the DB instruction-set extension, partial loading.
+    let model = ProcModel::Dba2LsuEis { partial: true };
+    let tech = Tech::tsmc65lp();
+    let f = fmax_mhz(model, &tech);
+
+    let run = run_set_op(model, SetOpKind::Intersect, &a, &b).expect("simulation");
+
+    println!(
+        "processor        : {} (partial loading: {})",
+        model.name(),
+        model.partial_label()
+    );
+    println!("core frequency   : {f:.0} MHz (synthesis model, 65 nm LP)");
+    println!("input            : {} + {} sorted RIDs", a.len(), b.len());
+    println!("result           : {} common RIDs", run.result.len());
+    println!(
+        "first / last     : {:?} / {:?}",
+        run.result.first(),
+        run.result.last()
+    );
+    println!("cycles           : {}", run.cycles);
+    println!(
+        "throughput       : {:.0} M elements/s  (paper Table 2: 1203)",
+        run.throughput_meps((a.len() + b.len()) as u64, f)
+    );
+
+    let power = power_report(model, tech);
+    println!(
+        "power / energy   : {:.1} mW, {:.3} nJ per element",
+        power.total_mw(),
+        power.energy_per_element_nj((a.len() + b.len()) as u64, run.cycles)
+    );
+
+    // Sanity: the simulator's answer matches a host-side reference.
+    let expect: Vec<u32> = a
+        .iter()
+        .copied()
+        .filter(|x| b.binary_search(x).is_ok())
+        .collect();
+    assert_eq!(run.result, expect);
+    println!("verified         : result matches host-side reference");
+}

@@ -1,0 +1,78 @@
+//! RID-list intersection for a multi-predicate query — the workload the
+//! paper's introduction motivates (index ANDing, Raman et al.).
+//!
+//! ```text
+//! cargo run --release --example rid_intersection
+//! ```
+//!
+//! Scenario: `SELECT ... WHERE color = 'red' AND size = 42 AND region = 7`
+//! resolved through three secondary indexes. Each index lookup yields a
+//! sorted RID list; the executor intersects them pairwise. An OR
+//! predicate adds a union. We run the whole plan on every processor
+//! configuration of the paper and compare cycles, throughput, and energy.
+
+use dbasip::dbisa::{run_set_op, ProcModel, SetOpKind};
+use dbasip::synth::{fmax_mhz, power_from_activity, Tech};
+use dbasip::workloads::{sorted_set, Distribution};
+
+fn main() {
+    // Three index scans over the same table's row-id space: every third
+    // row is red, every fourth has size 42, every second is in region 7 —
+    // so the conjunction keeps every twelfth row.
+    let color: Vec<u32> = (0..2200u32).map(|i| 3 * i).collect();
+    let size: Vec<u32> = (0..1800u32).map(|i| 4 * i).collect();
+    let region: Vec<u32> = (0..2500u32).map(|i| 2 * i).collect();
+
+    println!("query plan: (color AND size AND region) OR priority_list");
+    println!(
+        "index RID lists: color={}, size={}, region={}\n",
+        color.len(),
+        size.len(),
+        region.len()
+    );
+
+    let priority = sorted_set(400, Distribution::Dense, 4);
+    let tech = Tech::tsmc65lp();
+
+    println!(
+        "{:<14} {:>7} {:>10} {:>12} {:>10} {:>12}",
+        "processor", "partial", "result", "cycles", "M elem/s", "energy [nJ]"
+    );
+    for model in ProcModel::all() {
+        let f = fmax_mhz(model, &tech);
+
+        // color ∩ size
+        let s1 = run_set_op(model, SetOpKind::Intersect, &color, &size).expect("step 1");
+        // (color ∩ size) ∩ region
+        let s2 = run_set_op(model, SetOpKind::Intersect, &s1.result, &region).expect("step 2");
+        // ... ∪ priority
+        let s3 = run_set_op(model, SetOpKind::Union, &s2.result, &priority).expect("step 3");
+
+        let cycles = s1.cycles + s2.cycles + s3.cycles;
+        let elements = (color.len()
+            + size.len()
+            + s1.result.len()
+            + region.len()
+            + s2.result.len()
+            + priority.len()) as u64;
+        let tput = elements as f64 * f / cycles as f64;
+        let energy = {
+            // Use the final step's activity profile as representative.
+            let p = power_from_activity(model, tech, &s3.stats);
+            p.total_mw() * 1e-3 * (cycles as f64 / (f * 1e6)) / elements as f64 * 1e9
+        };
+        println!(
+            "{:<14} {:>7} {:>10} {:>12} {:>10.1} {:>12.3}",
+            model.name(),
+            model.partial_label(),
+            s3.result.len(),
+            cycles,
+            tput,
+            energy
+        );
+    }
+
+    println!("\nEvery configuration computes the same RID list; the EIS");
+    println!("configurations do it an order of magnitude faster and the");
+    println!("energy per processed element drops accordingly.");
+}

@@ -1,0 +1,173 @@
+//! Property tests of the binary toolchain: every constructible
+//! instruction must survive encode → decode, and every program must
+//! survive assemble → disassemble → assemble.
+
+use dbasip::asm::{assemble, disassemble};
+use dbasip::cpu::encode::{decode_instr, encode_instr, encode_program};
+use dbasip::cpu::isa::{BranchCond, ExtOp, Instr, LsWidth, OpArgs, Reg};
+use dbasip::cpu::{ProgramBuilder, IMEM_BASE};
+use dbasip::dbisa::{DbExtConfig, DbExtension};
+use proptest::prelude::*;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn cond_strategy() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn width_strategy() -> impl Strategy<Value = LsWidth> {
+    prop_oneof![Just(LsWidth::B8), Just(LsWidth::H16), Just(LsWidth::W32)]
+}
+
+/// Branch targets must be word-aligned and in 15-bit word range of the
+/// instruction (the tightest encoding).
+fn target_strategy() -> impl Strategy<Value = u32> {
+    (-8000i32..8000).prop_map(|w| IMEM_BASE.wrapping_add(0x8000).wrapping_add((w * 4) as u32))
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let r = reg_strategy;
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Ret),
+        (r(), any::<i32>()).prop_map(|(rr, imm)| Instr::Movi { r: rr, imm }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Add { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Addx4 { r: a, s, t }),
+        (r(), r(), any::<i16>()).prop_map(|(a, s, imm)| Instr::Addi { r: a, s, imm }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Sub { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Xor { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::And { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Or { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Minu { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Maxu { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Min { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Max { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Mull { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Quou { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Remu { r: a, s, t }),
+        (r(), r(), 0u8..32).prop_map(|(a, s, sa)| Instr::Srli { r: a, s, sa }),
+        (r(), r(), 0u8..32).prop_map(|(a, s, sa)| Instr::Srai { r: a, s, sa }),
+        target_strategy().prop_map(|target| Instr::Call0 { target }),
+        (r(), r(), 0u8..32).prop_map(|(a, s, sa)| Instr::Slli { r: a, s, sa }),
+        (r(), r(), 0u8..32, 1u8..17).prop_map(|(a, s, shift, bits)| Instr::Extui {
+            r: a,
+            s,
+            shift,
+            bits
+        }),
+        (width_strategy(), r(), r(), any::<u16>()).prop_map(|(width, a, s, off)| Instr::Load {
+            width,
+            r: a,
+            s,
+            off
+        }),
+        (width_strategy(), r(), r(), any::<u16>()).prop_map(|(width, t, s, off)| Instr::Store {
+            width,
+            t,
+            s,
+            off
+        }),
+        (cond_strategy(), r(), r(), target_strategy())
+            .prop_map(|(cond, s, t, target)| Instr::Branch { cond, s, t, target }),
+        (r(), target_strategy()).prop_map(|(s, target)| Instr::Beqz { s, target }),
+        (r(), target_strategy()).prop_map(|(s, target)| Instr::Bnez { s, target }),
+        target_strategy().prop_map(|target| Instr::J { target }),
+        r().prop_map(|s| Instr::Jx { s }),
+        (r(), target_strategy()).prop_map(|(s, end)| Instr::Loop { s, end }),
+        (0u16..256, 0u8..16, 0u8..16, -16i8..16).prop_map(|(o, rr, s, imm)| Instr::Ext(ExtOp {
+            op: o,
+            args: OpArgs { r: rr, s, imm }
+        })),
+    ]
+}
+
+fn slot_strategy() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        (0u16..256, 0u8..16, 0u8..16).prop_map(|(o, rr, s)| Instr::Ext(ExtOp {
+            op: o,
+            args: OpArgs { r: rr, s, imm: 0 }
+        })),
+        (reg_strategy(), reg_strategy(), -128i16..128).prop_map(|(a, s, imm)| Instr::Addi {
+            r: a,
+            s,
+            imm
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_instruction_roundtrips(i in instr_strategy()) {
+        let pc = IMEM_BASE + 0x8000;
+        let enc = encode_instr(&i, pc).unwrap();
+        let back = decode_instr(enc.w0, enc.w1, pc).unwrap();
+        prop_assert_eq!(i, back);
+    }
+
+    #[test]
+    fn bundles_roundtrip(slots in proptest::collection::vec(slot_strategy(), 0..4)) {
+        let i = Instr::Flix(slots.into_boxed_slice());
+        let pc = IMEM_BASE;
+        let enc = encode_instr(&i, pc).unwrap();
+        let back = decode_instr(enc.w0, enc.w1, pc).unwrap();
+        prop_assert_eq!(i, back);
+    }
+
+    #[test]
+    fn program_images_have_declared_size(
+        instrs in proptest::collection::vec(instr_strategy(), 1..64)
+    ) {
+        // Replace target-carrying instructions with NOPs: random targets
+        // rarely land on instruction boundaries of a random program.
+        let mut b = ProgramBuilder::new();
+        for i in instrs {
+            if i.is_control() || matches!(i, Instr::Loop { .. }) {
+                b.nop();
+            } else {
+                b.inst(i);
+            }
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let image = encode_program(&p).unwrap();
+        prop_assert_eq!(image.len() as u32, p.size_bytes());
+    }
+}
+
+#[test]
+fn assembly_roundtrip_of_a_real_kernel() {
+    // Disassemble the actual EIS intersection kernel and reassemble it:
+    // the binary images must be identical.
+    use dbasip::dbisa::kernels::{hwset, SetLayout};
+    use dbasip::dbisa::SetOpKind;
+    let wiring = DbExtConfig::two_lsu(true);
+    let ext = DbExtension::new(wiring);
+    let layout = SetLayout {
+        a_base: 0x6000_0000,
+        a_len: 100,
+        b_base: 0x6800_0000,
+        b_len: 100,
+        c_base: 0x6800_1000,
+    };
+    let p1 = hwset::set_op_program(SetOpKind::Union, &wiring, &layout, 4).unwrap();
+    let text = disassemble(&p1, Some(&ext));
+    let p2 = assemble(&text, Some(&ext)).unwrap();
+    assert_eq!(
+        encode_program(&p1).unwrap(),
+        encode_program(&p2).unwrap(),
+        "reassembled kernel must be bit-identical"
+    );
+}

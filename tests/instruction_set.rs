@@ -1,0 +1,361 @@
+//! Per-instruction verification of the DB instruction-set extension —
+//! the paper's methodology (Section 3.1): *"In our work, we use a
+//! dedicated unit test for each newly introduced instruction. The unit
+//! tests compare output results with pre-specified values — especially
+//! considering corner cases."*
+//!
+//! Each test drives one instruction (or one fused instruction) through a
+//! minimal program and checks its architecturally visible effect: memory
+//! contents, `RUR_*` reads, and the store-path counters.
+
+use dbasip::cpu::isa::{ExtOp, Instr, OpArgs};
+use dbasip::cpu::{Processor, SimError, DMEM0_BASE, DMEM1_BASE};
+use dbasip::dbisa::{opcodes as op, DbExtConfig, DbExtension, ProcModel};
+use dbasip::mem::MemError;
+
+fn proc_2lsu() -> Processor {
+    let model = ProcModel::Dba2LsuEis { partial: true };
+    let mut p = Processor::new(model.cpu_config()).unwrap();
+    p.attach_extension(Box::new(DbExtension::new(DbExtConfig::two_lsu(true))));
+    p
+}
+
+fn proc_1lsu(partial: bool) -> Processor {
+    let model = ProcModel::Dba1LsuEis { partial };
+    let mut p = Processor::new(model.cpu_config()).unwrap();
+    p.attach_extension(Box::new(DbExtension::new(DbExtConfig::one_lsu(partial))));
+    p
+}
+
+fn e(o: u16) -> Instr {
+    Instr::Ext(ExtOp {
+        op: o,
+        args: OpArgs::default(),
+    })
+}
+
+fn e_r(o: u16, r: u8) -> Instr {
+    Instr::Ext(ExtOp {
+        op: o,
+        args: OpArgs { r, s: 0, imm: 0 },
+    })
+}
+
+fn e_s(o: u16, s: u8) -> Instr {
+    Instr::Ext(ExtOp {
+        op: o,
+        args: OpArgs { r: 0, s, imm: 0 },
+    })
+}
+
+/// Program prologue: INIT then stream pointers from immediates.
+struct Builder(dbasip::cpu::ProgramBuilder);
+
+impl Builder {
+    fn new() -> Self {
+        let mut b = dbasip::cpu::ProgramBuilder::new();
+        b.inst(e(op::INIT));
+        Builder(b)
+    }
+
+    fn wur(&mut self, o: u16, value: u32) -> &mut Self {
+        use dbasip::cpu::isa::regs::A2;
+        self.0.movi(A2, value as i32);
+        self.0.inst(e_s(o, 2));
+        self
+    }
+
+    fn i(&mut self, instr: Instr) -> &mut Self {
+        self.0.inst(instr);
+        self
+    }
+
+    fn run(self, p: &mut Processor) -> Result<(), SimError> {
+        let mut b = self.0;
+        b.halt();
+        p.load_program(b.build()?)?;
+        p.run(1_000_000)?;
+        Ok(())
+    }
+}
+
+#[test]
+fn ld_then_drain_moves_one_beat() {
+    let mut p = proc_2lsu();
+    p.mem.poke_words(DMEM0_BASE, &[10, 20, 30, 40, 50]).unwrap();
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 16)
+        .wur(op::WUR_PTR_C, DMEM1_BASE)
+        .i(e(op::LD_A)) // one 128-bit beat into the Load states
+        .i(e(op::DRAIN_A)) // Load states -> store FIFO
+        .i(e(op::ST_FLUSH));
+    b.run(&mut p).unwrap();
+    assert_eq!(
+        p.mem.peek_words(DMEM1_BASE, 4).unwrap(),
+        vec![10, 20, 30, 40]
+    );
+}
+
+#[test]
+fn ld_partial_tail_loads_only_valid_lanes() {
+    let mut p = proc_2lsu();
+    p.mem.poke_words(DMEM0_BASE, &[7, 8, 99, 99]).unwrap();
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 8) // only two elements
+        .wur(op::WUR_PTR_C, DMEM1_BASE)
+        .i(e(op::LD_A))
+        .i(e(op::DRAIN_A))
+        .i(e(op::ST_FLUSH))
+        .i(e_r(op::RUR_OUT_CNT, 5));
+    b.run(&mut p).unwrap();
+    assert_eq!(
+        p.ar[5], 2,
+        "only the two valid elements may reach the output"
+    );
+    assert_eq!(p.mem.peek_words(DMEM1_BASE, 2).unwrap(), vec![7, 8]);
+}
+
+#[test]
+fn st_requires_a_full_aligned_beat_and_flush_does_not() {
+    let mut p = proc_2lsu();
+    p.mem.poke_words(DMEM0_BASE, &[1, 2]).unwrap();
+    // Two elements in the FIFO: ST must do nothing, ST_FLUSH must store.
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 8)
+        .wur(op::WUR_PTR_C, DMEM1_BASE)
+        .i(e(op::LD_A))
+        .i(e(op::DRAIN_A))
+        .i(e(op::ST)) // no-op: fewer than 4 buffered
+        .i(e_r(op::RUR_FIFO_CNT, 5))
+        .i(e(op::ST_FLUSH))
+        .i(e_r(op::RUR_FIFO_CNT, 6));
+    b.run(&mut p).unwrap();
+    assert_eq!(p.ar[5], 2, "ST must not store a partial beat");
+    assert_eq!(p.ar[6], 0, "ST_FLUSH drains the tail");
+}
+
+#[test]
+fn rur_done_flags_track_stream_consumption() {
+    let mut p = proc_2lsu();
+    p.mem.poke_words(DMEM0_BASE, &[1, 2, 3, 4]).unwrap();
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 16)
+        .i(e_r(op::RUR_A_DONE, 5)) // before any load: ptr < end -> not done
+        .i(e(op::LD_A))
+        .i(e_r(op::RUR_A_DONE, 6)) // loaded but buffered -> not done
+        .i(e(op::DRAIN_A))
+        .i(e_r(op::RUR_A_DONE, 7)) // drained -> done
+        .i(e_r(op::RUR_B_DONE, 8)); // B was empty from the start
+    b.run(&mut p).unwrap();
+    assert_eq!((p.ar[5], p.ar[6], p.ar[7], p.ar[8]), (0, 0, 1, 1));
+}
+
+#[test]
+fn sort4_ld_sorts_through_the_network() {
+    let mut p = proc_1lsu(false);
+    p.mem.poke_words(DMEM0_BASE, &[40, 10, 30, 20]).unwrap();
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 16)
+        .wur(op::WUR_PTR_C, DMEM0_BASE + 0x100)
+        .i(e(op::SORT4_LD))
+        .i(e(op::CPY_ST));
+    b.run(&mut p).unwrap();
+    assert_eq!(
+        p.mem.peek_words(DMEM0_BASE + 0x100, 4).unwrap(),
+        vec![10, 20, 30, 40],
+        "the presort load must emit a sorted block"
+    );
+}
+
+#[test]
+fn cpy_path_is_self_aligning() {
+    let mut p = proc_1lsu(true);
+    p.mem
+        .poke_words(DMEM0_BASE, &(1..=8u32).collect::<Vec<_>>())
+        .unwrap();
+    // Destination starts mid-beat: the first CPY_ST must stop at the
+    // beat boundary, later ones realign.
+    let dst = DMEM0_BASE + 0x104; // 4-byte aligned, not 16
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 32)
+        .wur(op::WUR_PTR_C, dst);
+    for _ in 0..6 {
+        b.i(e(op::CPY_LD_A)).i(e(op::CPY_ST));
+    }
+    b.i(e_r(op::RUR_CPY_PEND, 5));
+    b.run(&mut p).unwrap();
+    assert_eq!(p.ar[5], 0, "copy must complete");
+    assert_eq!(
+        p.mem.peek_words(dst, 8).unwrap(),
+        (1..=8u32).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn store_merge_merges_two_runs() {
+    let mut p = proc_1lsu(false);
+    // Run 0: 1 3 5 7 ; run 1: 2 4 6 8.
+    p.mem.poke_words(DMEM0_BASE, &[1, 3, 5, 7]).unwrap();
+    p.mem.poke_words(DMEM0_BASE + 16, &[2, 4, 6, 8]).unwrap();
+    let dst = DMEM0_BASE + 0x100;
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 16)
+        .wur(op::WUR_PTR_B, DMEM0_BASE + 16)
+        .wur(op::WUR_END_B, DMEM0_BASE + 32)
+        .wur(op::WUR_PTR_C, dst)
+        .i(e(op::LD_MERGE))
+        .i(e(op::LD_MERGE));
+    for _ in 0..4 {
+        b.i(e_r(op::STORE_MERGE, 7)).i(e(op::LD_MERGE));
+    }
+    b.i(e(op::ST_FLUSH))
+        .i(e(op::ST_FLUSH))
+        .i(e_r(op::RUR_OUT_CNT, 5));
+    b.run(&mut p).unwrap();
+    assert_eq!(p.ar[5], 8);
+    assert_eq!(
+        p.mem.peek_words(dst, 8).unwrap(),
+        vec![1, 2, 3, 4, 5, 6, 7, 8]
+    );
+    assert_eq!(
+        p.ar[7], 0,
+        "the final STORE_MERGE must clear the continue flag"
+    );
+}
+
+#[test]
+fn store_merge_with_one_empty_run_copies_through() {
+    let mut p = proc_1lsu(false);
+    p.mem.poke_words(DMEM0_BASE, &[5, 6, 7, 8]).unwrap();
+    let dst = DMEM0_BASE + 0x100;
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 16)
+        .wur(op::WUR_PTR_B, DMEM0_BASE + 16)
+        .wur(op::WUR_END_B, DMEM0_BASE + 16) // empty run 1
+        .wur(op::WUR_PTR_C, dst)
+        .i(e(op::LD_MERGE))
+        .i(e(op::LD_MERGE));
+    for _ in 0..3 {
+        b.i(e_r(op::STORE_MERGE, 7)).i(e(op::LD_MERGE));
+    }
+    b.i(e(op::ST_FLUSH)).i(e(op::ST_FLUSH));
+    b.run(&mut p).unwrap();
+    assert_eq!(p.mem.peek_words(dst, 4).unwrap(), vec![5, 6, 7, 8]);
+}
+
+#[test]
+fn ld_ldp_shuffle_fills_windows_for_the_sop() {
+    // The fused instruction must prime the pipeline such that one
+    // STORE_SOP emits a match (Figure 11's init sequence).
+    let mut p = proc_2lsu();
+    p.mem.poke_words(DMEM0_BASE, &[1, 2, 3, 4]).unwrap();
+    p.mem.poke_words(DMEM1_BASE, &[2, 4, 6, 8]).unwrap();
+    let dst = DMEM1_BASE + 0x100;
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 16)
+        .wur(op::WUR_PTR_B, DMEM1_BASE)
+        .wur(op::WUR_END_B, DMEM1_BASE + 16)
+        .wur(op::WUR_PTR_C, dst)
+        .i(e(op::LD_LDP_SHUFFLE))
+        .i(e(op::LD_LDP_SHUFFLE));
+    for _ in 0..4 {
+        b.i(e_r(op::STORE_SOP_ISECT, 7)).i(e(op::LD_LDP_SHUFFLE));
+    }
+    for _ in 0..4 {
+        b.i(e(op::ST_FLUSH));
+    }
+    b.i(e_r(op::RUR_OUT_CNT, 5));
+    b.run(&mut p).unwrap();
+    assert_eq!(p.ar[5], 2);
+    assert_eq!(p.mem.peek_words(dst, 2).unwrap(), vec![2, 4]);
+}
+
+#[test]
+fn sop_bundled_with_ldp_is_a_structural_hazard() {
+    let mut p = proc_2lsu();
+    let mut b = dbasip::cpu::ProgramBuilder::new();
+    b.inst(e(op::INIT));
+    b.flix([e(op::SOP_ISECT), e(op::LDP_A)]);
+    b.halt();
+    p.load_program(b.build().unwrap()).unwrap();
+    let e = p.run(1000).unwrap_err();
+    assert!(matches!(e, SimError::WriteConflict { .. }), "{e:?}");
+}
+
+#[test]
+fn duplicated_micro_resource_in_a_bundle_is_rejected() {
+    let mut p = proc_2lsu();
+    let mut b = dbasip::cpu::ProgramBuilder::new();
+    b.inst(e(op::INIT));
+    b.flix([e(op::ST), e(op::ST_FLUSH)]); // both need the store unit
+    b.halt();
+    p.load_program(b.build().unwrap()).unwrap();
+    let e = p.run(1000).unwrap_err();
+    assert!(matches!(e, SimError::WriteConflict { .. }), "{e:?}");
+}
+
+#[test]
+fn two_lsu_wiring_rejects_cross_stream_memory() {
+    // Stream A must live in DMEM0 on the dual-LSU core; pointing it at
+    // DMEM1 is a structural error the memory system catches.
+    let mut p = proc_2lsu();
+    p.mem.poke_words(DMEM1_BASE, &[1, 2, 3, 4]).unwrap();
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM1_BASE)
+        .wur(op::WUR_END_A, DMEM1_BASE + 16)
+        .i(e(op::LD_A));
+    let err = b.run(&mut p).unwrap_err();
+    assert!(
+        matches!(err, SimError::Mem(MemError::Unmapped { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn addi_slot_op_executes_alongside_extension_ops() {
+    let mut p = proc_2lsu();
+    let mut b = dbasip::cpu::ProgramBuilder::new();
+    use dbasip::cpu::isa::regs::{A3, A4};
+    b.inst(e(op::INIT));
+    b.movi(A3, 10);
+    b.movi(A4, 0);
+    b.flix([
+        e_r(op::RUR_FIFO_CNT, 4),
+        Instr::Addi {
+            r: A3,
+            s: A3,
+            imm: 5,
+        },
+    ]);
+    b.halt();
+    p.load_program(b.build().unwrap()).unwrap();
+    p.run(1000).unwrap();
+    assert_eq!(p.ar[3], 15, "the ALU slot op must execute");
+    assert_eq!(p.ar[4], 0, "the extension op must execute too");
+}
+
+#[test]
+fn init_resets_all_states() {
+    let mut p = proc_2lsu();
+    p.mem.poke_words(DMEM0_BASE, &[1, 2, 3, 4]).unwrap();
+    let mut b = Builder::new();
+    b.wur(op::WUR_PTR_A, DMEM0_BASE)
+        .wur(op::WUR_END_A, DMEM0_BASE + 16)
+        .i(e(op::LD_A))
+        .i(e(op::DRAIN_A))
+        .i(e_r(op::RUR_FIFO_CNT, 5)) // 4 buffered
+        .i(e(op::INIT))
+        .i(e_r(op::RUR_FIFO_CNT, 6)) // cleared
+        .i(e_r(op::RUR_A_DONE, 7)); // pointers cleared -> trivially done
+    b.run(&mut p).unwrap();
+    assert_eq!((p.ar[5], p.ar[6], p.ar[7]), (4, 0, 1));
+}

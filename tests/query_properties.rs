@@ -1,0 +1,73 @@
+//! Property tests of the query executor: arbitrary tables and predicate
+//! trees must produce exactly the RIDs a full table scan produces, on
+//! every processor model.
+
+use dbasip::dbisa::ProcModel;
+use dbasip::query::{Predicate, QueryEngine, Table};
+use proptest::prelude::*;
+
+/// A random three-column table of up to 400 rows with small domains so
+/// predicates actually select something.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    (20usize..400).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(0u32..6, rows),
+            proptest::collection::vec(0u32..40, rows),
+            proptest::collection::vec(0u32..4, rows),
+        )
+            .prop_map(|(c0, c1, c2)| {
+                Table::build("t", &[("color", c0), ("size", c1), ("region", c2)])
+            })
+    })
+}
+
+/// Random predicate trees up to depth 3 over the three columns.
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        (0u32..6).prop_map(|v| Predicate::eq("color", v)),
+        (0u32..40, 0u32..20).prop_map(|(lo, d)| Predicate::between("size", lo, lo + d)),
+        (0u32..4).prop_map(|v| Predicate::eq("region", v)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.and_not(b)),
+        ]
+    })
+}
+
+fn scan(table: &Table, pred: &Predicate) -> Vec<u32> {
+    (0..table.n_rows)
+        .filter(|&rid| pred.matches(&|c: &str| table.column(c).expect("column")[rid as usize]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn executor_equals_full_scan(table in table_strategy(), pred in predicate_strategy()) {
+        let expect = scan(&table, &pred);
+        for model in [
+            ProcModel::Mini108,
+            ProcModel::Dba1LsuEis { partial: true },
+            ProcModel::Dba2LsuEis { partial: false },
+        ] {
+            let out = QueryEngine::new(model).execute(&table, &pred).unwrap();
+            prop_assert_eq!(&out.rids, &expect, "{} {:?}", model.name(), pred);
+        }
+    }
+
+    #[test]
+    fn order_by_and_sum_are_consistent(table in table_strategy(), pred in predicate_strategy()) {
+        let engine = QueryEngine::new(ProcModel::Dba2LsuEis { partial: true });
+        let out = engine.execute(&table, &pred).unwrap();
+        let sorted = engine.order_by(&table, &out.rids, "size").unwrap();
+        prop_assert!(sorted.values.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(sorted.values.len(), out.rids.len());
+        let (sum, _) = engine.sum(&table, &out.rids, "size").unwrap();
+        let expect: u32 = sorted.values.iter().fold(0u32, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(sum, expect);
+    }
+}
