@@ -1,0 +1,256 @@
+//! Static scratchpad bounds checking.
+//!
+//! A forward constant-propagation pass over the address registers
+//! (lattice: unknown / constant, so loops converge in one round trip)
+//! resolves `Movi`/`Addi`-derived addresses. Every `Load`/`Store` whose
+//! base register is constant is then checked against the memory map the
+//! configuration actually instantiates: local store 0 at `DMEM0_BASE`
+//! (`dmem_kb_per_lsu` KiB), local store 1 at `DMEM1_BASE` only on two-LSU
+//! cores (and private to LSU1, which base-ISA loads/stores never use),
+//! system memory at `SYSMEM_BASE` only when `core_sysmem_access` is set.
+//! Everything the classifier flags as an error is a guaranteed
+//! `MemError::Unmapped`/out-of-range fault if the instruction executes.
+
+use dbx_cpu::config::CpuConfig;
+use dbx_cpu::isa::Instr;
+use dbx_cpu::program::{DMEM0_BASE, DMEM1_BASE, IMEM_BASE, SYSMEM_BASE};
+
+use crate::view::View;
+use crate::{Diagnostic, RuleId, Severity};
+
+/// Abstract register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Unknown,
+    Const(u32),
+}
+
+impl Val {
+    fn meet(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Const(a), Val::Const(b)) if a == b => self,
+            _ => Val::Unknown,
+        }
+    }
+}
+
+type Regs = [Val; 16];
+
+pub(crate) fn check(view: &View<'_>, cfg: &CpuConfig, diags: &mut Vec<Diagnostic>) {
+    let n = view.instrs.len();
+    let entry = match view.index_of.get(&view.prog.entry()) {
+        Some(&e) => e,
+        None => return,
+    };
+    // The harness may seed registers before running, so entry values are
+    // unknown rather than the architectural reset zeros.
+    let mut in_state: Vec<Option<Regs>> = vec![None; n];
+    in_state[entry] = Some([Val::Unknown; 16]);
+    let mut work = vec![entry];
+    while let Some(ix) = work.pop() {
+        let Some(inn) = in_state[ix] else { continue };
+        let out = transfer(view.instrs[ix], &inn);
+        for &s in &view.succs[ix] {
+            let merged = match in_state[s] {
+                None => out,
+                Some(prev) => {
+                    let mut m = prev;
+                    for (mr, or) in m.iter_mut().zip(out.iter()) {
+                        *mr = mr.meet(*or);
+                    }
+                    m
+                }
+            };
+            if in_state[s] != Some(merged) {
+                in_state[s] = Some(merged);
+                work.push(s);
+            }
+        }
+    }
+
+    for (ix, state) in in_state.iter().enumerate().take(n) {
+        let Some(inn) = *state else { continue };
+        let (base, off, len, what) = match *view.instrs[ix] {
+            Instr::Load { width, s, off, .. } => (s, off, width.bytes(), "load"),
+            Instr::Store { width, s, off, .. } => (s, off, width.bytes(), "store"),
+            _ => continue,
+        };
+        if let Val::Const(b) = inn[base.0 as usize] {
+            let addr = b.wrapping_add(off as u32);
+            classify(view.addrs[ix], addr, len, what, cfg, diags);
+        }
+    }
+}
+
+fn transfer(i: &Instr, inn: &Regs) -> Regs {
+    let mut out = *inn;
+    let get = |r: dbx_cpu::isa::Reg| inn[r.0 as usize];
+    let bin = |s: Val, t: Val, f: fn(u32, u32) -> u32| match (s, t) {
+        (Val::Const(a), Val::Const(b)) => Val::Const(f(a, b)),
+        _ => Val::Unknown,
+    };
+    match *i {
+        Instr::Movi { r, imm } => out[r.0 as usize] = Val::Const(imm as u32),
+        Instr::Addi { r, s, imm } => {
+            out[r.0 as usize] = match get(s) {
+                Val::Const(a) => Val::Const(a.wrapping_add(imm as i32 as u32)),
+                Val::Unknown => Val::Unknown,
+            }
+        }
+        Instr::Add { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), u32::wrapping_add),
+        Instr::Addx4 { r, s, t } => {
+            out[r.0 as usize] = bin(get(s), get(t), |a, b| (a << 2).wrapping_add(b))
+        }
+        Instr::Sub { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), u32::wrapping_sub),
+        Instr::And { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), |a, b| a & b),
+        Instr::Or { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), |a, b| a | b),
+        Instr::Xor { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), |a, b| a ^ b),
+        Instr::Slli { r, s, sa } => {
+            out[r.0 as usize] = bin(get(s), Val::Const(sa as u32), |a, b| a << (b & 31))
+        }
+        Instr::Srli { r, s, sa } => {
+            out[r.0 as usize] = bin(get(s), Val::Const(sa as u32), |a, b| a >> (b & 31))
+        }
+        Instr::Srai { r, s, sa } => {
+            out[r.0 as usize] = bin(get(s), Val::Const(sa as u32), |a, b| {
+                ((a as i32) >> (b & 31)) as u32
+            })
+        }
+        Instr::Extui { r, s, shift, bits } => {
+            out[r.0 as usize] = match get(s) {
+                Val::Const(a) => Val::Const((a >> (shift & 31)) & ((1u32 << bits.min(31)) - 1)),
+                Val::Unknown => Val::Unknown,
+            }
+        }
+        Instr::Mull { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), u32::wrapping_mul),
+        Instr::Min { r, s, t } => {
+            out[r.0 as usize] = bin(get(s), get(t), |a, b| (a as i32).min(b as i32) as u32)
+        }
+        Instr::Max { r, s, t } => {
+            out[r.0 as usize] = bin(get(s), get(t), |a, b| (a as i32).max(b as i32) as u32)
+        }
+        Instr::Minu { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), |a, b| a.min(b)),
+        Instr::Maxu { r, s, t } => out[r.0 as usize] = bin(get(s), get(t), |a, b| a.max(b)),
+        // Division traps on zero divisors; don't fold, just lose precision.
+        Instr::Quou { r, .. } | Instr::Remu { r, .. } | Instr::Load { r, .. } => {
+            out[r.0 as usize] = Val::Unknown
+        }
+        Instr::Call0 { .. } => out[0] = Val::Unknown,
+        Instr::Ext(e) => {
+            // Conservative: any extension op that can write the register
+            // file invalidates its r field. The descriptor is not to hand
+            // here; `r` is the only field extensions write.
+            out[e.args.r as usize & 15] = Val::Unknown;
+        }
+        Instr::Flix(ref slots) => {
+            // Read-old/write-new: every slot reads `inn`; only slot
+            // destinations change. Slots are Nop/Addi/Ext by construction.
+            for slot in slots.iter() {
+                match *slot {
+                    Instr::Addi { r, s, imm } => {
+                        out[r.0 as usize] = match inn[s.0 as usize] {
+                            Val::Const(a) => Val::Const(a.wrapping_add(imm as i32 as u32)),
+                            Val::Unknown => Val::Unknown,
+                        }
+                    }
+                    Instr::Ext(e) => out[e.args.r as usize & 15] = Val::Unknown,
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+fn classify(
+    pc: u32,
+    addr: u32,
+    len: u32,
+    what: &str,
+    cfg: &CpuConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let dmem_bytes = (cfg.dmem_kb_per_lsu * 1024) as u64;
+    let end = addr as u64 + len as u64;
+    if addr < IMEM_BASE {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            pc,
+            RuleId::UnmappedAccess,
+            format!("{what} of {len} bytes at {addr:#010x} hits unmapped address space"),
+        ));
+    } else if addr < DMEM0_BASE {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            pc,
+            RuleId::UnmappedAccess,
+            format!("{what} at {addr:#010x} targets instruction memory, which has no data port"),
+        ));
+    } else if addr < DMEM1_BASE {
+        if dmem_bytes == 0 {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::UnmappedAccess,
+                format!("{what} at {addr:#010x}: '{}' has no local store", cfg.name),
+            ));
+        } else if end > DMEM0_BASE as u64 + dmem_bytes {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::OobAccess,
+                format!(
+                    "{what} of {len} bytes at {addr:#010x} runs past the {} KiB of local store 0 \
+                     (ends at {:#010x})",
+                    cfg.dmem_kb_per_lsu,
+                    DMEM0_BASE as u64 + dmem_bytes
+                ),
+            ));
+        }
+    } else if addr < SYSMEM_BASE {
+        if cfg.n_lsus < 2 || dmem_bytes == 0 {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::UnmappedAccess,
+                format!(
+                    "{what} at {addr:#010x}: '{}' has no second local store",
+                    cfg.name
+                ),
+            ));
+        } else if end > DMEM1_BASE as u64 + dmem_bytes {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::OobAccess,
+                format!(
+                    "{what} of {len} bytes at {addr:#010x} runs past the {} KiB of local store 1",
+                    cfg.dmem_kb_per_lsu
+                ),
+            ));
+        } else {
+            // In-range, but base-ISA memory ops issue on LSU0 and dmem1
+            // is private to LSU1 on a two-LSU core.
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::UnmappedAccess,
+                format!(
+                    "{what} at {addr:#010x}: local store 1 is private to LSU1; \
+                     core loads/stores issue on LSU0"
+                ),
+            ));
+        }
+    } else if !cfg.core_sysmem_access {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            pc,
+            RuleId::UnmappedAccess,
+            format!(
+                "{what} at {addr:#010x}: '{}' has no core path to system memory",
+                cfg.name
+            ),
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! FLIX bundle structural hazards and static option checks.
+//!
+//! Mirrors the TIE compiler's format verification: within one bundle each
+//! load–store unit may be claimed once, each address register and each
+//! extension state written once, and every slot must hold a slot-eligible
+//! operation. Config-level checks (FLIX option, divider option, extension
+//! presence) live here too because they are per-instruction structural
+//! facts, not dataflow.
+
+use dbx_cpu::config::CpuConfig;
+use dbx_cpu::ext::{Extension, LsuUse};
+use dbx_cpu::isa::{ExtOp, Instr};
+
+use crate::view::View;
+use crate::{Diagnostic, RuleId, Severity};
+
+pub(crate) fn check(
+    view: &View<'_>,
+    cfg: &CpuConfig,
+    ext: Option<&dyn Extension>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (ix, i) in view.instrs.iter().enumerate() {
+        let pc = view.addrs[ix];
+        match i {
+            Instr::Flix(slots) => {
+                if !cfg.has_flix {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        pc,
+                        RuleId::FlixUnsupported,
+                        format!("FLIX bundle on '{}', which lacks the FLIX option", cfg.name),
+                    ));
+                }
+                check_bundle(pc, slots, cfg, ext, diags);
+            }
+            Instr::Ext(e) => {
+                check_ext_op(pc, e, ext, diags);
+            }
+            Instr::Quou { .. } | Instr::Remu { .. } if !cfg.has_div => {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    pc,
+                    RuleId::DivUnavailable,
+                    format!("division on '{}', which lacks the divider option", cfg.name),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Reports missing-extension / unknown-opcode problems for one ext op.
+/// Returns the op's descriptor when it has one.
+fn check_ext_op(
+    pc: u32,
+    e: &ExtOp,
+    ext: Option<&dyn Extension>,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<dbx_cpu::ext::OpDescriptor> {
+    match ext {
+        None => {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::NoExtension,
+                format!("extension op {} issued but no extension is attached", e.op),
+            ));
+            None
+        }
+        Some(x) => match x.op_descriptor(e.op) {
+            Ok(d) => Some(d),
+            Err(_) => {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    pc,
+                    RuleId::UnknownExtOp,
+                    format!("extension '{}' defines no op {}", x.name(), e.op),
+                ));
+                None
+            }
+        },
+    }
+}
+
+fn check_bundle(
+    pc: u32,
+    slots: &[Instr],
+    cfg: &CpuConfig,
+    ext: Option<&dyn Extension>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // (lsu index, op name) claims; (reg, writer name); (state, writer name).
+    let mut lsu_claims: Vec<(usize, &'static str)> = Vec::new();
+    let mut reg_writes: Vec<(u8, String)> = Vec::new();
+    let mut state_writes: Vec<(&'static str, &'static str)> = Vec::new();
+
+    let mut claim_lsu = |lsu: usize, name: &'static str, diags: &mut Vec<Diagnostic>| {
+        if lsu >= cfg.n_lsus {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::LsuOutOfRange,
+                format!(
+                    "'{name}' is wired to LSU{lsu} but '{}' has {} LSU(s)",
+                    cfg.name, cfg.n_lsus
+                ),
+            ));
+            return;
+        }
+        if let Some((_, prev)) = lsu_claims.iter().find(|(l, _)| *l == lsu) {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::LsuConflict,
+                format!("'{prev}' and '{name}' both claim LSU{lsu} in one bundle"),
+            ));
+        }
+        lsu_claims.push((lsu, name));
+    };
+
+    for slot in slots {
+        match slot {
+            Instr::Nop => {}
+            Instr::Addi { r, .. } if slot.slot_eligible() => {
+                note_reg_write(pc, &mut reg_writes, r.0, "addi".to_string(), diags);
+            }
+            Instr::Ext(e) => {
+                let Some(d) = check_ext_op(pc, e, ext, diags) else {
+                    continue;
+                };
+                if !d.slot_ok {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        pc,
+                        RuleId::SlotIneligible,
+                        format!("'{}' may not be placed in a FLIX slot", d.name),
+                    ));
+                }
+                match d.lsu {
+                    LsuUse::None => {}
+                    LsuUse::One(l) => claim_lsu(l, d.name, diags),
+                    // A fused multi-LSU op owns the whole memory subsystem
+                    // for the cycle.
+                    LsuUse::Multi => {
+                        for l in 0..cfg.n_lsus {
+                            claim_lsu(l, d.name, diags);
+                        }
+                    }
+                }
+                if d.writes_ar {
+                    note_reg_write(
+                        pc,
+                        &mut reg_writes,
+                        e.args.r & 15,
+                        d.name.to_string(),
+                        diags,
+                    );
+                }
+                for &st in d.states_written {
+                    if let Some((_, prev)) = state_writes.iter().find(|(s, _)| *s == st) {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            pc,
+                            RuleId::StateWriteConflict,
+                            format!(
+                                "'{prev}' and '{}' both write extension state '{st}' in one bundle",
+                                d.name
+                            ),
+                        ));
+                    }
+                    state_writes.push((st, d.name));
+                }
+            }
+            other => {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    pc,
+                    RuleId::SlotIneligible,
+                    format!("instruction {other:?} is not eligible for a FLIX slot"),
+                ));
+            }
+        }
+    }
+}
+
+fn note_reg_write(
+    pc: u32,
+    reg_writes: &mut Vec<(u8, String)>,
+    reg: u8,
+    name: String,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if let Some((_, prev)) = reg_writes.iter().find(|(r, _)| *r == reg) {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            pc,
+            RuleId::RegWriteConflict,
+            format!("'{prev}' and '{name}' both write a{reg} in one bundle"),
+        ));
+    }
+    reg_writes.push((reg, name));
+}

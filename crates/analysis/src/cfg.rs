@@ -1,0 +1,145 @@
+//! Control-flow rules: hardware-loop region integrity and reachability.
+//!
+//! The simulated core has a single LBEGIN/LEND/LCOUNT register set (like
+//! the Xtensa zero-overhead loop option), so loop regions must be
+//! disjoint, non-empty, forward ranges, and control must not cross a
+//! region boundary except by falling into the body from the header or
+//! reaching the end pc (the back-edge comparison point).
+
+use dbx_cpu::isa::Instr;
+
+use crate::view::View;
+use crate::{Diagnostic, RuleId, Severity};
+
+pub(crate) fn check(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    loop_regions(view, diags);
+    loop_crossings(view, diags);
+    unreachable(view, diags);
+}
+
+fn loop_regions(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    for l in &view.loops {
+        let pc = view.addrs[l.header];
+        if l.end_pc <= l.begin_pc {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::LoopMalformed,
+                format!(
+                    "hardware loop body is empty or backward (body {:#010x}, end {:#010x})",
+                    l.begin_pc, l.end_pc
+                ),
+            ));
+            continue;
+        }
+        if l.end_pc != view.end_pc && !view.index_of.contains_key(&l.end_pc) {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::LoopMalformed,
+                format!(
+                    "loop end {:#010x} is not on an instruction boundary",
+                    l.end_pc
+                ),
+            ));
+            continue;
+        }
+        // One LCOUNT register: a second Loop inside an armed body would
+        // silently clobber the outer loop.
+        if let Some(outer) = view
+            .loops
+            .iter()
+            .find(|o| o.header != l.header && o.well_formed && o.contains(pc))
+        {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                pc,
+                RuleId::LoopMalformed,
+                format!(
+                    "hardware loops cannot nest: this loop sits inside the body of the loop at {:#010x}",
+                    view.addrs[outer.header]
+                ),
+            ));
+        }
+    }
+}
+
+fn loop_crossings(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    for (ix, i) in view.instrs.iter().enumerate() {
+        let here = view.addrs[ix];
+        let inside = view.enclosing_loop(here);
+
+        // Statically-unresolvable control transfers inside a body leave
+        // the loop armed with no way to prove where execution resumes.
+        if inside.is_some() && matches!(**i, Instr::Jx { .. } | Instr::Ret) {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                here,
+                RuleId::LoopBranchOut,
+                "indirect control transfer inside a hardware-loop body leaves the loop armed"
+                    .to_string(),
+            ));
+            continue;
+        }
+
+        let target = match **i {
+            Instr::Branch { target, .. }
+            | Instr::Beqz { target, .. }
+            | Instr::Bnez { target, .. }
+            | Instr::J { target }
+            | Instr::Call0 { target } => Some(target),
+            _ => None,
+        };
+        if let Some(t) = target {
+            match inside {
+                Some(l) => {
+                    // Reaching end_pc is the architected back-edge; any
+                    // other outside target escapes an armed loop.
+                    if !l.contains(t) && t != l.end_pc {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            here,
+                            RuleId::LoopBranchOut,
+                            format!(
+                                "branch to {t:#010x} escapes the hardware-loop body \
+                                 ({:#010x}..{:#010x}) while the loop is armed",
+                                l.begin_pc, l.end_pc
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    if let Some(l) = view.enclosing_loop(t) {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            here,
+                            RuleId::LoopBranchIn,
+                            format!(
+                                "branch to {t:#010x} jumps into the hardware-loop body \
+                                 ({:#010x}..{:#010x}) without arming the loop",
+                                l.begin_pc, l.end_pc
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn unreachable(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    // One diagnostic per unreachable run, anchored at its first pc.
+    let mut prev_unreachable = false;
+    for ix in 0..view.instrs.len() {
+        let u = !view.reachable[ix];
+        if u && !prev_unreachable {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                view.addrs[ix],
+                RuleId::Unreachable,
+                "instruction is unreachable from the entry point".to_string(),
+            ));
+        }
+        prev_unreachable = u;
+    }
+}

@@ -1,0 +1,151 @@
+//! Def-use dataflow over the 16 address registers and extension states.
+//!
+//! Two classic analyses on the view's CFG:
+//!
+//! * forward *initialization* (meet = intersection): a register or state
+//!   read on some path before any write is flagged. Registers reset to
+//!   zero and extension states to their power-on values, so these are
+//!   warnings — defined behavior, but almost always a latent bug.
+//! * backward *liveness* (meet = union): a register write never read on
+//!   any path is a dead write. `Halt`, `Ret` and `Jx` treat every
+//!   register as live — the harness inspects the register file
+//!   post-mortem (scalar kernels return their result pointer in `a6`),
+//!   and indirect control flow defeats the analysis.
+
+use crate::view::View;
+use crate::{Diagnostic, RuleId, Severity};
+
+const ALL_REGS: u16 = u16::MAX;
+
+pub(crate) fn check(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    init_analysis(view, diags);
+    liveness_analysis(view, diags);
+}
+
+fn init_analysis(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    let n = view.instrs.len();
+    if n == 0 {
+        return;
+    }
+    let all_states: u64 = if view.states.is_empty() {
+        0
+    } else {
+        u64::MAX >> (64 - view.states.len())
+    };
+    let entry = match view.index_of.get(&view.prog.entry()) {
+        Some(&e) => e,
+        None => return,
+    };
+    // in[n] = intersection over preds of out[p]; nothing is initialized
+    // at entry. Start optimistic (all-initialized) and iterate down.
+    let mut reg_in = vec![ALL_REGS; n];
+    let mut state_in = vec![all_states; n];
+    reg_in[entry] = 0;
+    state_in[entry] = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for ix in 0..n {
+            if !view.reachable[ix] {
+                continue;
+            }
+            let (mut r, mut s) = if ix == entry {
+                (0, 0)
+            } else {
+                let mut r = ALL_REGS;
+                let mut s = all_states;
+                for &p in &view.preds[ix] {
+                    r &= reg_in[p] | view.effects[p].reg_defs;
+                    s &= state_in[p] | view.effects[p].state_defs;
+                }
+                (r, s)
+            };
+            // Entry may also be a loop target; its boundary value wins.
+            if ix == entry {
+                r = 0;
+                s = 0;
+            }
+            if r != reg_in[ix] || s != state_in[ix] {
+                reg_in[ix] = r;
+                state_in[ix] = s;
+                changed = true;
+            }
+        }
+    }
+    for ix in 0..n {
+        if !view.reachable[ix] {
+            continue;
+        }
+        let pc = view.addrs[ix];
+        let eff = view.effects[ix];
+        let mut uninit = eff.reg_uses & !reg_in[ix];
+        while uninit != 0 {
+            let r = uninit.trailing_zeros();
+            uninit &= uninit - 1;
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                pc,
+                RuleId::UseBeforeInit,
+                format!("a{r} is read before any write reaches here (reads reset value 0)"),
+            ));
+        }
+        let mut ustates = eff.state_uses & !state_in[ix];
+        while ustates != 0 {
+            let b = ustates.trailing_zeros() as usize;
+            ustates &= ustates - 1;
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                pc,
+                RuleId::StateUseBeforeInit,
+                format!(
+                    "extension state '{}' is read before any initialization reaches here",
+                    view.states[b]
+                ),
+            ));
+        }
+    }
+}
+
+fn liveness_analysis(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    let n = view.instrs.len();
+    // live-in[n] = uses | (live-out[n] & !defs);
+    // live-out[n] = union over succs of live-in[s], or everything at exits.
+    let mut live_in = vec![0u16; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for ix in (0..n).rev() {
+            let out = live_out(view, &live_in, ix);
+            let eff = view.effects[ix];
+            let inn = eff.reg_uses | (out & !eff.reg_defs);
+            if inn != live_in[ix] {
+                live_in[ix] = inn;
+                changed = true;
+            }
+        }
+    }
+    for ix in 0..n {
+        if !view.reachable[ix] {
+            continue;
+        }
+        let eff = view.effects[ix];
+        let mut dead = eff.reg_defs_pure & !live_out(view, &live_in, ix);
+        while dead != 0 {
+            let r = dead.trailing_zeros();
+            dead &= dead - 1;
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                view.addrs[ix],
+                RuleId::DeadWrite,
+                format!("write to a{r} is never read on any path"),
+            ));
+        }
+    }
+}
+
+fn live_out(view: &View<'_>, live_in: &[u16], ix: usize) -> u16 {
+    if view.exit_all_live[ix] {
+        return ALL_REGS;
+    }
+    view.succs[ix].iter().fold(0u16, |acc, &s| acc | live_in[s])
+}

@@ -1,0 +1,312 @@
+//! Static verifier and lint pass for EIS programs.
+//!
+//! The paper's toolchain leans on the Tensilica TIE compiler to prove an
+//! extension structurally sound *before* anything executes: FLIX formats
+//! must not double-book a load–store unit, states must not be written
+//! twice in a cycle, and zero-overhead loop bodies must be properly
+//! nested regions. This crate is the software twin of that flow for
+//! *programs*: given a decoded [`Program`], the extension it targets and
+//! the [`CpuConfig`] it will run under, `analyze` proves a set of safety
+//! rules without simulating a single cycle.
+//!
+//! Four rule families:
+//!
+//! * **CFG / hardware loops** (`CFG..`): control flow must respect
+//!   `Instr::Loop` regions — no branching into or out of a loop body, no
+//!   nested or malformed regions (the LX4-style core has a single
+//!   LBEGIN/LEND/LCOUNT register set).
+//! * **Def-use dataflow** (`DF..`): reads of address registers or
+//!   extension states that no path has initialized, and writes no path
+//!   ever reads.
+//! * **FLIX bundle hazards** (`BND..`): two slots claiming one LSU,
+//!   writing one register or one extension state, slot-ineligible ops,
+//!   and bundles on cores without the FLIX option.
+//! * **Memory bounds** (`MEM..`): constant-propagated `Load`/`Store`
+//!   addresses checked against the configured local-store sizes and the
+//!   core's system-memory reachability.
+//!
+//! Severity is split by what the hardware guarantees: reads of
+//! never-written registers are *warnings* (the register file resets to
+//! zero, so the behavior is defined), while anything that faults at
+//! runtime or silently corrupts architectural state is an *error*.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use dbx_cpu::config::CpuConfig;
+use dbx_cpu::error::SimError;
+use dbx_cpu::ext::Extension;
+use dbx_cpu::program::Program;
+
+mod bounds;
+mod bundle;
+mod cfg;
+mod dataflow;
+mod view;
+
+pub use view::{Effects, LoopRegion, View};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but well-defined behavior (e.g. reading a reset-zero
+    /// register). Execution proceeds.
+    Warning,
+    /// The program faults at runtime or silently corrupts state if the
+    /// flagged instruction executes.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Branch from outside a hardware-loop body to inside it.
+    LoopBranchIn,
+    /// Control transfer from inside a hardware-loop body to outside it
+    /// (other than to the loop end, which is the back-edge pc).
+    LoopBranchOut,
+    /// Malformed loop region: empty/backward body, end not on an
+    /// instruction boundary, or nested hardware loops.
+    LoopMalformed,
+    /// Instruction unreachable from the entry point.
+    Unreachable,
+    /// Address register read before any path writes it.
+    UseBeforeInit,
+    /// Address register write that no path ever reads.
+    DeadWrite,
+    /// Extension state read before any path initializes it.
+    StateUseBeforeInit,
+    /// Two slots of one FLIX bundle claim the same load–store unit.
+    LsuConflict,
+    /// An op is wired to an LSU the configuration does not have.
+    LsuOutOfRange,
+    /// Two slots of one FLIX bundle write the same address register.
+    RegWriteConflict,
+    /// Two slots of one FLIX bundle write the same extension state.
+    StateWriteConflict,
+    /// An instruction not eligible for its FLIX slot.
+    SlotIneligible,
+    /// A FLIX bundle on a core without the FLIX option.
+    FlixUnsupported,
+    /// `quou`/`remu` on a core without the divider option.
+    DivUnavailable,
+    /// An extension op with no extension attached.
+    NoExtension,
+    /// An opcode the attached extension does not define.
+    UnknownExtOp,
+    /// A constant address past the end of a configured local store.
+    OobAccess,
+    /// A constant address in a region this core cannot reach.
+    UnmappedAccess,
+}
+
+impl RuleId {
+    /// Short stable code, e.g. `CFG01`, for tooling and tests.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::LoopBranchIn => "CFG01",
+            RuleId::LoopBranchOut => "CFG02",
+            RuleId::LoopMalformed => "CFG03",
+            RuleId::Unreachable => "CFG04",
+            RuleId::UseBeforeInit => "DF01",
+            RuleId::DeadWrite => "DF02",
+            RuleId::StateUseBeforeInit => "DF03",
+            RuleId::LsuConflict => "BND01",
+            RuleId::LsuOutOfRange => "BND02",
+            RuleId::RegWriteConflict => "BND03",
+            RuleId::StateWriteConflict => "BND04",
+            RuleId::SlotIneligible => "BND05",
+            RuleId::FlixUnsupported => "BND06",
+            RuleId::DivUnavailable => "OPT01",
+            RuleId::NoExtension => "OPT02",
+            RuleId::UnknownExtOp => "OPT03",
+            RuleId::OobAccess => "MEM01",
+            RuleId::UnmappedAccess => "MEM02",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Address of the offending instruction.
+    pub pc: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(severity: Severity, pc: u32, rule: RuleId, message: String) -> Self {
+        Diagnostic {
+            severity,
+            pc,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {:#010x}: {}",
+            self.severity, self.rule, self.pc, self.message
+        )
+    }
+}
+
+/// Runs every rule family over `program` as it would execute on a core
+/// described by `cfg` with `ext` attached. Diagnostics come back sorted
+/// by pc, errors before warnings at the same pc.
+pub fn analyze(program: &Program, ext: Option<&dyn Extension>, cfg: &CpuConfig) -> Vec<Diagnostic> {
+    let view = View::build(program, ext);
+    let mut diags = Vec::new();
+    cfg::check(&view, &mut diags);
+    bundle::check(&view, cfg, ext, &mut diags);
+    dataflow::check(&view, &mut diags);
+    bounds::check(&view, cfg, &mut diags);
+    diags.sort_by_key(|d| (d.pc, d.severity != Severity::Error, d.rule.code()));
+    diags
+}
+
+/// Whether any diagnostic is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Pre-flight gate: analyzes and converts error-severity findings into a
+/// [`SimError::BadProgram`], returning the surviving warnings otherwise.
+pub fn preflight(
+    program: &Program,
+    ext: Option<&dyn Extension>,
+    cfg: &CpuConfig,
+) -> Result<Vec<Diagnostic>, SimError> {
+    let diags = analyze(program, ext, cfg);
+    if has_errors(&diags) {
+        let msgs: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.to_string())
+            .collect();
+        return Err(SimError::BadProgram(format!(
+            "static verification failed: {}",
+            msgs.join("; ")
+        )));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbx_cpu::isa::{regs::*, Instr};
+    use dbx_cpu::ProgramBuilder;
+
+    fn local_store_cfg() -> CpuConfig {
+        CpuConfig::local_store_core(1, 64)
+    }
+
+    #[test]
+    fn diagnostic_display_is_stable() {
+        let d = Diagnostic::new(
+            Severity::Error,
+            0x4000_0010,
+            RuleId::LsuConflict,
+            "two ops on LSU0".to_string(),
+        );
+        assert_eq!(d.to_string(), "error[BND01] at 0x40000010: two ops on LSU0");
+    }
+
+    #[test]
+    fn every_rule_has_a_unique_code() {
+        let rules = [
+            RuleId::LoopBranchIn,
+            RuleId::LoopBranchOut,
+            RuleId::LoopMalformed,
+            RuleId::Unreachable,
+            RuleId::UseBeforeInit,
+            RuleId::DeadWrite,
+            RuleId::StateUseBeforeInit,
+            RuleId::LsuConflict,
+            RuleId::LsuOutOfRange,
+            RuleId::RegWriteConflict,
+            RuleId::StateWriteConflict,
+            RuleId::SlotIneligible,
+            RuleId::FlixUnsupported,
+            RuleId::DivUnavailable,
+            RuleId::NoExtension,
+            RuleId::UnknownExtOp,
+            RuleId::OobAccess,
+            RuleId::UnmappedAccess,
+        ];
+        let mut codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), rules.len());
+    }
+
+    #[test]
+    fn clean_program_yields_no_diagnostics() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A1, 7).movi(A2, 8).add(A3, A1, A2).halt();
+        let p = b.build().unwrap();
+        assert!(analyze(&p, None, &local_store_cfg()).is_empty());
+    }
+
+    #[test]
+    fn view_models_hardware_loop_regions() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A1, 4)
+            .hw_loop(A1, "done")
+            .addi(A2, A2, 1)
+            .nop()
+            .label("done")
+            .halt();
+        let p = b.build().unwrap();
+        let view = View::build(&p, None);
+        assert_eq!(view.loops.len(), 1);
+        let l = &view.loops[0];
+        assert!(l.well_formed);
+        assert_eq!(l.end_pc, p.label_addr("done").unwrap());
+        // The last body instruction has two successors: back to the body
+        // start and out past the end.
+        let last_body_ix = view.index_of[&(l.end_pc - Instr::Nop.size())];
+        let mut succ_pcs: Vec<u32> = view.succs[last_body_ix]
+            .iter()
+            .map(|&s| view.addrs[s])
+            .collect();
+        succ_pcs.sort_unstable();
+        assert_eq!(succ_pcs, vec![l.begin_pc, l.end_pc]);
+    }
+
+    #[test]
+    fn preflight_accepts_warning_only_programs() {
+        // Reading a never-written register warns but must not gate.
+        let mut b = ProgramBuilder::new();
+        b.add(A1, A2, A3).halt();
+        let p = b.build().unwrap();
+        let diags = preflight(&p, None, &local_store_cfg()).unwrap();
+        assert!(diags.iter().any(|d| d.rule == RuleId::UseBeforeInit));
+    }
+}

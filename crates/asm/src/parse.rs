@@ -90,7 +90,10 @@ impl<'e> Assembler<'e> {
                 if head.is_empty() || !is_ident(head) || head.contains(char::is_whitespace) {
                     break;
                 }
-                b.label(head);
+                b.try_label(head).map_err(|e| AsmError::Line {
+                    line: line_no,
+                    msg: e.to_string(),
+                })?;
                 rest = tail[1..].trim();
             }
             if rest.is_empty() {
@@ -107,8 +110,7 @@ impl<'e> Assembler<'e> {
                     _ => {
                         return Err(AsmError::Line {
                             line: line_no,
-                            msg: "malformed .equ directive (expected: .equ NAME value)"
-                                .to_string(),
+                            msg: "malformed .equ directive (expected: .equ NAME value)".to_string(),
                         })
                     }
                 }
@@ -478,11 +480,18 @@ mod tests {
 
     #[test]
     fn malformed_equ_is_an_error() {
-        let e = assemble(".equ
-", None).unwrap_err();
+        let e = assemble(
+            ".equ
+", None,
+        )
+        .unwrap_err();
         assert!(matches!(e, AsmError::Line { .. }), "{e}");
-        let e = assemble(".equ 9name 5
-", None).unwrap_err();
+        let e = assemble(
+            ".equ 9name 5
+",
+            None,
+        )
+        .unwrap_err();
         assert!(matches!(e, AsmError::Line { .. }), "{e}");
     }
 

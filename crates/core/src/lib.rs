@@ -29,5 +29,5 @@ pub mod stream;
 pub use configs::ProcModel;
 pub use datapath::SetOpKind;
 pub use ops::{opcodes, DbExtConfig, DbExtension};
-pub use runner::{build_processor, run_set_op, run_sort, KernelRun};
+pub use runner::{build_processor, run_set_op, run_sort, set_preflight, KernelRun};
 pub use states::SENTINEL;

@@ -624,50 +624,242 @@ impl Extension for DbExtension {
     }
 
     fn op_descriptor(&self, opcode: u16) -> Result<OpDescriptor, SimError> {
-        let (name, lsu, writes_ar): (&'static str, LsuUse, bool) = match opcode {
-            op::INIT => ("db.init", LsuUse::None, false),
-            op::WUR_PTR_A => ("db.wur.ptra", LsuUse::None, false),
-            op::WUR_END_A => ("db.wur.enda", LsuUse::None, false),
-            op::WUR_PTR_B => ("db.wur.ptrb", LsuUse::None, false),
-            op::WUR_END_B => ("db.wur.endb", LsuUse::None, false),
-            op::WUR_PTR_C => ("db.wur.ptrc", LsuUse::None, false),
-            op::RUR_DONE => ("db.rur.done", LsuUse::None, true),
-            op::RUR_OUT_CNT => ("db.rur.outcnt", LsuUse::None, true),
-            op::RUR_PTR_C => ("db.rur.ptrc", LsuUse::None, true),
-            op::RUR_A_DONE => ("db.rur.adone", LsuUse::None, true),
-            op::RUR_B_DONE => ("db.rur.bdone", LsuUse::None, true),
-            op::RUR_FIFO_CNT => ("db.rur.fifocnt", LsuUse::None, true),
-            op::RUR_CPY_PEND => ("db.rur.cpypend", LsuUse::None, true),
-            op::ST => ("db.st", LsuUse::One(self.cfg.lsu_st), false),
-            op::ST_FLUSH => ("db.st.flush", LsuUse::One(self.cfg.lsu_st), false),
-            op::ST_S => ("db.st_s", LsuUse::None, false),
-            op::SOP_ISECT => ("db.sop.isect", LsuUse::None, false),
-            op::SOP_UNION => ("db.sop.union", LsuUse::None, false),
-            op::SOP_DIFF => ("db.sop.diff", LsuUse::None, false),
-            op::SOP_MERGE => ("db.sop.merge", LsuUse::None, false),
-            op::LDP_A => ("db.ldp.a", LsuUse::None, false),
-            op::LDP_B => ("db.ldp.b", LsuUse::None, false),
-            op::LD_A => ("db.ld.a", LsuUse::One(self.cfg.lsu_a), false),
-            op::LD_B => ("db.ld.b", LsuUse::One(self.cfg.lsu_b), false),
-            op::LD_ANY => ("db.ld.any", LsuUse::One(self.cfg.lsu_a), false),
-            op::LD_MERGE => ("db.ld.merge", LsuUse::One(self.cfg.lsu_a), false),
-            op::DRAIN_A => ("db.drain.a", LsuUse::None, false),
-            op::DRAIN_B => ("db.drain.b", LsuUse::None, false),
-            op::CPY_ST => ("db.cpy.st", LsuUse::One(self.cfg.lsu_st), false),
-            op::CPY_LD_A => ("db.cpy.ld.a", LsuUse::One(self.cfg.lsu_a), false),
-            op::CPY_LD_B => ("db.cpy.ld.b", LsuUse::One(self.cfg.lsu_b), false),
-            op::SORT4_LD => ("db.sort4.ld", LsuUse::One(self.cfg.lsu_a), false),
-            op::STORE_SOP_ISECT => ("db.store_sop.isect", LsuUse::One(self.cfg.lsu_st), true),
-            op::STORE_SOP_UNION => ("db.store_sop.union", LsuUse::One(self.cfg.lsu_st), true),
-            op::STORE_SOP_DIFF => ("db.store_sop.diff", LsuUse::One(self.cfg.lsu_st), true),
-            op::STORE_MERGE => ("db.store_merge", LsuUse::One(self.cfg.lsu_st), true),
-            op::LD_LDP_SHUFFLE => ("db.ld_ldp_shuffle", LsuUse::Multi, false),
+        // State vocabulary for static analysis. The names of the micro
+        // resources ("st", "sop", "ld_a", ...) double as the written-state
+        // names so a static same-state-in-one-bundle check reproduces the
+        // runtime duplicate-micro hazard exactly — neither stricter nor
+        // looser. The WUR-visible pointer registers get their own names.
+        const ALL_STATES: &[&str] = &[
+            "ptr_a", "end_a", "ptr_b", "end_b", "ptr_c", "st", "st_s", "sop", "ldp_a", "ldp_b",
+            "ld_a", "ld_b", "drain", "cpy_st", "cpy_ld",
+        ];
+        const STREAM_A: &[&str] = &["ptr_a", "end_a"];
+        const STREAM_B: &[&str] = &["ptr_b", "end_b"];
+        const STREAM_AB: &[&str] = &["ptr_a", "end_a", "ptr_b", "end_b"];
+        type D = (
+            &'static str,
+            LsuUse,
+            bool,
+            bool,
+            &'static [&'static str],
+            &'static [&'static str],
+        );
+        // (name, lsu, writes_ar, reads_ar, states_written, states_read)
+        let (name, lsu, writes_ar, reads_ar, states_written, states_read): D = match opcode {
+            op::INIT => ("db.init", LsuUse::None, false, false, ALL_STATES, &[]),
+            op::WUR_PTR_A => ("db.wur.ptra", LsuUse::None, false, true, &["ptr_a"], &[]),
+            op::WUR_END_A => ("db.wur.enda", LsuUse::None, false, true, &["end_a"], &[]),
+            op::WUR_PTR_B => ("db.wur.ptrb", LsuUse::None, false, true, &["ptr_b"], &[]),
+            op::WUR_END_B => ("db.wur.endb", LsuUse::None, false, true, &["end_b"], &[]),
+            op::WUR_PTR_C => ("db.wur.ptrc", LsuUse::None, false, true, &["ptr_c"], &[]),
+            op::RUR_DONE => ("db.rur.done", LsuUse::None, true, false, &[], &["sop"]),
+            op::RUR_OUT_CNT => ("db.rur.outcnt", LsuUse::None, true, false, &[], &["st"]),
+            op::RUR_PTR_C => ("db.rur.ptrc", LsuUse::None, true, false, &[], &["ptr_c"]),
+            op::RUR_A_DONE => ("db.rur.adone", LsuUse::None, true, false, &[], &["ld_a"]),
+            op::RUR_B_DONE => ("db.rur.bdone", LsuUse::None, true, false, &[], &["ld_b"]),
+            op::RUR_FIFO_CNT => ("db.rur.fifocnt", LsuUse::None, true, false, &[], &["sop"]),
+            op::RUR_CPY_PEND => (
+                "db.rur.cpypend",
+                LsuUse::None,
+                true,
+                false,
+                &[],
+                &["cpy_st"],
+            ),
+            op::ST => (
+                "db.st",
+                LsuUse::One(self.cfg.lsu_st),
+                false,
+                false,
+                &["st"],
+                &["sop", "ptr_c"],
+            ),
+            op::ST_FLUSH => (
+                "db.st.flush",
+                LsuUse::One(self.cfg.lsu_st),
+                false,
+                false,
+                &["st"],
+                &["sop", "ptr_c"],
+            ),
+            op::ST_S => ("db.st_s", LsuUse::None, false, false, &["st_s"], &["sop"]),
+            op::SOP_ISECT => (
+                "db.sop.isect",
+                LsuUse::None,
+                false,
+                false,
+                &["sop"],
+                &["ld_a", "ld_b"],
+            ),
+            op::SOP_UNION => (
+                "db.sop.union",
+                LsuUse::None,
+                false,
+                false,
+                &["sop"],
+                &["ld_a", "ld_b"],
+            ),
+            op::SOP_DIFF => (
+                "db.sop.diff",
+                LsuUse::None,
+                false,
+                false,
+                &["sop"],
+                &["ld_a", "ld_b"],
+            ),
+            op::SOP_MERGE => (
+                "db.sop.merge",
+                LsuUse::None,
+                false,
+                false,
+                &["sop"],
+                &["ld_a", "ld_b"],
+            ),
+            op::LDP_A => (
+                "db.ldp.a",
+                LsuUse::None,
+                false,
+                false,
+                &["ldp_a"],
+                &["ld_a"],
+            ),
+            op::LDP_B => (
+                "db.ldp.b",
+                LsuUse::None,
+                false,
+                false,
+                &["ldp_b"],
+                &["ld_b"],
+            ),
+            op::LD_A => (
+                "db.ld.a",
+                LsuUse::One(self.cfg.lsu_a),
+                false,
+                false,
+                &["ld_a"],
+                STREAM_A,
+            ),
+            op::LD_B => (
+                "db.ld.b",
+                LsuUse::One(self.cfg.lsu_b),
+                false,
+                false,
+                &["ld_b"],
+                STREAM_B,
+            ),
+            op::LD_ANY => (
+                "db.ld.any",
+                LsuUse::One(self.cfg.lsu_a),
+                false,
+                false,
+                &["ld_a", "ld_b"],
+                STREAM_AB,
+            ),
+            op::LD_MERGE => (
+                "db.ld.merge",
+                LsuUse::One(self.cfg.lsu_a),
+                false,
+                false,
+                &["ld_a", "ld_b"],
+                STREAM_AB,
+            ),
+            op::DRAIN_A => (
+                "db.drain.a",
+                LsuUse::None,
+                false,
+                false,
+                &["drain"],
+                &["ld_a"],
+            ),
+            op::DRAIN_B => (
+                "db.drain.b",
+                LsuUse::None,
+                false,
+                false,
+                &["drain"],
+                &["ld_b"],
+            ),
+            op::CPY_ST => (
+                "db.cpy.st",
+                LsuUse::One(self.cfg.lsu_st),
+                false,
+                false,
+                &["cpy_st"],
+                &["cpy_ld", "ptr_c"],
+            ),
+            op::CPY_LD_A => (
+                "db.cpy.ld.a",
+                LsuUse::One(self.cfg.lsu_a),
+                false,
+                false,
+                &["cpy_ld"],
+                STREAM_A,
+            ),
+            op::CPY_LD_B => (
+                "db.cpy.ld.b",
+                LsuUse::One(self.cfg.lsu_b),
+                false,
+                false,
+                &["cpy_ld"],
+                STREAM_B,
+            ),
+            op::SORT4_LD => (
+                "db.sort4.ld",
+                LsuUse::One(self.cfg.lsu_a),
+                false,
+                false,
+                &["cpy_ld"],
+                STREAM_A,
+            ),
+            op::STORE_SOP_ISECT => (
+                "db.store_sop.isect",
+                LsuUse::One(self.cfg.lsu_st),
+                true,
+                false,
+                &["st", "sop"],
+                &["ld_a", "ld_b", "ptr_c"],
+            ),
+            op::STORE_SOP_UNION => (
+                "db.store_sop.union",
+                LsuUse::One(self.cfg.lsu_st),
+                true,
+                false,
+                &["st", "sop"],
+                &["ld_a", "ld_b", "ptr_c"],
+            ),
+            op::STORE_SOP_DIFF => (
+                "db.store_sop.diff",
+                LsuUse::One(self.cfg.lsu_st),
+                true,
+                false,
+                &["st", "sop"],
+                &["ld_a", "ld_b", "ptr_c"],
+            ),
+            op::STORE_MERGE => (
+                "db.store_merge",
+                LsuUse::One(self.cfg.lsu_st),
+                true,
+                false,
+                &["st", "sop"],
+                &["ld_a", "ld_b", "ptr_c"],
+            ),
+            op::LD_LDP_SHUFFLE => (
+                "db.ld_ldp_shuffle",
+                LsuUse::Multi,
+                false,
+                false,
+                &["st_s", "ldp_a", "ldp_b", "ld_a", "ld_b"],
+                STREAM_AB,
+            ),
             other => return Err(SimError::UnknownExtOp { op: other }),
         };
         Ok(OpDescriptor {
             name,
             lsu,
             writes_ar,
+            reads_ar,
+            states_written,
+            states_read,
             slot_ok: true,
         })
     }

@@ -16,16 +16,49 @@
 //! assert!(run.cycles > 0);
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::configs::ProcModel;
 use crate::datapath::SetOpKind;
 use crate::kernels::{hwset, hwsort, scalar, SetLayout, SortLayout};
 use crate::ops::DbExtension;
 use crate::states::SENTINEL;
+use dbx_cpu::ext::Extension;
+use dbx_cpu::program::Program;
 use dbx_cpu::{Processor, RunStats, SimError, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
 
 /// Cycle budget for a single kernel run — generous; kernels that exceed it
 /// are broken, not slow.
 const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Whether runners statically verify programs before simulating them.
+static PREFLIGHT: AtomicBool = AtomicBool::new(false);
+
+/// Opts all subsequent kernel runs in this process into the static
+/// pre-flight verifier (`dbx-analysis`): error-severity findings abort the
+/// run with [`SimError::BadProgram`] before a single cycle is simulated.
+/// Also enabled by setting the `DBX_PREFLIGHT` environment variable to
+/// anything but `0`.
+pub fn set_preflight(on: bool) {
+    PREFLIGHT.store(on, Ordering::Relaxed);
+}
+
+fn preflight_enabled() -> bool {
+    PREFLIGHT.load(Ordering::Relaxed) || std::env::var_os("DBX_PREFLIGHT").is_some_and(|v| v != "0")
+}
+
+/// Runs the static verifier over `program` as it will execute on `model`,
+/// when pre-flight is enabled. Warnings are ignored here; `dbx-lint`
+/// surfaces them interactively.
+fn preflight_check(program: &Program, model: ProcModel) -> Result<(), SimError> {
+    if !preflight_enabled() {
+        return Ok(());
+    }
+    let cfg = model.cpu_config();
+    let ext = model.wiring().map(DbExtension::new);
+    let ext_ref = ext.as_ref().map(|e| e as &dyn Extension);
+    dbx_analysis::preflight(program, ext_ref, &cfg).map(|_warnings| ())
+}
 
 /// Outcome of a simulated kernel run.
 #[derive(Debug, Clone)]
@@ -145,6 +178,7 @@ pub fn run_set_op(
         Some(wiring) => hwset::set_op_program(kind, &wiring, &layout, hwset::DEFAULT_UNROLL)?,
         None => scalar::set_op_program(kind, &layout)?,
     };
+    preflight_check(&program, model)?;
     let program_bytes = program.size_bytes();
     let mut p = build_processor(model)?;
     p.load_program(program)?;
@@ -222,6 +256,7 @@ pub fn run_sort(model: ProcModel, data: &[u32]) -> Result<KernelRun, SimError> {
         Some(wiring) => hwsort::merge_sort_program(&wiring, &SortLayout { src, dst, n })?,
         None => scalar::merge_sort_program(src, dst, n)?,
     };
+    preflight_check(&program, exec_model)?;
     let program_bytes = program.size_bytes();
     let mut p = build_processor(exec_model)?;
     p.load_program(program)?;

@@ -32,6 +32,13 @@ pub enum LsuUse {
 }
 
 /// Static description of one extension operation.
+///
+/// Beyond execution (`lsu`, `writes_ar`, `slot_ok`), descriptors carry the
+/// op's architectural read/write sets so tools can reason about programs
+/// without running them — the static analogue of the TIE compiler's
+/// interference analysis. `states_*` name extension-private states
+/// (pointer/window/FIFO registers); names are only compared for equality,
+/// so each extension picks its own vocabulary.
 #[derive(Debug, Clone, Copy)]
 pub struct OpDescriptor {
     /// Assembly mnemonic, e.g. `"sop.isect"`.
@@ -40,6 +47,12 @@ pub struct OpDescriptor {
     pub lsu: LsuUse,
     /// Whether the `r` field names a destination address register.
     pub writes_ar: bool,
+    /// Whether the `s` field names a source address register.
+    pub reads_ar: bool,
+    /// Extension-private states the op writes.
+    pub states_written: &'static [&'static str],
+    /// Extension-private states the op reads.
+    pub states_read: &'static [&'static str],
     /// Whether the op may be placed in a FLIX slot.
     pub slot_ok: bool,
 }
@@ -120,18 +133,27 @@ impl Extension for AccumulatorExt {
                 name: "acc.add",
                 lsu: LsuUse::None,
                 writes_ar: false,
+                reads_ar: true,
+                states_written: &["acc"],
+                states_read: &["acc"],
                 slot_ok: true,
             },
             Self::RD => OpDescriptor {
                 name: "acc.rd",
                 lsu: LsuUse::None,
                 writes_ar: true,
+                reads_ar: false,
+                states_written: &[],
+                states_read: &["acc"],
                 slot_ok: true,
             },
             Self::LD32 => OpDescriptor {
                 name: "acc.ld32",
                 lsu: LsuUse::One(0),
                 writes_ar: false,
+                reads_ar: true,
+                states_written: &["acc"],
+                states_read: &["acc"],
                 slot_ok: true,
             },
             _ => return Err(SimError::UnknownExtOp { op }),

@@ -19,10 +19,24 @@ use core::fmt;
 pub struct Reg(pub u8);
 
 impl Reg {
-    /// Constructs a register, panicking if out of range (builder-time check).
+    /// Constructs a register, panicking if out of range. Only for
+    /// builder-time constants; anything handling user input (assembler,
+    /// decoder, lint tools) must use [`Reg::try_new`] instead.
     pub fn new(n: u8) -> Reg {
         assert!(n < 16, "address register index {n} out of range");
         Reg(n)
+    }
+
+    /// Constructs a register, reporting out-of-range indices as an error
+    /// instead of panicking.
+    pub fn try_new(n: u8) -> Result<Reg, crate::error::SimError> {
+        if n < 16 {
+            Ok(Reg(n))
+        } else {
+            Err(crate::error::SimError::BadProgram(format!(
+                "address register index {n} out of range (a0..a15)"
+            )))
+        }
     }
 
     /// Register index as usize for file indexing.

@@ -157,10 +157,19 @@ impl ProgramBuilder {
     ///
     /// # Panics
     /// Panics when the label is redefined — that is always a kernel bug.
+    /// Code handling untrusted input (the assembler) uses [`Self::try_label`].
     pub fn label(&mut self, name: &str) -> &mut Self {
+        self.try_label(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Defines `name` at the current position, reporting redefinition as an
+    /// error instead of panicking.
+    pub fn try_label(&mut self, name: &str) -> Result<&mut Self, SimError> {
         let prev = self.labels.insert(name.to_string(), self.code.len());
-        assert!(prev.is_none(), "label '{name}' redefined");
-        self
+        if prev.is_some() {
+            return Err(SimError::BadProgram(format!("label '{name}' redefined")));
+        }
+        Ok(self)
     }
 
     /// Emits a raw instruction. Branch targets referencing labels must go

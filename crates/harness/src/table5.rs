@@ -196,7 +196,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "host wall-clock comparison is only meaningful optimized")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "host wall-clock comparison is only meaningful optimized"
+    )]
     fn host_swsort_beats_or_matches_scalar_sort() {
         let n = 100_000;
         let sw = host_sort_meps(n, 3, dbx_x86ref::swsort::sort);

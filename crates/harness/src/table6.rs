@@ -177,7 +177,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "host wall-clock comparison is only meaningful optimized")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "host wall-clock comparison is only meaningful optimized"
+    )]
     fn host_swset_beats_scalar_intersection() {
         let n = 1_000_000;
         let (a, b) = set_pair_with_selectivity(n, n, 0.5, SEED);

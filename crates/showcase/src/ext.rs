@@ -62,22 +62,39 @@ impl Extension for ChecksumExt {
     }
 
     fn op_descriptor(&self, opcode: u16) -> Result<OpDescriptor, SimError> {
-        let (name, lsu, writes_ar) = match opcode {
-            op::CRC_INIT => ("crc.init", LsuUse::None, false),
-            op::CRC_WORD => ("crc.word", LsuUse::None, false),
-            op::CRC_LD_WORD => ("crc.ld.word", LsuUse::One(0), false),
-            op::CRC_RD => ("crc.rd", LsuUse::None, true),
-            op::BITREV => ("bit.rev", LsuUse::None, true),
-            op::POPCNT => ("bit.popcnt", LsuUse::None, true),
-            op::QPUSH => ("q.push", LsuUse::None, true),
-            op::QPOP => ("q.pop", LsuUse::None, true),
-            op::QVAL => ("q.val", LsuUse::None, true),
+        // (name, lsu, writes_ar, reads_ar, states_written, states_read)
+        type Slices = (&'static [&'static str], &'static [&'static str]);
+        let (name, lsu, writes_ar, reads_ar, (states_written, states_read)): (
+            &'static str,
+            LsuUse,
+            bool,
+            bool,
+            Slices,
+        ) = match opcode {
+            op::CRC_INIT => ("crc.init", LsuUse::None, false, false, (&["crc"], &[])),
+            op::CRC_WORD => ("crc.word", LsuUse::None, false, true, (&["crc"], &["crc"])),
+            op::CRC_LD_WORD => (
+                "crc.ld.word",
+                LsuUse::One(0),
+                false,
+                true,
+                (&["crc"], &["crc"]),
+            ),
+            op::CRC_RD => ("crc.rd", LsuUse::None, true, false, (&[], &["crc"])),
+            op::BITREV => ("bit.rev", LsuUse::None, true, true, (&[], &[])),
+            op::POPCNT => ("bit.popcnt", LsuUse::None, true, true, (&[], &[])),
+            op::QPUSH => ("q.push", LsuUse::None, true, true, (&[], &[])),
+            op::QPOP => ("q.pop", LsuUse::None, true, false, (&["pop_buf"], &[])),
+            op::QVAL => ("q.val", LsuUse::None, true, false, (&[], &["pop_buf"])),
             other => return Err(SimError::UnknownExtOp { op: other }),
         };
         Ok(OpDescriptor {
             name,
             lsu,
             writes_ar,
+            reads_ar,
+            states_written,
+            states_read,
             slot_ok: true,
         })
     }

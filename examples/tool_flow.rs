@@ -82,6 +82,18 @@ fn main() {
 
     // ---- step 3: verification ----
     println!("\n== step 3: verify the extended processor ==\n");
+    // Static verification first: the analyzer plays the role of the TIE
+    // compiler's structural checks (CFG, def-use, bundle hazards, bounds).
+    let eis_model = ProcModel::Dba1LsuEis { partial: true };
+    let diags = dbasip::analysis::analyze(&eis_prog, Some(&ext), &eis_model.cpu_config());
+    assert!(
+        !dbasip::analysis::has_errors(&diags),
+        "static verification failed: {diags:?}"
+    );
+    println!(
+        "static verification: {} diagnostics on the EIS kernel - PASS",
+        diags.len()
+    );
     let scalar_run = run_set_op(ProcModel::Dba1Lsu, SetOpKind::Intersect, &a, &b).expect("ref");
     let eis_run = run_set_op(
         ProcModel::Dba1LsuEis { partial: true },

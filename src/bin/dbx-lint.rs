@@ -1,0 +1,236 @@
+//! `dbx-lint` — static verifier front-end for EIS programs.
+//!
+//! Two modes:
+//!
+//! * `dbx-lint --kernels` lints every built-in kernel (set operations and
+//!   merge sort, scalar and EIS variants) as instantiated for each
+//!   processor model of the paper.
+//! * `dbx-lint [--model NAME] file.s ...` assembles each file with the
+//!   model's extension mnemonics available and lints the result.
+//!
+//! Exit status is non-zero when any error-severity diagnostic fires, or,
+//! with `--strict`, when any diagnostic fires at all.
+
+use std::process::ExitCode;
+
+use dbasip::analysis::{analyze, Diagnostic, Severity};
+use dbasip::asm::Assembler;
+use dbasip::cpu::ext::Extension;
+use dbasip::cpu::{Program, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
+use dbasip::dbisa::configs::ProcModel;
+use dbasip::dbisa::datapath::SetOpKind;
+use dbasip::dbisa::kernels::{hwset, hwsort, scalar, SetLayout, SortLayout};
+use dbasip::dbisa::ops::DbExtension;
+
+struct Options {
+    strict: bool,
+    kernels: bool,
+    model: ProcModel,
+    files: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dbx-lint [--strict] --kernels\n       \
+         dbx-lint [--strict] [--model MODEL] FILE.s ...\n\n\
+         MODEL: mini108 | dba1 | dba2 | dba1eis | dba2eis (default: dba2eis)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_model(name: &str) -> Option<ProcModel> {
+    match name {
+        "mini108" => Some(ProcModel::Mini108),
+        "dba1" => Some(ProcModel::Dba1Lsu),
+        "dba2" => Some(ProcModel::Dba2Lsu),
+        "dba1eis" => Some(ProcModel::Dba1LsuEis { partial: true }),
+        "dba2eis" => Some(ProcModel::Dba2LsuEis { partial: true }),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        strict: false,
+        kernels: false,
+        model: ProcModel::Dba2LsuEis { partial: true },
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--strict" => opts.strict = true,
+            "--kernels" => opts.kernels = true,
+            "--model" => match args.next().as_deref().and_then(parse_model) {
+                Some(m) => opts.model = m,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if opts.kernels != opts.files.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// Lints one program on one model; returns (errors, warnings) counts.
+fn lint(label: &str, program: &Program, model: ProcModel) -> (usize, usize) {
+    let cfg = model.cpu_config();
+    let ext = model.wiring().map(DbExtension::new);
+    let ext_ref = ext.as_ref().map(|e| e as &dyn Extension);
+    let diags = analyze(program, ext_ref, &cfg);
+    report(label, &diags);
+    count(&diags)
+}
+
+fn report(label: &str, diags: &[Diagnostic]) {
+    if diags.is_empty() {
+        println!("{label}: clean");
+        return;
+    }
+    println!("{label}:");
+    for d in diags {
+        println!("  {d}");
+    }
+}
+
+fn count(diags: &[Diagnostic]) -> (usize, usize) {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    (errors, diags.len() - errors)
+}
+
+/// Mirrors the runner's per-model data placement for a representative
+/// problem size, so kernels are linted exactly as they execute.
+fn sample_set_layout(model: ProcModel) -> SetLayout {
+    let n = 256u32;
+    let (a, b) = match model {
+        ProcModel::Mini108 => (SYSMEM_BASE, SYSMEM_BASE + 4 * n),
+        ProcModel::Dba2LsuEis { .. } => (DMEM0_BASE, DMEM1_BASE),
+        _ => (DMEM0_BASE, DMEM0_BASE + 4 * n),
+    };
+    SetLayout {
+        a_base: a,
+        a_len: n,
+        b_base: b,
+        b_len: n,
+        c_base: b + 4 * n,
+    }
+}
+
+fn lint_kernels() -> (usize, usize) {
+    let mut errors = 0;
+    let mut warnings = 0;
+    let kinds = [
+        SetOpKind::Intersect,
+        SetOpKind::Union,
+        SetOpKind::Difference,
+    ];
+    for model in ProcModel::synthesis_models() {
+        let layout = sample_set_layout(model);
+        for kind in kinds {
+            let program = match model.wiring() {
+                Some(w) => hwset::set_op_program(kind, &w, &layout, hwset::DEFAULT_UNROLL),
+                None => scalar::set_op_program(kind, &layout),
+            };
+            let label = format!("{} {:?} [{}]", model.name(), kind, model.partial_label());
+            match program {
+                Ok(p) => {
+                    let (e, w) = lint(&label, &p, model);
+                    errors += e;
+                    warnings += w;
+                }
+                Err(e) => {
+                    println!("{label}: failed to build: {e}");
+                    errors += 1;
+                }
+            }
+        }
+        // Sort always runs on the 1-LSU arrangement (see runner::run_sort).
+        let sort_model = match model {
+            ProcModel::Dba2LsuEis { partial } => ProcModel::Dba1LsuEis { partial },
+            ProcModel::Dba2Lsu => ProcModel::Dba1Lsu,
+            m => m,
+        };
+        let src = match sort_model {
+            ProcModel::Mini108 => SYSMEM_BASE,
+            _ => DMEM0_BASE,
+        };
+        let n = 256u32;
+        let sort_layout = SortLayout {
+            src,
+            dst: src + 4 * n,
+            n,
+        };
+        let program = match sort_model.wiring() {
+            Some(w) => hwsort::merge_sort_program(&w, &sort_layout).map(|(p, _)| p),
+            None => scalar::merge_sort_program(src, src + 4 * n, n).map(|(p, _)| p),
+        };
+        let label = format!("{} sort [{}]", model.name(), model.partial_label());
+        match program {
+            Ok(p) => {
+                let (e, w) = lint(&label, &p, sort_model);
+                errors += e;
+                warnings += w;
+            }
+            Err(e) => {
+                println!("{label}: failed to build: {e}");
+                errors += 1;
+            }
+        }
+    }
+    (errors, warnings)
+}
+
+fn lint_files(opts: &Options) -> (usize, usize) {
+    let mut errors = 0;
+    let mut warnings = 0;
+    let ext = opts.model.wiring().map(DbExtension::new);
+    let ext_ref = ext.as_ref().map(|e| e as &dyn Extension);
+    for f in &opts.files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{f}: cannot read: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        let asm = match ext_ref {
+            Some(x) => Assembler::with_extension(x),
+            None => Assembler::new(),
+        };
+        match asm.assemble(&src) {
+            Ok(p) => {
+                let (e, w) = lint(f, &p, opts.model);
+                errors += e;
+                warnings += w;
+            }
+            Err(e) => {
+                println!("{f}: {e}");
+                errors += 1;
+            }
+        }
+    }
+    (errors, warnings)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let (errors, warnings) = if opts.kernels {
+        lint_kernels()
+    } else {
+        lint_files(&opts)
+    };
+    println!("{errors} error(s), {warnings} warning(s)");
+    if errors > 0 || (opts.strict && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

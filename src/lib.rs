@@ -41,6 +41,7 @@
 //! assert!(meps > 500.0, "EIS-class throughput, got {meps:.0} M elements/s");
 //! ```
 
+pub use dbx_analysis as analysis;
 pub use dbx_asm as asm;
 pub use dbx_core as dbisa;
 pub use dbx_cpu as cpu;

@@ -1,0 +1,588 @@
+//! Negative tests of the static verifier: a table of known-bad programs,
+//! each asserting that the expected rule fires at the expected pc — and
+//! that the analyzer stays quiet on the known-good built-in kernels.
+//!
+//! Every rule family (CFG, DF, BND, OPT, MEM) has at least one entry.
+
+use dbasip::analysis::{analyze, has_errors, Diagnostic, RuleId, Severity};
+use dbasip::asm::{assemble, disassemble};
+use dbasip::cpu::encode::encode_program;
+use dbasip::cpu::ext::Extension;
+use dbasip::cpu::isa::{ExtOp, Instr, OpArgs, Reg};
+use dbasip::cpu::{Program, ProgramBuilder};
+use dbasip::dbisa::{opcodes, DbExtConfig, DbExtension, ProcModel};
+use proptest::prelude::*;
+
+const A0: Reg = Reg(0);
+const A1: Reg = Reg(1);
+const A2: Reg = Reg(2);
+const A3: Reg = Reg(3);
+
+fn run(program: &Program, model: ProcModel) -> Vec<Diagnostic> {
+    let cfg = model.cpu_config();
+    let ext = model.wiring().map(DbExtension::new);
+    let ext_ref = ext.as_ref().map(|e| e as &dyn Extension);
+    analyze(program, ext_ref, &cfg)
+}
+
+/// Asserts that `rule` fired at `pc` (and nowhere else is required).
+fn assert_fires(diags: &[Diagnostic], rule: RuleId, pc: u32) {
+    assert!(
+        diags.iter().any(|d| d.rule == rule && d.pc == pc),
+        "expected {} at {pc:#010x}, got: {diags:#?}",
+        rule.code()
+    );
+}
+
+fn ext_op(op: u16, r: u8, s: u8) -> Instr {
+    Instr::Ext(ExtOp {
+        op,
+        args: OpArgs { r, s, imm: 0 },
+    })
+}
+
+// ---- CFG family -----------------------------------------------------------
+
+#[test]
+fn cfg01_branch_into_loop_body() {
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, 4)
+        .beqz(A0, "inside") // jumps over the loop header into the body
+        .hw_loop(A1, "lend")
+        .nop()
+        .label("inside")
+        .nop()
+        .label("lend")
+        .halt();
+    let p = b.build().unwrap();
+    let beqz_pc = p
+        .iter()
+        .find(|(_, i)| matches!(i, Instr::Beqz { .. }))
+        .unwrap()
+        .0;
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::LoopBranchIn, beqz_pc);
+    assert!(has_errors(&diags));
+}
+
+#[test]
+fn cfg02_jump_out_of_loop_body() {
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, 4)
+        .hw_loop(A1, "lend")
+        .nop()
+        .j("after") // leaves the loop armed
+        .label("lend")
+        .nop()
+        .label("after")
+        .halt();
+    let p = b.build().unwrap();
+    let j_pc = p
+        .iter()
+        .find(|(_, i)| matches!(i, Instr::J { .. }))
+        .unwrap()
+        .0;
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::LoopBranchOut, j_pc);
+}
+
+#[test]
+fn cfg02_ret_inside_loop_body() {
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, 2).hw_loop(A1, "lend").ret().label("lend").halt();
+    let p = b.build().unwrap();
+    let ret_pc = p.iter().find(|(_, i)| matches!(i, Instr::Ret)).unwrap().0;
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::LoopBranchOut, ret_pc);
+}
+
+#[test]
+fn cfg03_nested_hardware_loops() {
+    // The core has a single LBEGIN/LEND/LCOUNT set: an inner `loop`
+    // inside an outer body silently retargets the outer loop.
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, 4)
+        .movi(A2, 4)
+        .hw_loop(A1, "louter")
+        .hw_loop(A2, "linner")
+        .nop()
+        .label("linner")
+        .nop()
+        .label("louter")
+        .halt();
+    let p = b.build().unwrap();
+    let inner_pc = p
+        .iter()
+        .filter(|(_, i)| matches!(i, Instr::Loop { .. }))
+        .nth(1)
+        .unwrap()
+        .0;
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::LoopMalformed, inner_pc);
+}
+
+#[test]
+fn cfg04_unreachable_code_warns() {
+    let mut b = ProgramBuilder::new();
+    b.halt().movi(A1, 1).halt();
+    let p = b.build().unwrap();
+    let dead_pc = p.addr_of(1);
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::Unreachable, dead_pc);
+    // Unreachability alone is not an error.
+    assert!(!has_errors(&diags));
+}
+
+// ---- DF family ------------------------------------------------------------
+
+#[test]
+fn df01_use_before_init() {
+    let mut b = ProgramBuilder::new();
+    b.add(A1, A2, A3).halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::UseBeforeInit, p.addr_of(0));
+    assert!(!has_errors(&diags), "reads of reset-zero regs are warnings");
+}
+
+#[test]
+fn df02_dead_write() {
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, 5)
+        .movi(A1, 6)
+        .movi(A2, dbasip::cpu::SYSMEM_BASE as i32)
+        .s32i(A1, A2, 0)
+        .halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Mini108);
+    assert_fires(&diags, RuleId::DeadWrite, p.addr_of(0));
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn df03_state_read_before_init() {
+    // `db.st` drains the SOP FIFO — but nothing ever configured the unit
+    // (no `db.init`, no pointer setup).
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, 0).inst(ext_op(opcodes::ST, 0, 1)).halt();
+    let p = b.build().unwrap();
+    let st_pc = p.addr_of(1);
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert_fires(&diags, RuleId::StateUseBeforeInit, st_pc);
+}
+
+#[test]
+fn df_init_clears_state_warnings() {
+    // The same program preceded by `db.init` is clean: INIT initializes
+    // every extension state.
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0))
+        .movi(A1, 0)
+        .inst(ext_op(opcodes::ST, 0, 1))
+        .halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert!(
+        !diags.iter().any(|d| d.rule == RuleId::StateUseBeforeInit),
+        "INIT must satisfy state initialization: {diags:#?}"
+    );
+}
+
+// ---- BND family -----------------------------------------------------------
+
+#[test]
+fn bnd01_lsu_double_claim_in_bundle() {
+    // On the 1-LSU wiring both stream loaders share LSU0; bundling them
+    // double-books the port.
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0))
+        .flix([ext_op(opcodes::LD_A, 0, 0), ext_op(opcodes::LD_B, 0, 0)])
+        .halt();
+    let p = b.build().unwrap();
+    let bundle_pc = p.addr_of(1);
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert_fires(&diags, RuleId::LsuConflict, bundle_pc);
+}
+
+#[test]
+fn bnd01_same_pair_is_legal_on_two_lsus() {
+    // The identical bundle is the whole point of the 2-LSU model
+    // (Section 4.3): LD_A on LSU0, LD_B on LSU1.
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0))
+        .flix([ext_op(opcodes::LD_A, 0, 0), ext_op(opcodes::LD_B, 0, 0)])
+        .halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba2LsuEis { partial: true });
+    assert!(
+        !diags.iter().any(|d| d.rule == RuleId::LsuConflict),
+        "no conflict expected with two LSUs: {diags:#?}"
+    );
+}
+
+#[test]
+fn bnd02_op_wired_to_missing_lsu() {
+    // A program built for the 2-LSU wiring (LD_B on LSU1) analyzed
+    // against the 1-LSU core.
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0))
+        .flix([ext_op(opcodes::LD_B, 0, 0)])
+        .halt();
+    let p = b.build().unwrap();
+    let bundle_pc = p.addr_of(1);
+    let cfg = ProcModel::Dba1LsuEis { partial: true }.cpu_config();
+    let ext = DbExtension::new(DbExtConfig::two_lsu(true));
+    let diags = analyze(&p, Some(&ext as &dyn Extension), &cfg);
+    assert_fires(&diags, RuleId::LsuOutOfRange, bundle_pc);
+}
+
+#[test]
+fn bnd03_double_register_write_in_bundle() {
+    let mut b = ProgramBuilder::new();
+    b.movi(A2, 1)
+        .movi(A3, 2)
+        .flix([
+            Instr::Addi {
+                r: A1,
+                s: A2,
+                imm: 1,
+            },
+            Instr::Addi {
+                r: A1,
+                s: A3,
+                imm: 2,
+            },
+        ])
+        .movi(A2, 0)
+        .s32i(A1, A2, 0)
+        .halt();
+    let p = b.build().unwrap();
+    let bundle_pc = p.addr_of(2);
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert_fires(&diags, RuleId::RegWriteConflict, bundle_pc);
+}
+
+#[test]
+fn bnd04_double_state_write_in_bundle() {
+    // Two set-operation steps in one cycle would both write the SOP state.
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0))
+        .flix([
+            ext_op(opcodes::SOP_ISECT, 0, 0),
+            ext_op(opcodes::SOP_UNION, 0, 0),
+        ])
+        .halt();
+    let p = b.build().unwrap();
+    let bundle_pc = p.addr_of(1);
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert_fires(&diags, RuleId::StateWriteConflict, bundle_pc);
+}
+
+#[test]
+fn bnd05_slot_ineligible_ext_op() {
+    // The builder already rejects base instructions in FLIX slots, so the
+    // analyzer's BND05 is exercised through an extension op whose
+    // descriptor declares it slot-ineligible (a multi-cycle-format op a
+    // real TIE compiler would keep out of shared formats).
+    use dbasip::cpu::ext::{LsuUse, OpDescriptor, TieCtx};
+    use dbasip::cpu::SimError;
+
+    struct NoSlotExt;
+    impl Extension for NoSlotExt {
+        fn name(&self) -> &'static str {
+            "noslot"
+        }
+        fn op_count(&self) -> u16 {
+            1
+        }
+        fn op_descriptor(&self, op: u16) -> Result<OpDescriptor, SimError> {
+            if op != 0 {
+                return Err(SimError::UnknownExtOp { op });
+            }
+            Ok(OpDescriptor {
+                name: "noslot.op",
+                lsu: LsuUse::None,
+                writes_ar: false,
+                reads_ar: false,
+                states_written: &[],
+                states_read: &[],
+                slot_ok: false,
+            })
+        }
+        fn execute(&mut self, _: &[(u16, OpArgs)], _: &mut TieCtx<'_>) -> Result<u32, SimError> {
+            Ok(0)
+        }
+        fn reset(&mut self) {}
+    }
+
+    let mut b = ProgramBuilder::new();
+    b.flix([ext_op(0, 0, 0)]).halt();
+    let p = b.build().unwrap();
+    let bundle_pc = p.addr_of(0);
+    let cfg = ProcModel::Dba1LsuEis { partial: true }.cpu_config();
+    let diags = analyze(&p, Some(&NoSlotExt as &dyn Extension), &cfg);
+    assert_fires(&diags, RuleId::SlotIneligible, bundle_pc);
+}
+
+#[test]
+fn bnd06_flix_on_core_without_flix() {
+    let mut b = ProgramBuilder::new();
+    b.flix([Instr::Nop]).halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Mini108);
+    assert_fires(&diags, RuleId::FlixUnsupported, p.addr_of(0));
+}
+
+// ---- OPT family -----------------------------------------------------------
+
+#[test]
+fn opt01_division_without_divider() {
+    // The local-store cores drop the divider (Section 4.1); Mini108 has it.
+    let mut b = ProgramBuilder::new();
+    b.movi(A2, 6).movi(A3, 3).quou(A1, A2, A3).jx(A1);
+    let p = b.build().unwrap();
+    let quou_pc = p.addr_of(2);
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::DivUnavailable, quou_pc);
+    assert!(!run(&p, ProcModel::Mini108)
+        .iter()
+        .any(|d| d.rule == RuleId::DivUnavailable));
+}
+
+#[test]
+fn opt02_ext_op_without_extension() {
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0)).halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba1Lsu); // no EIS on this model
+    assert_fires(&diags, RuleId::NoExtension, p.addr_of(0));
+}
+
+#[test]
+fn opt03_unknown_opcode() {
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::COUNT + 7, 0, 0)).halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert_fires(&diags, RuleId::UnknownExtOp, p.addr_of(0));
+}
+
+// ---- MEM family -----------------------------------------------------------
+
+#[test]
+fn mem01_store_past_end_of_local_store() {
+    let cfg = ProcModel::Dba1Lsu.cpu_config();
+    let dmem_end = dbasip::cpu::DMEM0_BASE + (cfg.dmem_kb_per_lsu as u32) * 1024;
+    let mut b = ProgramBuilder::new();
+    // The word store straddles the end of local store 0 by two bytes.
+    b.movi(A1, (dmem_end - 2) as i32).s32i(A2, A1, 0).halt();
+    let p = b.build().unwrap();
+    let store_pc = p.addr_of(1);
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::OobAccess, store_pc);
+    assert!(has_errors(&diags));
+}
+
+#[test]
+fn mem01_tracks_addi_derived_addresses() {
+    // The offending address is built Movi + Addi + Addx4, like real
+    // kernel prologues.
+    let cfg = ProcModel::Dba1Lsu.cpu_config();
+    let dmem_bytes = (cfg.dmem_kb_per_lsu as u32) * 1024;
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, dbasip::cpu::DMEM0_BASE as i32)
+        .movi(A2, (dmem_bytes / 4) as i32) // element count == capacity
+        .addx4(A1, A2, A1) // a1 = base + 4*count == one past the end
+        .s32i(A3, A1, 0)
+        .halt();
+    let p = b.build().unwrap();
+    let store_pc = p.addr_of(3);
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::OobAccess, store_pc);
+}
+
+#[test]
+fn mem02_sysmem_unreachable_from_local_store_core() {
+    // The DBA cores trade away the system bus (Section 4.1): a constant
+    // SYSMEM address is a guaranteed bus error there, fine on Mini108.
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, dbasip::cpu::SYSMEM_BASE as i32)
+        .l32i(A2, A1, 0)
+        .movi(A3, dbasip::cpu::DMEM0_BASE as i32)
+        .s32i(A2, A3, 0)
+        .halt();
+    let p = b.build().unwrap();
+    let load_pc = p.addr_of(1);
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::UnmappedAccess, load_pc);
+    // Mini108 has core system-memory access: the same load is legal there
+    // (the DMEM0 store is not — that core has no local stores).
+    assert!(
+        !run(&p, ProcModel::Mini108)
+            .iter()
+            .any(|d| d.rule == RuleId::UnmappedAccess && d.pc == load_pc),
+        "Mini108 has core system-memory access"
+    );
+}
+
+// ---- severity ordering and built-in kernels -------------------------------
+
+#[test]
+fn diagnostics_sorted_by_pc_then_severity() {
+    let mut b = ProgramBuilder::new();
+    b.add(A1, A2, A3) // DF01 warning at pc0
+        .inst(ext_op(opcodes::COUNT, 0, 0)) // OPT03 error later
+        .halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    let pcs: Vec<u32> = diags.iter().map(|d| d.pc).collect();
+    let mut sorted = pcs.clone();
+    sorted.sort();
+    assert_eq!(pcs, sorted, "diagnostics must come back sorted by pc");
+}
+
+#[test]
+fn builtin_kernels_are_clean() {
+    use dbasip::dbisa::kernels::{hwset, scalar, SetLayout};
+    use dbasip::dbisa::SetOpKind;
+    let layout = SetLayout {
+        a_base: dbasip::cpu::DMEM0_BASE,
+        a_len: 64,
+        b_base: dbasip::cpu::DMEM0_BASE + 0x1000,
+        b_len: 64,
+        c_base: dbasip::cpu::DMEM0_BASE + 0x2000,
+    };
+    for kind in [
+        SetOpKind::Intersect,
+        SetOpKind::Union,
+        SetOpKind::Difference,
+    ] {
+        let sp = scalar::set_op_program(kind, &layout).unwrap();
+        let diags = run(&sp, ProcModel::Dba1Lsu);
+        assert!(diags.is_empty(), "scalar {kind:?}: {diags:#?}");
+
+        let wiring = DbExtConfig::one_lsu(true);
+        let hp = hwset::set_op_program(kind, &wiring, &layout, hwset::DEFAULT_UNROLL).unwrap();
+        let diags = run(&hp, ProcModel::Dba1LsuEis { partial: true });
+        assert!(diags.is_empty(), "EIS {kind:?}: {diags:#?}");
+    }
+}
+
+#[test]
+fn preflight_gates_bad_programs_and_passes_good_runs() {
+    use dbasip::analysis::preflight;
+    // A guaranteed-fault program is rejected before execution...
+    let mut b = ProgramBuilder::new();
+    b.movi(A1, 0x1000).l32i(A2, A1, 0).jx(A2);
+    let p = b.build().unwrap();
+    let cfg = ProcModel::Dba1Lsu.cpu_config();
+    let err = preflight(&p, None, &cfg).unwrap_err();
+    assert!(
+        err.to_string().contains("static verification failed"),
+        "unexpected error: {err}"
+    );
+
+    // ...while the real kernels run unchanged with the hook armed.
+    dbasip::dbisa::set_preflight(true);
+    let a: Vec<u32> = (0..200).map(|i| 3 * i).collect();
+    let b: Vec<u32> = (0..200).map(|i| 2 * i).collect();
+    let run = dbasip::dbisa::run_set_op(
+        ProcModel::Dba2LsuEis { partial: true },
+        dbasip::dbisa::SetOpKind::Intersect,
+        &a,
+        &b,
+    );
+    dbasip::dbisa::set_preflight(false);
+    let run = run.expect("preflight must not reject the built-in kernel");
+    let expect: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+    assert_eq!(run.result, expect);
+}
+
+// ---- severity contract ----------------------------------------------------
+
+#[test]
+fn severity_split_matches_hardware_guarantees() {
+    // Warnings: defined but suspicious.
+    for rule in [
+        RuleId::UseBeforeInit,
+        RuleId::DeadWrite,
+        RuleId::StateUseBeforeInit,
+        RuleId::Unreachable,
+    ] {
+        let mut b = ProgramBuilder::new();
+        b.add(A1, A2, A3).movi(A1, 1).movi(A1, 2).halt().nop();
+        let p = b.build().unwrap();
+        let diags = run(&p, ProcModel::Dba1Lsu);
+        for d in diags.iter().filter(|d| d.rule == rule) {
+            assert_eq!(d.severity, Severity::Warning, "{}", rule.code());
+        }
+    }
+}
+
+// ---- assembler round-trip property ----------------------------------------
+
+fn roundtrip_instr_strategy() -> impl Strategy<Value = Instr> {
+    let r = || (0u8..16).prop_map(Reg::new);
+    prop_oneof![
+        Just(Instr::Nop),
+        (r(), -2048i32..2048).prop_map(|(rr, imm)| Instr::Movi { r: rr, imm }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Add { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Sub { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Minu { r: a, s, t }),
+        (r(), r(), any::<i16>()).prop_map(|(a, s, imm)| Instr::Addi { r: a, s, imm }),
+        (r(), r(), 0u8..32).prop_map(|(a, s, sa)| Instr::Slli { r: a, s, sa }),
+        (r(), r(), 0u16..1024).prop_map(|(a, s, off)| Instr::Load {
+            width: dbasip::cpu::isa::LsWidth::W32,
+            r: a,
+            s,
+            off
+        }),
+        (r(), r(), 0u16..1024).prop_map(|(t, s, off)| Instr::Store {
+            width: dbasip::cpu::isa::LsWidth::W32,
+            t,
+            s,
+            off
+        }),
+        (0u16..opcodes::COUNT, 0u8..16, 0u8..16).prop_map(|(o, rr, s)| Instr::Ext(ExtOp {
+            op: o,
+            args: OpArgs { r: rr, s, imm: 0 }
+        })),
+    ]
+}
+
+proptest! {
+    /// Any program the builder accepts survives disassemble → assemble
+    /// with a bit-identical binary image (satellite of the verifier: the
+    /// lint CLI assembles `.s` files, so text must be a faithful carrier).
+    #[test]
+    fn programs_roundtrip_through_assembly(
+        instrs in proptest::collection::vec(roundtrip_instr_strategy(), 1..48)
+    ) {
+        let ext = DbExtension::new(DbExtConfig::two_lsu(true));
+        let mut b = ProgramBuilder::new();
+        for mut i in instrs {
+            // Canonicalize ext-op operands to what assembly can express:
+            // the textual form carries `r` only for AR-writing ops.
+            if let Instr::Ext(ref mut e) = i {
+                let writes_ar = ext
+                    .op_descriptor(e.op)
+                    .map(|d| d.writes_ar)
+                    .unwrap_or(false);
+                if !writes_ar {
+                    e.args.r = 0;
+                }
+            }
+            b.inst(i);
+        }
+        b.halt();
+        let p1 = b.build().unwrap();
+        let text = disassemble(&p1, Some(&ext));
+        let p2 = assemble(&text, Some(&ext)).unwrap();
+        prop_assert_eq!(
+            encode_program(&p1).unwrap(),
+            encode_program(&p2).unwrap(),
+            "disassembly was not a faithful carrier:\n{}",
+            text
+        );
+    }
+}

@@ -3,9 +3,9 @@
 //! on exactly this).
 
 use dbasip::cpu::Processor;
+use dbasip::cpu::{DMEM0_BASE, DMEM1_BASE};
 use dbasip::dbisa::kernels::{hwset, SetLayout};
 use dbasip::dbisa::{DbExtConfig, DbExtension, ProcModel, SetOpKind};
-use dbasip::cpu::{DMEM0_BASE, DMEM1_BASE};
 
 fn run_profiled(unroll: usize) -> Processor {
     let wiring = DbExtConfig::two_lsu(true);
@@ -43,7 +43,9 @@ fn profiler_attributes_the_eis_run_to_the_core_loop() {
         hotspots[0]
     );
     // The epilogue exists but is cheap.
-    assert!(hotspots.iter().any(|h| h.region == "finish" || h.region == "epilogue"));
+    assert!(hotspots
+        .iter()
+        .any(|h| h.region == "finish" || h.region == "epilogue"));
 }
 
 #[test]

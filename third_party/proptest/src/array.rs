@@ -1,0 +1,22 @@
+//! Fixed-size array strategies (the `uniform4` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; 4]` with every element drawn from `element`.
+pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+    Uniform4 { element }
+}
+
+/// See [`uniform4`].
+#[derive(Clone)]
+pub struct Uniform4<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform4<S> {
+    type Value = [S::Value; 4];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; 4] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
