@@ -28,6 +28,10 @@ pub mod stream;
 
 pub use configs::ProcModel;
 pub use datapath::SetOpKind;
+pub use multicore::{run_partition, run_partition_with, PartitionRun};
 pub use ops::{opcodes, DbExtConfig, DbExtension};
-pub use runner::{build_processor, run_set_op, run_sort, set_preflight, KernelRun};
+pub use runner::{
+    build_processor, build_processor_with, run_set_op, run_set_op_with, run_sort, run_sort_with,
+    scalar_fallback, set_preflight, KernelRun, RecoveryPolicy, RunOptions,
+};
 pub use states::SENTINEL;

@@ -16,8 +16,9 @@
 
 use crate::configs::ProcModel;
 use crate::datapath::SetOpKind;
-use crate::runner::{run_set_op, KernelRun};
+use crate::runner::{run_set_op_with, RunOptions};
 use dbx_cpu::SimError;
+use dbx_faults::FaultCounters;
 
 /// Result of a partitioned multi-core run.
 #[derive(Debug, Clone)]
@@ -32,6 +33,12 @@ pub struct MultiCoreRun {
     pub per_core_cycles: Vec<u64>,
     /// Number of cores that received work.
     pub cores_used: usize,
+    /// Kernel re-runs consumed by the recovery policy across all cores.
+    pub retries: u32,
+    /// Partitions whose result came from the degraded scalar fallback.
+    pub degraded_parts: usize,
+    /// Fault counters aggregated over all cores.
+    pub faults: FaultCounters,
 }
 
 impl MultiCoreRun {
@@ -94,6 +101,82 @@ fn partition(
     out
 }
 
+/// One core's share of a partitioned run, with its resilience accounting.
+#[derive(Debug, Clone)]
+pub struct PartitionRun {
+    /// The partition's set-operation result.
+    pub result: Vec<u32>,
+    /// Cycles the core spent on the partition (batches add up).
+    pub cycles: u64,
+    /// Kernel re-runs consumed by the recovery policy.
+    pub retries: u32,
+    /// Batches whose result came from the degraded scalar fallback.
+    pub degraded: usize,
+    /// Fault counters aggregated over the partition's batches.
+    pub faults: FaultCounters,
+}
+
+type PartRun = PartitionRun;
+
+/// [`run_partition`] with resilience options (see
+/// [`crate::runner::run_set_op_with`]); the injected fault plan strikes
+/// the first batch only.
+pub fn run_partition_with(
+    model: ProcModel,
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+    opts: &RunOptions,
+) -> Result<PartitionRun, SimError> {
+    run_partition_opts(model, kind, a, b, opts)
+}
+
+fn run_partition_opts(
+    model: ProcModel,
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+    opts: &RunOptions,
+) -> Result<PartRun, SimError> {
+    match run_set_op_with(model, kind, a, b, opts) {
+        Ok(kr) => Ok(PartRun {
+            result: kr.result,
+            cycles: kr.cycles,
+            retries: kr.retries,
+            degraded: kr.degraded as usize,
+            faults: kr.faults,
+        }),
+        Err(SimError::BadProgram(_)) if a.len() + b.len() >= 2 => {
+            let halves = partition(a, b, 2);
+            if halves.len() < 2 {
+                return Err(SimError::BadProgram(
+                    "partition does not fit a core and cannot be split further".to_string(),
+                ));
+            }
+            let mut acc = PartRun {
+                result: Vec::new(),
+                cycles: 0,
+                retries: 0,
+                degraded: 0,
+                faults: FaultCounters::default(),
+            };
+            let mut batch_opts = opts.clone();
+            for (ra, rb) in halves {
+                let r = run_partition_opts(model, kind, &a[ra], &b[rb], &batch_opts)?;
+                acc.result.extend_from_slice(&r.result);
+                acc.cycles += r.cycles;
+                acc.retries += r.retries;
+                acc.degraded += r.degraded;
+                acc.faults.merge(&r.faults);
+                // The injected plan fires in the first batch only.
+                batch_opts.fault_plan = None;
+            }
+            Ok(acc)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Runs one core's partition, sub-partitioning into sequential batches
 /// when it exceeds the core's local store (the cycles add up — the core
 /// processes its batches back to back). Also useful standalone for
@@ -104,26 +187,7 @@ pub fn run_partition(
     a: &[u32],
     b: &[u32],
 ) -> Result<(Vec<u32>, u64), SimError> {
-    match run_set_op(model, kind, a, b) {
-        Ok(KernelRun { result, cycles, .. }) => Ok((result, cycles)),
-        Err(SimError::BadProgram(_)) if a.len() + b.len() >= 2 => {
-            let halves = partition(a, b, 2);
-            if halves.len() < 2 {
-                return Err(SimError::BadProgram(
-                    "partition does not fit a core and cannot be split further".to_string(),
-                ));
-            }
-            let mut result = Vec::new();
-            let mut cycles = 0;
-            for (ra, rb) in halves {
-                let (r, c) = run_partition(model, kind, &a[ra], &b[rb])?;
-                result.extend_from_slice(&r);
-                cycles += c;
-            }
-            Ok((result, cycles))
-        }
-        Err(e) => Err(e),
-    }
+    run_partition_opts(model, kind, a, b, &RunOptions::default()).map(|r| (r.result, r.cycles))
 }
 
 /// Runs a sorted-set operation across `cores` shared-nothing cores of the
@@ -136,14 +200,42 @@ pub fn multicore_set_op(
     b: &[u32],
     cores: usize,
 ) -> Result<MultiCoreRun, SimError> {
+    multicore_set_op_with(model, kind, a, b, cores, &RunOptions::default())
+}
+
+/// [`multicore_set_op`] with resilience options. An injected fault plan
+/// strikes core 0 only (one upset, one core); the protection scheme,
+/// watchdog, and recovery policy apply to every core.
+pub fn multicore_set_op_with(
+    model: ProcModel,
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+    cores: usize,
+    opts: &RunOptions,
+) -> Result<MultiCoreRun, SimError> {
     assert!(cores >= 1);
     let parts = partition(a, b, cores);
     let mut result = Vec::new();
     let mut per_core_cycles = Vec::with_capacity(parts.len());
-    for (ra, rb) in &parts {
-        let (r, cycles) = run_partition(model, kind, &a[ra.clone()], &b[rb.clone()])?;
-        result.extend_from_slice(&r);
-        per_core_cycles.push(cycles);
+    let mut retries = 0u32;
+    let mut degraded_parts = 0usize;
+    let mut faults = FaultCounters::default();
+    for (idx, (ra, rb)) in parts.iter().enumerate() {
+        let core_opts = RunOptions {
+            fault_plan: if idx == 0 {
+                opts.fault_plan.clone()
+            } else {
+                None
+            },
+            ..opts.clone()
+        };
+        let r = run_partition_opts(model, kind, &a[ra.clone()], &b[rb.clone()], &core_opts)?;
+        result.extend_from_slice(&r.result);
+        per_core_cycles.push(r.cycles);
+        retries += r.retries;
+        degraded_parts += r.degraded;
+        faults.merge(&r.faults);
     }
     let makespan_cycles = per_core_cycles.iter().copied().max().unwrap_or(0);
     let total_cycles = per_core_cycles.iter().sum();
@@ -153,6 +245,9 @@ pub fn multicore_set_op(
         total_cycles,
         cores_used: per_core_cycles.len(),
         per_core_cycles,
+        retries,
+        degraded_parts,
+        faults,
     })
 }
 
@@ -250,6 +345,26 @@ mod tests {
         )
         .unwrap();
         assert_eq!(mc.result, reference(SetOpKind::Difference, &a, &b));
+    }
+
+    #[test]
+    fn faulted_core_retries_while_the_rest_run_clean() {
+        use crate::runner::RecoveryPolicy;
+        use dbx_faults::{FaultPlan, FaultTarget, ProtectionKind};
+        let (a, b) = sets(4000);
+        let model = ProcModel::Dba2LsuEis { partial: true };
+        let clean = multicore_set_op(model, SetOpKind::Intersect, &a, &b, 4).unwrap();
+        let opts = RunOptions {
+            protection: Some(ProtectionKind::Parity),
+            fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 23, 9)),
+            policy: RecoveryPolicy::Retry { max_retries: 2 },
+            watchdog: None,
+        };
+        let mc = multicore_set_op_with(model, SetOpKind::Intersect, &a, &b, 4, &opts).unwrap();
+        assert_eq!(mc.result, clean.result);
+        assert_eq!(mc.retries, 1, "only the struck core retries");
+        assert_eq!(mc.degraded_parts, 0);
+        assert!(mc.faults.detected >= 1);
     }
 
     #[test]

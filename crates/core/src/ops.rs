@@ -902,4 +902,21 @@ impl Extension for DbExtension {
     fn reset(&mut self) {
         self.st.reset();
     }
+
+    /// Corrupts one bit of the extension's architectural state storage.
+    /// The selector maps deterministically over the user-visible states
+    /// (Word windows, result pointer, output counter, done flag) —
+    /// the soft-error model for the flip-flop area of Figures 8/9.
+    fn inject_state_fault(&mut self, selector: u64) {
+        let bit = (selector & 31) as u32;
+        let mask = 1u32 << bit;
+        let lane = ((selector >> 8) % 4) as usize;
+        match (selector >> 5) % 5 {
+            0 => self.st.word_a.vals[lane] ^= mask,
+            1 => self.st.word_b.vals[lane] ^= mask,
+            2 => self.st.ptr_c ^= mask,
+            3 => self.st.out_cnt ^= mask,
+            _ => self.st.done = !self.st.done,
+        }
+    }
 }

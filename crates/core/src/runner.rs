@@ -25,7 +25,8 @@ use crate::ops::DbExtension;
 use crate::states::SENTINEL;
 use dbx_cpu::ext::Extension;
 use dbx_cpu::program::Program;
-use dbx_cpu::{Processor, RunStats, SimError, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
+use dbx_cpu::{MachineFault, Processor, RunStats, SimError, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
+use dbx_faults::{FaultCounters, FaultPlan, ProtectionKind};
 
 /// Cycle budget for a single kernel run — generous; kernels that exceed it
 /// are broken, not slow.
@@ -60,17 +61,77 @@ fn preflight_check(program: &Program, model: ProcModel) -> Result<(), SimError> 
     dbx_analysis::preflight(program, ext_ref, &cfg).map(|_warnings| ())
 }
 
+/// What a runner does when a machine fault (detected upset, watchdog
+/// expiry, failed DMA) interrupts a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface the fault to the caller unchanged.
+    #[default]
+    FailFast,
+    /// Re-run the kernel from clean inputs up to `max_retries` times
+    /// (soft errors are transient; a repeat normally succeeds).
+    Retry {
+        /// Attempts beyond the first before giving up.
+        max_retries: u32,
+    },
+    /// Retry like [`RecoveryPolicy::Retry`], then fall back to the scalar
+    /// baseline kernel — the EIS datapath is suspected bad, the plain
+    /// pipeline is trusted.
+    DegradeToScalar {
+        /// Attempts on the accelerated kernel before degrading.
+        max_retries: u32,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Re-run attempts granted on the primary kernel.
+    pub fn max_retries(&self) -> u32 {
+        match *self {
+            RecoveryPolicy::FailFast => 0,
+            RecoveryPolicy::Retry { max_retries }
+            | RecoveryPolicy::DegradeToScalar { max_retries } => max_retries,
+        }
+    }
+}
+
+/// Resilience knobs for a kernel run. `Default` reproduces the plain
+/// [`run_set_op`] / [`run_sort`] behaviour: model-default protection, no
+/// injected faults, fail fast, no watchdog.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Overrides the model's local-memory protection scheme.
+    pub protection: Option<ProtectionKind>,
+    /// Deterministic fault plan, applied to the *first* attempt only
+    /// (soft errors are transient; retries run on clean hardware).
+    pub fault_plan: Option<FaultPlan>,
+    /// What to do when a machine fault is raised.
+    pub policy: RecoveryPolicy,
+    /// Watchdog cycle budget per attempt (`None` disarms it). The
+    /// degraded scalar attempt runs unwatched: the fallback kernel is
+    /// roughly an order of magnitude slower, so the accelerated budget
+    /// would trip spuriously.
+    pub watchdog: Option<u64>,
+}
+
 /// Outcome of a simulated kernel run.
 #[derive(Debug, Clone)]
 pub struct KernelRun {
     /// The computed result (set-operation output or sorted data).
     pub result: Vec<u32>,
-    /// Simulated cycles.
+    /// Simulated cycles (of the successful attempt).
     pub cycles: u64,
     /// Full run statistics (activity counters feed the power model).
     pub stats: RunStats,
     /// Encoded program size in bytes (instruction-memory footprint).
     pub program_bytes: u32,
+    /// Re-run attempts consumed by the recovery policy.
+    pub retries: u32,
+    /// Whether the result came from the degraded scalar fallback.
+    pub degraded: bool,
+    /// Fault counters aggregated over every attempt.
+    pub faults: FaultCounters,
+    /// The last machine fault a retry or degrade recovered from.
+    pub recovered_fault: Option<MachineFault>,
 }
 
 impl KernelRun {
@@ -105,11 +166,35 @@ fn validate_set(name: &str, s: &[u32]) -> Result<(), SimError> {
 
 /// Builds the processor for a model (with extension attached when present).
 pub fn build_processor(model: ProcModel) -> Result<Processor, SimError> {
-    let mut p = Processor::new(model.cpu_config())?;
+    build_processor_with(model, None)
+}
+
+/// Like [`build_processor`], optionally overriding the local-memory
+/// protection scheme of the model's configuration.
+pub fn build_processor_with(
+    model: ProcModel,
+    protection: Option<ProtectionKind>,
+) -> Result<Processor, SimError> {
+    let mut cfg = model.cpu_config();
+    if let Some(pk) = protection {
+        cfg.dmem_protection = pk;
+    }
+    let mut p = Processor::new(cfg)?;
     if let Some(wiring) = model.wiring() {
         p.attach_extension(Box::new(DbExtension::new(wiring)));
     }
     Ok(p)
+}
+
+/// The trusted fallback model for [`RecoveryPolicy::DegradeToScalar`]:
+/// the same core with the EIS datapath switched off. Scalar models
+/// degrade to themselves (a clean re-run on the plain pipeline).
+pub fn scalar_fallback(model: ProcModel) -> ProcModel {
+    match model {
+        ProcModel::Dba1LsuEis { .. } => ProcModel::Dba1Lsu,
+        ProcModel::Dba2LsuEis { .. } => ProcModel::Dba2Lsu,
+        m => m,
+    }
 }
 
 /// Chooses where the two sets and the result live for a model.
@@ -171,6 +256,19 @@ pub fn run_set_op(
     a: &[u32],
     b: &[u32],
 ) -> Result<KernelRun, SimError> {
+    run_set_op_with(model, kind, a, b, &RunOptions::default())
+}
+
+/// [`run_set_op`] with resilience options: protection override, fault
+/// injection, watchdog, and a recovery policy that retries or degrades to
+/// the scalar baseline when a machine fault interrupts the kernel.
+pub fn run_set_op_with(
+    model: ProcModel,
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+    opts: &RunOptions,
+) -> Result<KernelRun, SimError> {
     validate_set("A", a)?;
     validate_set("B", b)?;
     let layout = set_layout(model, a.len() as u32, b.len() as u32)?;
@@ -180,23 +278,67 @@ pub fn run_set_op(
     };
     preflight_check(&program, model)?;
     let program_bytes = program.size_bytes();
-    let mut p = build_processor(model)?;
-    p.load_program(program)?;
-    p.mem.poke_words(layout.a_base, a)?;
-    p.mem.poke_words(layout.b_base, b)?;
-    let stats = p.run(MAX_CYCLES)?;
-    let out_len = if model.has_eis() {
-        p.ar[2] as usize
-    } else {
-        ((p.ar[6] - layout.c_base) / 4) as usize
-    };
-    let result = p.mem.peek_words(layout.c_base, out_len)?;
-    Ok(KernelRun {
-        result,
-        cycles: stats.cycles,
-        program_bytes,
-        stats,
-    })
+
+    let mut attempt = 0u32;
+    let mut faults = FaultCounters::default();
+    let mut recovered: Option<MachineFault> = None;
+    loop {
+        // Each attempt starts from clean hardware and re-placed inputs —
+        // the checkpoint here is the kernel boundary itself.
+        let mut p = build_processor_with(model, opts.protection)?;
+        p.load_program(program.clone())?;
+        p.mem.poke_words(layout.a_base, a)?;
+        p.mem.poke_words(layout.b_base, b)?;
+        if attempt == 0 {
+            if let Some(plan) = &opts.fault_plan {
+                p.set_fault_plan(plan.clone());
+            }
+        }
+        p.set_watchdog(opts.watchdog);
+        match p.run(MAX_CYCLES) {
+            Ok(stats) => {
+                let out_len = if model.has_eis() {
+                    p.ar[2] as usize
+                } else {
+                    ((p.ar[6] - layout.c_base) / 4) as usize
+                };
+                let result = p.mem.peek_words(layout.c_base, out_len)?;
+                faults.merge(&p.fault_counters());
+                return Ok(KernelRun {
+                    result,
+                    cycles: stats.cycles,
+                    program_bytes,
+                    stats,
+                    retries: attempt,
+                    degraded: false,
+                    faults,
+                    recovered_fault: recovered,
+                });
+            }
+            Err(SimError::Fault(mf)) => {
+                faults.merge(&p.fault_counters());
+                recovered = Some(mf.clone());
+                if attempt < opts.policy.max_retries() {
+                    attempt += 1;
+                    continue;
+                }
+                if matches!(opts.policy, RecoveryPolicy::DegradeToScalar { .. }) {
+                    let fallback = RunOptions {
+                        protection: opts.protection,
+                        ..RunOptions::default()
+                    };
+                    let mut run = run_set_op_with(scalar_fallback(model), kind, a, b, &fallback)?;
+                    run.retries = attempt;
+                    run.degraded = true;
+                    run.faults.merge(&faults);
+                    run.recovered_fault = recovered;
+                    return Ok(run);
+                }
+                return Err(SimError::Fault(mf));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Runs merge-sort on the given processor model.
@@ -206,6 +348,15 @@ pub fn run_set_op(
 /// are not beneficial for sorting" and its Table 2 entry for the 2-LSU
 /// core is the 1-LSU cycle count at the 2-LSU core frequency.
 pub fn run_sort(model: ProcModel, data: &[u32]) -> Result<KernelRun, SimError> {
+    run_sort_with(model, data, &RunOptions::default())
+}
+
+/// [`run_sort`] with resilience options (see [`run_set_op_with`]).
+pub fn run_sort_with(
+    model: ProcModel,
+    data: &[u32],
+    opts: &RunOptions,
+) -> Result<KernelRun, SimError> {
     // Pad to a multiple of 4 with sentinels (stripped after sorting).
     let mut padded = data.to_vec();
     let pad = (4 - data.len() % 4) % 4;
@@ -228,6 +379,10 @@ pub fn run_sort(model: ProcModel, data: &[u32]) -> Result<KernelRun, SimError> {
                 counters: Default::default(),
             },
             program_bytes: 0,
+            retries: 0,
+            degraded: false,
+            faults: FaultCounters::default(),
+            recovered_fault: None,
         });
     }
     let n = padded.len() as u32;
@@ -258,20 +413,62 @@ pub fn run_sort(model: ProcModel, data: &[u32]) -> Result<KernelRun, SimError> {
     };
     preflight_check(&program, exec_model)?;
     let program_bytes = program.size_bytes();
-    let mut p = build_processor(exec_model)?;
-    p.load_program(program)?;
-    p.mem.poke_words(src, &padded)?;
-    let stats = p.run(MAX_CYCLES)?;
-    let mut result = p
-        .mem
-        .peek_words(if in_dst { dst } else { src }, n as usize)?;
-    result.truncate(data.len()); // strip sentinel padding
-    Ok(KernelRun {
-        result,
-        cycles: stats.cycles,
-        program_bytes,
-        stats,
-    })
+
+    let mut attempt = 0u32;
+    let mut faults = FaultCounters::default();
+    let mut recovered: Option<MachineFault> = None;
+    loop {
+        let mut p = build_processor_with(exec_model, opts.protection)?;
+        p.load_program(program.clone())?;
+        p.mem.poke_words(src, &padded)?;
+        if attempt == 0 {
+            if let Some(plan) = &opts.fault_plan {
+                p.set_fault_plan(plan.clone());
+            }
+        }
+        p.set_watchdog(opts.watchdog);
+        match p.run(MAX_CYCLES) {
+            Ok(stats) => {
+                let mut result = p
+                    .mem
+                    .peek_words(if in_dst { dst } else { src }, n as usize)?;
+                result.truncate(data.len()); // strip sentinel padding
+                faults.merge(&p.fault_counters());
+                return Ok(KernelRun {
+                    result,
+                    cycles: stats.cycles,
+                    program_bytes,
+                    stats,
+                    retries: attempt,
+                    degraded: false,
+                    faults,
+                    recovered_fault: recovered,
+                });
+            }
+            Err(SimError::Fault(mf)) => {
+                faults.merge(&p.fault_counters());
+                recovered = Some(mf.clone());
+                if attempt < opts.policy.max_retries() {
+                    attempt += 1;
+                    continue;
+                }
+                if matches!(opts.policy, RecoveryPolicy::DegradeToScalar { .. }) {
+                    let fallback = RunOptions {
+                        protection: opts.protection,
+                        ..RunOptions::default()
+                    };
+                    let mut run = run_sort_with(scalar_fallback(model), data, &fallback)?;
+                    run.retries = attempt;
+                    run.degraded = true;
+                    run.faults.merge(&faults);
+                    run.recovered_fault = recovered;
+                    return Ok(run);
+                }
+                return Err(SimError::Fault(mf));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +578,116 @@ mod tests {
         assert_eq!(r.result, vec![7]);
         let r = run_sort(ProcModel::Dba1LsuEis { partial: false }, &[]).unwrap();
         assert!(r.result.is_empty());
+    }
+
+    #[test]
+    fn retry_recovers_a_parity_trap_bit_identically() {
+        use dbx_faults::FaultTarget;
+        let a = evens(500);
+        let b = thirds(400);
+        let model = ProcModel::Dba2LsuEis { partial: true };
+        let clean = run_set_op(model, SetOpKind::Intersect, &a, &b).unwrap();
+        let opts = RunOptions {
+            protection: Some(ProtectionKind::Parity),
+            fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5)),
+            policy: RecoveryPolicy::Retry { max_retries: 2 },
+            watchdog: None,
+        };
+        let r = run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
+        assert_eq!(r.result, clean.result, "retry reproduces the clean result");
+        assert_eq!(r.retries, 1, "one faulting attempt, one clean re-run");
+        assert!(!r.degraded);
+        assert!(r.faults.detected >= 1);
+        assert!(
+            matches!(
+                r.recovered_fault.as_ref().map(|mf| &mf.cause),
+                Some(dbx_cpu::FaultCause::ParityError { .. })
+            ),
+            "recovered fault records the parity trap"
+        );
+    }
+
+    #[test]
+    fn secded_corrects_in_place_without_retrying() {
+        use dbx_faults::FaultTarget;
+        let a = evens(500);
+        let b = thirds(400);
+        let model = ProcModel::Dba2LsuEis { partial: true };
+        let clean = run_set_op(model, SetOpKind::Intersect, &a, &b).unwrap();
+        let opts = RunOptions {
+            protection: Some(ProtectionKind::Secded),
+            fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5)),
+            policy: RecoveryPolicy::FailFast,
+            watchdog: None,
+        };
+        let r = run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
+        assert_eq!(r.result, clean.result);
+        assert_eq!(r.retries, 0, "ECC needs no re-run");
+        assert!(r.faults.corrected >= 1);
+        assert_eq!(r.faults.escaped, 0);
+    }
+
+    #[test]
+    fn fail_fast_surfaces_the_machine_fault() {
+        use dbx_faults::FaultTarget;
+        let a = evens(500);
+        let b = thirds(400);
+        let opts = RunOptions {
+            protection: Some(ProtectionKind::Parity),
+            fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5)),
+            policy: RecoveryPolicy::FailFast,
+            watchdog: None,
+        };
+        let e = run_set_op_with(
+            ProcModel::Dba2LsuEis { partial: true },
+            SetOpKind::Intersect,
+            &a,
+            &b,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(e.is_machine_fault(), "got {e}");
+    }
+
+    #[test]
+    fn degrade_to_scalar_survives_a_persistently_hung_kernel() {
+        let a = evens(300);
+        let b = thirds(300);
+        let model = ProcModel::Dba1LsuEis { partial: false };
+        let clean = run_set_op(model, SetOpKind::Union, &a, &b).unwrap();
+        // A 10-cycle watchdog trips every accelerated attempt; the scalar
+        // fallback runs unwatched and must still produce the right answer.
+        let opts = RunOptions {
+            protection: None,
+            fault_plan: None,
+            policy: RecoveryPolicy::DegradeToScalar { max_retries: 1 },
+            watchdog: Some(10),
+        };
+        let r = run_set_op_with(model, SetOpKind::Union, &a, &b, &opts).unwrap();
+        assert_eq!(r.result, clean.result);
+        assert!(r.degraded, "result must come from the scalar fallback");
+        assert_eq!(r.retries, 1);
+        assert!(matches!(
+            r.recovered_fault.as_ref().map(|mf| &mf.cause),
+            Some(dbx_cpu::FaultCause::Watchdog { budget: 10 })
+        ));
+    }
+
+    #[test]
+    fn sort_retry_recovers_like_set_ops() {
+        use dbx_faults::FaultTarget;
+        let data: Vec<u32> = (0..600).map(|i: u32| i.wrapping_mul(2654435761)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let opts = RunOptions {
+            protection: Some(ProtectionKind::Parity),
+            fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 41, 11)),
+            policy: RecoveryPolicy::Retry { max_retries: 2 },
+            watchdog: None,
+        };
+        let r = run_sort_with(ProcModel::Dba1LsuEis { partial: true }, &data, &opts).unwrap();
+        assert_eq!(r.result, expect);
+        assert!(r.retries >= 1);
     }
 
     #[test]

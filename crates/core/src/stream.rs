@@ -23,8 +23,9 @@
 use crate::configs::ProcModel;
 use crate::datapath::SetOpKind;
 use crate::kernels::hwset;
-use crate::runner::build_processor;
+use crate::runner::{build_processor_with, run_set_op, scalar_fallback, RecoveryPolicy};
 use dbx_cpu::{Processor, SimError, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
+use dbx_faults::{FaultCounters, FaultPlan, ProtectionKind};
 use dbx_mem::prefetch::{Direction, DmacProgram, FsmStep, TransferDescriptor};
 
 /// Streaming configuration.
@@ -46,6 +47,22 @@ impl Default for StreamConfig {
     }
 }
 
+/// Resilience knobs for a streamed run. `Default` reproduces the plain
+/// [`stream_set_op`] behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Overrides the model's local-memory protection scheme.
+    pub protection: Option<ProtectionKind>,
+    /// Deterministic fault plan (event cycles are relative to each chunk
+    /// kernel's start, since the core's cycle counter resets per chunk).
+    /// Cleared on the first recovery so retries run clean.
+    pub fault_plan: Option<FaultPlan>,
+    /// What to do when a machine fault interrupts a chunk.
+    pub policy: RecoveryPolicy,
+    /// Watchdog cycle budget per chunk kernel run.
+    pub watchdog_per_chunk: Option<u64>,
+}
+
 /// Outcome of a streamed set operation.
 #[derive(Debug, Clone)]
 pub struct StreamRun {
@@ -61,6 +78,12 @@ pub struct StreamRun {
     pub bytes_streamed: u64,
     /// Number of chunk pairs processed.
     pub chunks: u64,
+    /// Chunk re-runs consumed by the recovery policy.
+    pub chunk_retries: u64,
+    /// Chunks whose result came from the degraded scalar fallback.
+    pub degraded_chunks: u64,
+    /// Fault counters aggregated over the whole stream.
+    pub faults: FaultCounters,
 }
 
 // Local-memory layout for streaming (2-LSU core: 32 KiB per memory).
@@ -81,6 +104,22 @@ pub fn stream_set_op(
     b: &[u32],
     cfg: StreamConfig,
 ) -> Result<StreamRun, SimError> {
+    stream_set_op_with(kind, a, b, cfg, &StreamOptions::default())
+}
+
+/// [`stream_set_op`] with resilience options. The recovery checkpoint is
+/// the value-aligned chunk boundary: when a chunk kernel faults, the
+/// driver re-issues the chunk's prefetch (plus any in-flight write-back
+/// and next-chunk prefetch, all idempotent) and re-runs just that chunk;
+/// with [`RecoveryPolicy::DegradeToScalar`], an exhausted chunk is
+/// recomputed on the trusted scalar pipeline instead.
+pub fn stream_set_op_with(
+    kind: SetOpKind,
+    a: &[u32],
+    b: &[u32],
+    cfg: StreamConfig,
+    opts: &StreamOptions,
+) -> Result<StreamRun, SimError> {
     // The C slots hold 0x1800 bytes; union can emit the sum of both chunk
     // lengths, the other operations at most one chunk length.
     let per_kind_cap = if kind == SetOpKind::Union {
@@ -93,9 +132,13 @@ pub fn stream_set_op(
 
     let model = ProcModel::Dba2LsuEis { partial: true };
     let wiring = model.wiring().expect("EIS model");
-    let mut p = build_processor(model)?;
+    let mut p = build_processor_with(model, opts.protection)?;
     let program = hwset::set_op_program_param(kind, &wiring, PARAM_BLOCK, cfg.unroll)?;
     p.load_program(program)?;
+    if let Some(plan) = &opts.fault_plan {
+        p.set_fault_plan(plan.clone());
+    }
+    p.set_watchdog(opts.watchdog_per_chunk);
 
     // Inputs and the result staging area in system memory.
     let a_base = SYSMEM_BASE;
@@ -111,6 +154,9 @@ pub fn stream_set_op(
         dma_stall_cycles: 0,
         bytes_streamed: 0,
         chunks: 0,
+        chunk_retries: 0,
+        degraded_chunks: 0,
+        faults: FaultCounters::default(),
     };
 
     // Host-side planning of all value-aligned chunk pairs (the driver can
@@ -136,6 +182,7 @@ pub fn stream_set_op(
     let mut stage_off = 0u32;
     let mut prev_wb: Option<TransferDescriptor> = None;
     for i in 0..plans.len() {
+        let pending_wb = prev_wb;
         let mut steps = Vec::new();
         let mut descriptors = Vec::new();
         if let Some(d) = prev_wb.take() {
@@ -155,7 +202,50 @@ pub fn stream_set_op(
         dmac_load(&mut p, DmacProgram { steps, descriptors }, &mut run)?;
 
         let (ra, rb) = &plans[i];
-        let emitted = run_chunk(&mut p, ra, rb, i % 2, &mut run)?;
+        let mut attempt = 0u32;
+        let emitted = loop {
+            match run_chunk(&mut p, ra, rb, i % 2, &mut run) {
+                Ok(v) => break v,
+                Err(e) if is_survivable(&e) => {
+                    run.faults.merge(&p.fault_counters());
+                    if matches!(opts.policy, RecoveryPolicy::FailFast) {
+                        return Err(e);
+                    }
+                    // Transient-upset model: the repeat runs clean.
+                    p.clear_fault_plan();
+                    if attempt < opts.policy.max_retries() {
+                        attempt += 1;
+                        run.chunk_retries += 1;
+                        // Rewind to the chunk checkpoint: re-issue the
+                        // (idempotent) in-flight write-back and the
+                        // prefetches of this chunk and the next.
+                        replay_checkpoint(&mut p, &mut run, a_base, b_base, &plans, i, pending_wb)?;
+                        continue;
+                    }
+                    if matches!(opts.policy, RecoveryPolicy::DegradeToScalar { .. }) {
+                        // Recompute just this chunk on the trusted scalar
+                        // pipeline, host-side, from the pristine inputs.
+                        let kr = run_set_op(
+                            scalar_fallback(model),
+                            kind,
+                            &a[ra.clone()],
+                            &b[rb.clone()],
+                        )?;
+                        run.degraded_chunks += 1;
+                        run.kernel_cycles += kr.cycles;
+                        run.total_cycles += kr.cycles;
+                        // Re-arm the DMA pipeline for the following chunk.
+                        replay_checkpoint(&mut p, &mut run, a_base, b_base, &plans, i, pending_wb)?;
+                        // Stage the scalar result through the chunk's C
+                        // slot so the write-back path stays uniform.
+                        p.mem.poke_words(C_BUF[i % 2], &kr.result)?;
+                        break kr.result;
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        };
         if !emitted.is_empty() {
             let beats = (emitted.len() as u32 * 4).div_ceil(16) * 16;
             prev_wb = Some(TransferDescriptor {
@@ -182,7 +272,54 @@ pub fn stream_set_op(
     if let Some(d) = p.mem.dmac.as_ref() {
         run.bytes_streamed = d.bytes_moved;
     }
+    run.faults.merge(&p.fault_counters());
     Ok(run)
+}
+
+/// True for errors the recovery policy may absorb: precise machine faults
+/// and the raw detected-upset memory errors that can surface from
+/// host-side DMA draining (outside [`Processor::step`]'s promotion).
+fn is_survivable(e: &SimError) -> bool {
+    match e {
+        SimError::Fault(_) => true,
+        SimError::Mem(m) => m.is_fault(),
+        _ => false,
+    }
+}
+
+/// Rewinds the DMA pipeline to the chunk-`i` checkpoint: re-issues the
+/// in-flight write-back of chunk `i-1` (idempotent — the C slot still
+/// holds its data) and the prefetches of chunks `i` and `i+1`, then waits
+/// for all of it (counted as DMA stall).
+fn replay_checkpoint(
+    p: &mut Processor,
+    run: &mut StreamRun,
+    a_base: u32,
+    b_base: u32,
+    plans: &[(std::ops::Range<usize>, std::ops::Range<usize>)],
+    i: usize,
+    pending_wb: Option<TransferDescriptor>,
+) -> Result<(), SimError> {
+    let mut steps = Vec::new();
+    let mut descriptors = Vec::new();
+    if let Some(d) = pending_wb {
+        steps.push(FsmStep::Transfer { desc: 0 });
+        descriptors.push(d);
+    }
+    for k in [i, i + 1] {
+        if let Some((ra, rb)) = plans.get(k) {
+            let pre = prefetch_program(a_base, b_base, ra, rb, k % 2);
+            for d in &pre.descriptors {
+                steps.push(FsmStep::Transfer {
+                    desc: descriptors.len(),
+                });
+                descriptors.push(*d);
+            }
+        }
+    }
+    steps.push(FsmStep::Halt);
+    dmac_load(p, DmacProgram { steps, descriptors }, run)?;
+    drain_dmac(p, run)
 }
 
 fn align16(x: u32) -> u32 {
@@ -369,6 +506,48 @@ mod tests {
             r.chunks <= 2,
             "expected at most two chunks, got {}",
             r.chunks
+        );
+    }
+
+    #[test]
+    fn chunk_retry_recovers_streamed_parity_faults() {
+        use dbx_faults::FaultTarget;
+        let (a, b) = sets(10_000);
+        let clean = stream_set_op(SetOpKind::Intersect, &a, &b, StreamConfig::default()).unwrap();
+        // Word 800 of DMEM0 sits inside the chunk-0 slot of the A buffer;
+        // the flip lands before the first chunk kernel reads it.
+        let opts = StreamOptions {
+            protection: Some(ProtectionKind::Parity),
+            fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 800, 7)),
+            policy: RecoveryPolicy::Retry { max_retries: 2 },
+            watchdog_per_chunk: None,
+        };
+        let r = stream_set_op_with(SetOpKind::Intersect, &a, &b, StreamConfig::default(), &opts)
+            .unwrap();
+        assert_eq!(r.result, clean.result, "retry reproduces the clean result");
+        assert!(r.chunk_retries >= 1, "the poisoned chunk must retry");
+        assert!(r.faults.detected >= 1);
+        assert_eq!(r.degraded_chunks, 0);
+    }
+
+    #[test]
+    fn hung_chunks_degrade_to_scalar_and_still_stream() {
+        let (a, b) = sets(6_000);
+        let clean = stream_set_op(SetOpKind::Union, &a, &b, StreamConfig::default()).unwrap();
+        // A 10-cycle watchdog trips every accelerated chunk attempt; each
+        // chunk is recomputed on the scalar pipeline.
+        let opts = StreamOptions {
+            protection: None,
+            fault_plan: None,
+            policy: RecoveryPolicy::DegradeToScalar { max_retries: 0 },
+            watchdog_per_chunk: Some(10),
+        };
+        let r =
+            stream_set_op_with(SetOpKind::Union, &a, &b, StreamConfig::default(), &opts).unwrap();
+        assert_eq!(r.result, clean.result);
+        assert_eq!(
+            r.degraded_chunks, r.chunks,
+            "every chunk must come from the fallback"
         );
     }
 

@@ -8,7 +8,7 @@
 //! where the DB extension lives.
 
 use crate::predictor::PredictorKind;
-use dbx_mem::CacheConfig;
+use dbx_mem::{CacheConfig, ProtectionKind};
 
 /// Static configuration of a processor instance.
 #[derive(Debug, Clone)]
@@ -49,6 +49,10 @@ pub struct CpuConfig {
     pub core_sysmem_access: bool,
     /// Whether the data prefetcher (DMAC + FSM) is attached.
     pub has_prefetcher: bool,
+    /// Protection scheme of the local data memories (parity / SECDED /
+    /// none). SECDED charges one extra cycle per local-store read for the
+    /// decoder; the synth crate prices the array and logic overheads.
+    pub dmem_protection: ProtectionKind,
 }
 
 impl CpuConfig {
@@ -72,6 +76,7 @@ impl CpuConfig {
             sysmem_latency: 20,
             core_sysmem_access: true,
             has_prefetcher: false,
+            dmem_protection: ProtectionKind::None,
         }
     }
 
@@ -95,6 +100,7 @@ impl CpuConfig {
             sysmem_latency: 20,
             core_sysmem_access: false,
             has_prefetcher: true,
+            dmem_protection: ProtectionKind::None,
         }
     }
 

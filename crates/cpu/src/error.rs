@@ -3,6 +3,89 @@
 use core::fmt;
 use dbx_mem::MemError;
 
+/// Why a machine fault was raised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCause {
+    /// A SECDED-protected memory hit an uncorrectable double-bit upset.
+    UncorrectableEcc {
+        /// Name of the faulting memory.
+        mem: &'static str,
+        /// Word-aligned address of the corrupted word.
+        addr: u32,
+    },
+    /// A parity-protected memory detected an upset (parity detects, but
+    /// cannot correct).
+    ParityError {
+        /// Name of the faulting memory.
+        mem: &'static str,
+        /// Word-aligned address of the corrupted word.
+        addr: u32,
+    },
+    /// The watchdog cycle budget expired before the program halted.
+    Watchdog {
+        /// The expired budget in cycles.
+        budget: u64,
+    },
+    /// A DMA transfer completed with a dropped burst.
+    DmaTransfer {
+        /// Source address of the failed transfer.
+        src: u32,
+        /// Destination address of the failed transfer.
+        dst: u32,
+    },
+}
+
+impl FaultCause {
+    /// Name of the faulting resource, for reports.
+    pub fn resource(&self) -> &'static str {
+        match self {
+            FaultCause::UncorrectableEcc { mem, .. } | FaultCause::ParityError { mem, .. } => mem,
+            FaultCause::Watchdog { .. } => "watchdog",
+            FaultCause::DmaTransfer { .. } => "dmac",
+        }
+    }
+}
+
+/// A precise machine-fault trap: the simulator's analogue of a hardware
+/// exception. Unlike the programming-error variants of [`SimError`], a
+/// machine fault describes a *survivable hardware event* — recovery
+/// policies in the run drivers catch it, retry from a checkpoint, or
+/// degrade to the scalar baseline kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFault {
+    /// Program counter of the faulting instruction (the precise-trap
+    /// guarantee: all earlier instructions retired, this one did not).
+    pub pc: u32,
+    /// Cycle at which the fault was taken.
+    pub cycle: u64,
+    /// What went wrong.
+    pub cause: FaultCause,
+}
+
+impl fmt::Display for MachineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cause = match &self.cause {
+            FaultCause::UncorrectableEcc { mem, addr } => {
+                format!("uncorrectable ECC error in {mem} at {addr:#010x}")
+            }
+            FaultCause::ParityError { mem, addr } => {
+                format!("parity error in {mem} at {addr:#010x}")
+            }
+            FaultCause::Watchdog { budget } => {
+                format!("watchdog expired after {budget} cycles")
+            }
+            FaultCause::DmaTransfer { src, dst } => {
+                format!("DMA transfer {src:#010x} -> {dst:#010x} failed")
+            }
+        };
+        write!(
+            f,
+            "machine fault at pc {:#010x}, cycle {}: {cause}",
+            self.pc, self.cycle
+        )
+    }
+}
+
 /// Errors raised while building or executing programs on the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -56,6 +139,26 @@ pub enum SimError {
     BadProgram(String),
     /// Binary encoding/decoding failed.
     Encoding(String),
+    /// A precise machine-fault trap (detected upset, watchdog expiry,
+    /// failed DMA). Recoverable by the run drivers' retry/degrade
+    /// policies, unlike the programming-error variants above.
+    Fault(MachineFault),
+}
+
+impl SimError {
+    /// True when the error is a machine fault (survivable hardware event)
+    /// rather than a programming error.
+    pub fn is_machine_fault(&self) -> bool {
+        matches!(self, SimError::Fault(_))
+    }
+
+    /// The machine fault payload, when this is one.
+    pub fn machine_fault(&self) -> Option<&MachineFault> {
+        match self {
+            SimError::Fault(mf) => Some(mf),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +194,7 @@ impl fmt::Display for SimError {
             }
             SimError::BadProgram(msg) => write!(f, "bad program: {msg}"),
             SimError::Encoding(msg) => write!(f, "encoding error: {msg}"),
+            SimError::Fault(mf) => write!(f, "{mf}"),
         }
     }
 }
@@ -123,10 +227,36 @@ mod tests {
             SimError::MaxCyclesExceeded { budget: 10 },
             SimError::BadProgram("x".into()),
             SimError::Encoding("y".into()),
+            SimError::Fault(MachineFault {
+                pc: 0x40,
+                cycle: 99,
+                cause: FaultCause::Watchdog { budget: 50 },
+            }),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn machine_fault_is_distinguishable_and_precise() {
+        let mf = MachineFault {
+            pc: 0x4000_0010,
+            cycle: 1234,
+            cause: FaultCause::UncorrectableEcc {
+                mem: "dmem0",
+                addr: 0x6000_0040,
+            },
+        };
+        let e = SimError::Fault(mf.clone());
+        assert!(e.is_machine_fault());
+        assert_eq!(e.machine_fault(), Some(&mf));
+        assert!(!SimError::BadPc { pc: 0 }.is_machine_fault());
+        let s = e.to_string();
+        assert!(s.contains("0x40000010"), "{s}");
+        assert!(s.contains("1234"), "{s}");
+        assert!(s.contains("dmem0"), "{s}");
+        assert_eq!(mf.cause.resource(), "dmem0");
     }
 
     #[test]

@@ -98,6 +98,12 @@ pub trait Extension {
 
     /// Resets all extension states to power-on values.
     fn reset(&mut self);
+
+    /// Fault-injection hook: corrupts one bit of the extension's private
+    /// state storage. `selector` deterministically picks which state and
+    /// bit — the extension defines the mapping over its own registers.
+    /// Extensions without mutable state can keep the default no-op.
+    fn inject_state_fault(&mut self, _selector: u64) {}
 }
 
 /// A trivial extension used by framework tests: op 0 (`acc.add`) adds

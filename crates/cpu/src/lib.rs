@@ -38,7 +38,7 @@ pub mod stats;
 pub mod trace;
 
 pub use config::CpuConfig;
-pub use error::SimError;
+pub use error::{FaultCause, MachineFault, SimError};
 pub use ext::{Extension, LsuUse, OpDescriptor, TieCtx};
 pub use isa::{BranchCond, ExtOp, Instr, LsWidth, OpArgs, Reg};
 pub use predictor::PredictorKind;

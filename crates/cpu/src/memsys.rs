@@ -11,7 +11,10 @@ use crate::config::CpuConfig;
 use crate::error::SimError;
 use crate::program::{DMEM0_BASE, DMEM1_BASE, IMEM_BASE, SYSMEM_BASE};
 use crate::stats::EventCounters;
-use dbx_mem::{AccessPort, BurstBus, DataCache, Dmac, LocalMemory, MemError, SystemMemory, Width};
+use dbx_mem::{
+    AccessPort, BurstBus, DataCache, Dmac, FaultCounters, LocalMemory, MemError, ProtectionKind,
+    SystemMemory, Width,
+};
 
 /// The full memory system of one processor instance.
 #[derive(Debug)]
@@ -31,6 +34,9 @@ pub struct MemorySystem {
     sysmem_latency: u32,
     core_sysmem_access: bool,
     lsu_used: [u8; 2],
+    /// Stall cycles accrued this step by the SECDED read decoder on
+    /// protected local stores; the core drains this once per step.
+    pending_ecc_stall: u32,
 }
 
 impl MemorySystem {
@@ -39,11 +45,15 @@ impl MemorySystem {
         let mut dmems = Vec::new();
         if cfg.dmem_kb_per_lsu > 0 {
             let mk = |name, base| {
-                if cfg.dual_port_dmem {
+                let mut m = if cfg.dual_port_dmem {
                     LocalMemory::new_dual_port(name, base, cfg.dmem_kb_per_lsu * 1024)
                 } else {
                     LocalMemory::new(name, base, cfg.dmem_kb_per_lsu * 1024)
+                };
+                if cfg.dmem_protection != ProtectionKind::None {
+                    m.set_protection(cfg.dmem_protection);
                 }
+                m
             };
             dmems.push(mk("dmem0", DMEM0_BASE));
             if cfg.n_lsus == 2 {
@@ -61,6 +71,7 @@ impl MemorySystem {
             sysmem_latency: cfg.sysmem_latency,
             core_sysmem_access: cfg.core_sysmem_access,
             lsu_used: [0; 2],
+            pending_ecc_stall: 0,
         }
     }
 
@@ -117,8 +128,49 @@ impl MemorySystem {
         Ok(())
     }
 
-    fn dmem_index(&self, addr: u32, len: usize) -> Option<usize> {
-        self.dmems.iter().position(|m| m.contains(addr, len))
+    /// Routes an access to the local memory owning its *start address*;
+    /// the memory itself then reports precise misalignment / overrun
+    /// errors. (Routing on the full access extent would degrade an access
+    /// straddling the end of a region into a generic `Unmapped`, hiding
+    /// the real problem.)
+    fn dmem_index(&self, addr: u32) -> Option<usize> {
+        self.dmems.iter().position(|m| m.contains(addr, 1))
+    }
+
+    /// Protection scheme of the local data memories.
+    pub fn dmem_protection(&self) -> ProtectionKind {
+        self.dmems
+            .first()
+            .map(|m| m.protection())
+            .unwrap_or(ProtectionKind::None)
+    }
+
+    /// Drains the ECC decode stalls accrued since the last call (the core
+    /// charges them as extra cycles for the current step).
+    pub fn take_ecc_stall(&mut self) -> u32 {
+        std::mem::take(&mut self.pending_ecc_stall)
+    }
+
+    fn charge_ecc_read(&mut self, ix: usize, counters: &mut EventCounters) {
+        let extra = self.dmems[ix].protection().extra_read_cycles();
+        if extra > 0 {
+            self.pending_ecc_stall += extra;
+            counters.stall_ecc += extra as u64;
+        }
+    }
+
+    /// Aggregated resilience counters across the local stores and the
+    /// DMAC (a failed DMA transfer counts as a detected fault).
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut agg = FaultCounters::default();
+        for m in &self.dmems {
+            agg.merge(&m.faults);
+        }
+        agg.merge(&self.imem.faults);
+        if let Some(d) = &self.dmac {
+            agg.detected += d.transfers_failed;
+        }
+        agg
     }
 
     /// Loads through `lsu`. Returns `(value, extra_cycles)` where
@@ -131,13 +183,14 @@ impl MemorySystem {
         counters: &mut EventCounters,
     ) -> Result<(u128, u32), SimError> {
         self.charge_lsu(lsu, width)?;
-        if let Some(ix) = self.dmem_index(addr, width.bytes()) {
+        if let Some(ix) = self.dmem_index(addr) {
             if self.dmems.len() > 1 && ix != lsu {
                 return Err(SimError::Mem(MemError::Unmapped { addr }));
             }
             let v = self.dmems[ix].read(AccessPort::Core, addr, width)?;
             counters.loads_local += 1;
             counters.bytes_loaded += width.bytes() as u64;
+            self.charge_ecc_read(ix, counters);
             return Ok((v, 0));
         }
         if addr >= SYSMEM_BASE && self.core_sysmem_access {
@@ -164,7 +217,7 @@ impl MemorySystem {
         counters: &mut EventCounters,
     ) -> Result<u32, SimError> {
         self.charge_lsu(lsu, width)?;
-        if let Some(ix) = self.dmem_index(addr, width.bytes()) {
+        if let Some(ix) = self.dmem_index(addr) {
             if self.dmems.len() > 1 && ix != lsu {
                 return Err(SimError::Mem(MemError::Unmapped { addr }));
             }
@@ -201,7 +254,7 @@ impl MemorySystem {
     ) -> Result<Vec<u32>, SimError> {
         self.charge_lsu(lsu, Width::W32)?;
         let ix = self
-            .dmem_index(addr, (4 * n).max(4))
+            .dmem_index(addr)
             .ok_or(SimError::Mem(MemError::Unmapped { addr }))?;
         if self.dmems.len() > 1 && ix != lsu {
             return Err(SimError::Mem(MemError::Unmapped { addr }));
@@ -209,6 +262,7 @@ impl MemorySystem {
         let (v, _) = self.dmems[ix].read_lanes(AccessPort::Core, addr, n)?;
         counters.loads_local += 1;
         counters.bytes_loaded += 4 * n as u64;
+        self.charge_ecc_read(ix, counters);
         Ok(v)
     }
 
@@ -224,7 +278,7 @@ impl MemorySystem {
     ) -> Result<(), SimError> {
         self.charge_lsu(lsu, Width::W32)?;
         let ix = self
-            .dmem_index(addr, (4 * lanes.len()).max(4))
+            .dmem_index(addr)
             .ok_or(SimError::Mem(MemError::Unmapped { addr }))?;
         if self.dmems.len() > 1 && ix != lsu {
             return Err(SimError::Mem(MemError::Unmapped { addr }));
@@ -238,8 +292,7 @@ impl MemorySystem {
     /// Writes data words into whatever memory holds `addr`, without timing
     /// or port accounting (pre-run setup).
     pub fn poke_words(&mut self, addr: u32, words: &[u32]) -> Result<(), SimError> {
-        let len = words.len() * 4;
-        if let Some(ix) = self.dmem_index(addr, len.max(4)) {
+        if let Some(ix) = self.dmem_index(addr) {
             self.dmems[ix].load_words(addr, words)?;
         } else if addr >= SYSMEM_BASE {
             self.sysmem.load_words(addr, words)?;
@@ -251,7 +304,7 @@ impl MemorySystem {
 
     /// Reads data words from whatever memory holds `addr` (post-run checks).
     pub fn peek_words(&mut self, addr: u32, n: usize) -> Result<Vec<u32>, SimError> {
-        if let Some(ix) = self.dmem_index(addr, (n * 4).max(4)) {
+        if let Some(ix) = self.dmem_index(addr) {
             Ok(self.dmems[ix].read_words(addr, n)?)
         } else if addr >= SYSMEM_BASE {
             Ok(self.sysmem.read_words(addr, n)?)

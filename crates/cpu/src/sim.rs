@@ -15,7 +15,7 @@
 //! * the data prefetcher ticks concurrently with every core cycle.
 
 use crate::config::CpuConfig;
-use crate::error::SimError;
+use crate::error::{FaultCause, MachineFault, SimError};
 use crate::ext::{Extension, TieCtx};
 use crate::isa::{Instr, LsWidth, Reg};
 use crate::memsys::MemorySystem;
@@ -25,7 +25,8 @@ use crate::program::Program;
 use crate::queue::TieQueue;
 use crate::stats::{EventCounters, RunStats};
 use crate::trace::Trace;
-use dbx_mem::Width;
+use dbx_faults::{FaultKind, FaultPlan, FaultTarget};
+use dbx_mem::{MemError, Width};
 use std::rc::Rc;
 
 /// Hardware-loop registers (LBEG/LEND/LCOUNT).
@@ -69,6 +70,14 @@ pub struct Processor {
     trace: Option<Trace>,
     /// TIE queues attached to this processor.
     pub queues: Vec<TieQueue>,
+    /// Pending fault-injection plan; events fire as cycles pass.
+    fault_plan: Option<FaultPlan>,
+    /// Cycle budget after which [`Self::run`] raises a watchdog fault.
+    watchdog: Option<u64>,
+    /// Fault events injected directly into core resources (register file,
+    /// extension state, DMAC) — memory-side injections are counted by the
+    /// local memories themselves.
+    injected_direct: u64,
 }
 
 impl Processor {
@@ -93,7 +102,48 @@ impl Processor {
             profile: None,
             trace: None,
             queues: Vec::new(),
+            fault_plan: None,
+            watchdog: None,
+            injected_direct: 0,
         })
+    }
+
+    /// Installs a deterministic fault-injection plan. Each event fires at
+    /// the first step whose cycle count has reached its cycle stamp;
+    /// replaces any previous plan (including its unfired events).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+        self.injected_direct = 0;
+    }
+
+    /// Removes the installed fault plan (unfired events are discarded) —
+    /// used by retry policies so the repeated attempt runs clean.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// Arms (or with `None` disarms) the watchdog: [`Self::run`] raises a
+    /// precise machine fault once the cycle count reaches the budget.
+    pub fn set_watchdog(&mut self, budget: Option<u64>) {
+        self.watchdog = budget;
+    }
+
+    /// Aggregated fault counters across the memory system plus direct
+    /// core-resource injections.
+    pub fn fault_counters(&self) -> dbx_mem::FaultCounters {
+        let mut fc = self.mem.fault_counters();
+        fc.injected += self.injected_direct;
+        fc
+    }
+
+    /// Copies the aggregated fault counters into the event counters so
+    /// reports and the power model see them.
+    fn harvest_fault_counters(&mut self) {
+        let fc = self.fault_counters();
+        self.counters.faults_injected = fc.injected;
+        self.counters.faults_corrected = fc.corrected;
+        self.counters.faults_detected = fc.detected;
+        self.counters.faults_escaped = fc.escaped;
     }
 
     /// Attaches an instruction-set extension (replaces any previous one).
@@ -186,6 +236,7 @@ impl Processor {
         self.cycles = 0;
         self.pending_load = None;
         self.halted = false;
+        self.injected_direct = 0;
         if let Some(p) = &self.program {
             self.pc = p.entry();
         }
@@ -212,7 +263,89 @@ impl Processor {
     }
 
     /// Executes one instruction (or bundle); returns the outcome.
+    ///
+    /// Fault-plan events whose cycle stamp has been reached are injected
+    /// before the instruction issues. Detected hardware upsets (parity,
+    /// uncorrectable ECC, failed DMA) surface as a precise
+    /// [`SimError::Fault`] carrying the pc and cycle of the faulting
+    /// instruction.
     pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        self.apply_due_faults();
+        let pc = self.pc;
+        self.step_inner().map_err(|e| self.promote_fault(pc, e))
+    }
+
+    /// Fires every fault-plan event whose cycle stamp has been reached.
+    fn apply_due_faults(&mut self) {
+        let due = match self.fault_plan.as_mut() {
+            Some(plan) if !plan.is_empty() => plan.take_due(self.cycles),
+            _ => return,
+        };
+        for ev in due {
+            match ev.target {
+                FaultTarget::Dmem(i) => {
+                    if self.mem.dmems.is_empty() {
+                        continue;
+                    }
+                    let n = self.mem.dmems.len();
+                    let m = &mut self.mem.dmems[i % n];
+                    match ev.kind {
+                        FaultKind::BitFlip => m.inject_bit_flip(ev.word, ev.bit),
+                        FaultKind::StuckAt(v) => m.inject_stuck_at(ev.word, ev.bit, v),
+                        FaultKind::DroppedBurst => {}
+                    }
+                }
+                FaultTarget::RegFile => {
+                    let r = (ev.word % 16) as usize;
+                    let mask = 1u32 << (ev.bit % 32);
+                    match ev.kind {
+                        FaultKind::BitFlip => self.ar[r] ^= mask,
+                        FaultKind::StuckAt(true) => self.ar[r] |= mask,
+                        FaultKind::StuckAt(false) => self.ar[r] &= !mask,
+                        FaultKind::DroppedBurst => continue,
+                    }
+                    self.injected_direct += 1;
+                }
+                FaultTarget::ExtState => {
+                    if let Some(e) = self.ext.as_mut() {
+                        e.inject_state_fault((ev.word << 5) | u64::from(ev.bit % 32));
+                        self.injected_direct += 1;
+                    }
+                }
+                FaultTarget::Dmac => {
+                    if let Some(d) = self.mem.dmac.as_mut() {
+                        d.inject_dropped_burst();
+                        self.injected_direct += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Converts detected-upset memory errors into precise machine faults;
+    /// passes every other error through unchanged.
+    fn promote_fault(&self, pc: u32, e: SimError) -> SimError {
+        let cause = match &e {
+            SimError::Mem(MemError::ParityUpset { mem, addr }) => {
+                FaultCause::ParityError { mem, addr: *addr }
+            }
+            SimError::Mem(MemError::DoubleUpset { mem, addr }) => {
+                FaultCause::UncorrectableEcc { mem, addr: *addr }
+            }
+            SimError::Mem(MemError::TransferFault { src, dst }) => FaultCause::DmaTransfer {
+                src: *src,
+                dst: *dst,
+            },
+            _ => return e,
+        };
+        SimError::Fault(MachineFault {
+            pc,
+            cycle: self.cycles,
+            cause,
+        })
+    }
+
+    fn step_inner(&mut self) -> Result<StepOutcome, SimError> {
         if self.halted {
             return Ok(StepOutcome::Halted);
         }
@@ -436,6 +569,10 @@ impl Processor {
             }
         }
 
+        // SECDED decoder stalls accumulated by this step's protected
+        // local-store reads (core loads and extension LSU accesses alike).
+        cycles += self.mem.take_ecc_stall() as u64;
+
         self.mem.tick_prefetcher()?;
         if let Some(t) = self.trace.as_mut() {
             t.record(pc, self.cycles, cycles);
@@ -491,16 +628,42 @@ impl Processor {
     }
 
     /// Runs until `HALT` or until `max_cycles` elapse.
+    ///
+    /// With a watchdog armed (see [`Self::set_watchdog`]), reaching the
+    /// watchdog budget raises a precise [`SimError::Fault`] instead of the
+    /// plain [`SimError::MaxCyclesExceeded`] budget error, so recovery
+    /// policies can treat a hung core as a survivable hardware event.
+    /// Fault counters are harvested into [`Self::counters`] on every exit
+    /// path, including faults.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
         while self.cycles < max_cycles {
-            if let StepOutcome::Halted = self.step()? {
-                return Ok(RunStats {
-                    cycles: self.cycles,
-                    halted: true,
-                    counters: self.counters.clone(),
-                });
+            if let Some(budget) = self.watchdog {
+                if self.cycles >= budget {
+                    self.harvest_fault_counters();
+                    return Err(SimError::Fault(MachineFault {
+                        pc: self.pc,
+                        cycle: self.cycles,
+                        cause: FaultCause::Watchdog { budget },
+                    }));
+                }
+            }
+            match self.step() {
+                Ok(StepOutcome::Halted) => {
+                    self.harvest_fault_counters();
+                    return Ok(RunStats {
+                        cycles: self.cycles,
+                        halted: true,
+                        counters: self.counters.clone(),
+                    });
+                }
+                Ok(StepOutcome::Continue) => {}
+                Err(e) => {
+                    self.harvest_fault_counters();
+                    return Err(e);
+                }
             }
         }
+        self.harvest_fault_counters();
         Err(SimError::MaxCyclesExceeded { budget: max_cycles })
     }
 }
@@ -895,5 +1058,118 @@ mod tests {
         p.reset_run_state();
         let s2 = p.run(100).unwrap();
         assert_eq!(s1.cycles, s2.cycles);
+    }
+
+    /// Loads dmem word 0, stores it back incremented at word 1.
+    fn copy_inc_program() -> crate::program::Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(A2, DMEM0_BASE as i32);
+        b.l32i(A3, A2, 0);
+        b.addi(A3, A3, 1);
+        b.s32i(A3, A2, 4);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn planned_bit_flip_on_unprotected_dmem_escapes_silently() {
+        let mut p = dba();
+        p.load_program(copy_inc_program()).unwrap();
+        p.mem.poke_words(DMEM0_BASE, &[99]).unwrap();
+        // Flip bit 3 of word 0 before the first instruction issues.
+        p.set_fault_plan(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 0, 3));
+        let stats = p.run(1000).unwrap();
+        // 99 ^ 8 = 107; +1 = 108 — wrong data reached the datapath.
+        assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![108]);
+        assert_eq!(stats.counters.faults_injected, 1);
+        assert_eq!(stats.counters.faults_escaped, 1);
+        assert_eq!(stats.counters.faults_detected, 0);
+    }
+
+    #[test]
+    fn planned_bit_flip_under_secded_is_corrected_with_a_decoder_stall() {
+        let mut cfg = CpuConfig::local_store_core(1, 64);
+        cfg.dmem_protection = dbx_mem::ProtectionKind::Secded;
+        let mut p = Processor::new(cfg).unwrap();
+        p.load_program(copy_inc_program()).unwrap();
+        p.mem.poke_words(DMEM0_BASE, &[99]).unwrap();
+        p.set_fault_plan(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 0, 3));
+        let stats = p.run(1000).unwrap();
+        assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![100]);
+        assert_eq!(stats.counters.faults_corrected, 1);
+        assert_eq!(stats.counters.faults_escaped, 0);
+        assert!(stats.counters.stall_ecc >= 1, "decoder stall charged");
+    }
+
+    #[test]
+    fn planned_bit_flip_under_parity_traps_precisely() {
+        let mut cfg = CpuConfig::local_store_core(1, 64);
+        cfg.dmem_protection = dbx_mem::ProtectionKind::Parity;
+        let mut p = Processor::new(cfg).unwrap();
+        p.load_program(copy_inc_program()).unwrap();
+        p.mem.poke_words(DMEM0_BASE, &[99]).unwrap();
+        p.set_fault_plan(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 0, 3));
+        let e = p.run(1000).unwrap_err();
+        let mf = e.machine_fault().expect("parity upset traps");
+        // The faulting instruction is the load right after the (wide)
+        // MOVI of the dmem base address.
+        let entry = p.program().unwrap().entry();
+        assert_eq!(mf.pc, entry + 8);
+        assert!(matches!(
+            mf.cause,
+            FaultCause::ParityError { mem: "dmem0", .. }
+        ));
+        // The destination word was never written: no wrong data committed.
+        assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![0]);
+        assert_eq!(p.counters.faults_detected, 1);
+    }
+
+    #[test]
+    fn register_file_flip_changes_the_result() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A2, 21);
+        b.add(A3, A2, A2);
+        b.halt();
+        let mut p = dba();
+        p.load_program(b.build().unwrap()).unwrap();
+        // Flip bit 0 of AR2 after the MOVI retires (cycle >= 1).
+        p.set_fault_plan(FaultPlan::new().with_bit_flip(FaultTarget::RegFile, 1, 2, 0));
+        let stats = p.run(100).unwrap();
+        assert_eq!(p.ar[3], 40); // (21 ^ 1) * 2
+        assert_eq!(stats.counters.faults_injected, 1);
+    }
+
+    #[test]
+    fn watchdog_expiry_is_a_precise_machine_fault() {
+        let mut b = ProgramBuilder::new();
+        b.label("top");
+        b.j("top"); // spin forever
+        b.halt();
+        let mut p = dba();
+        p.load_program(b.build().unwrap()).unwrap();
+        p.set_watchdog(Some(50));
+        let e = p.run(10_000).unwrap_err();
+        let mf = e.machine_fault().expect("watchdog traps");
+        assert!(matches!(mf.cause, FaultCause::Watchdog { budget: 50 }));
+        assert!(mf.cycle >= 50, "trap taken at or after the budget");
+        // Disarmed, the same hang surfaces as a budget error instead.
+        p.reset_run_state();
+        p.set_watchdog(None);
+        assert!(matches!(
+            p.run(100),
+            Err(SimError::MaxCyclesExceeded { budget: 100 })
+        ));
+    }
+
+    #[test]
+    fn clearing_the_plan_discards_unfired_events() {
+        let mut p = dba();
+        p.load_program(copy_inc_program()).unwrap();
+        p.mem.poke_words(DMEM0_BASE, &[99]).unwrap();
+        p.set_fault_plan(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 0, 3));
+        p.clear_fault_plan();
+        let stats = p.run(1000).unwrap();
+        assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![100]);
+        assert_eq!(stats.counters.faults_injected, 0);
     }
 }

@@ -51,6 +51,18 @@ pub struct EventCounters {
     pub stall_mem: u64,
     /// Cycles lost to control-transfer penalties.
     pub stall_control: u64,
+    /// Cycles lost to the SECDED decoder on protected local-store reads.
+    pub stall_ecc: u64,
+    /// Fault events injected into this core's resources.
+    pub faults_injected: u64,
+    /// Upsets corrected in place by SECDED local memories.
+    pub faults_corrected: u64,
+    /// Upsets detected (parity / double-bit / failed DMA) — each of these
+    /// raised a machine-fault trap.
+    pub faults_detected: u64,
+    /// Corrupted words consumed without the protection scheme noticing:
+    /// silent data corruption that reached the datapath.
+    pub faults_escaped: u64,
 }
 
 impl EventCounters {

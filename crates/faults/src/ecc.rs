@@ -1,0 +1,207 @@
+//! Parity and Hamming SECDED(39,32) codecs for 32-bit scratchpad words.
+//!
+//! The SECDED code is the classic extended Hamming construction: 32 data
+//! bits are spread over codeword positions `1..=38`, skipping the
+//! power-of-two positions that hold the six Hamming check bits; a seventh
+//! overall-parity bit extends single-error correction to double-error
+//! detection. Check bits are packed into a single `u8` per word
+//! (bits `0..6` = Hamming checks `c1,c2,c4,c8,c16,c32`, bit `6` = overall
+//! parity), which is what `dbx-mem` stores in its sideband array.
+
+/// Codeword positions (1-based) of the 32 data bits: `1..=38` minus the
+/// power-of-two check positions `{1, 2, 4, 8, 16, 32}`.
+const DATA_POS: [u8; 32] = [
+    3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+    31, 33, 34, 35, 36, 37, 38,
+];
+
+fn parity_u32(x: u32) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Even-parity bit over a 32-bit word (the whole code for
+/// [`ProtectionKind::Parity`](crate::ProtectionKind::Parity)).
+pub fn parity_encode(word: u32) -> u8 {
+    parity_u32(word)
+}
+
+/// True if `word` is consistent with its stored parity bit.
+pub fn parity_check(word: u32, code: u8) -> bool {
+    parity_u32(word) == (code & 1)
+}
+
+/// Hamming check-bit vector of a data word: the XOR of the codeword
+/// positions of all set data bits. Bit `j` of the result is check bit
+/// `c(2^j)`.
+fn hamming_checks(word: u32) -> u8 {
+    let mut c = 0u8;
+    for (i, &pos) in DATA_POS.iter().enumerate() {
+        if word >> i & 1 == 1 {
+            c ^= pos;
+        }
+    }
+    c
+}
+
+/// Encodes a word into its 7-bit SECDED check code.
+pub fn secded_encode(word: u32) -> u8 {
+    let c = hamming_checks(word);
+    let overall = parity_u32(word) ^ parity_u32(c as u32);
+    c | (overall << 6)
+}
+
+/// Outcome of a SECDED decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecdedResult {
+    /// Word and code agree.
+    Clean,
+    /// A single-bit upset was corrected; the payload is the repaired data
+    /// word (identical to the input when the flipped bit was a check bit).
+    Corrected(u32),
+    /// Two bits flipped: detectable, not correctable.
+    DoubleError,
+}
+
+/// Decodes `(word, code)`: checks the syndrome and the overall parity.
+pub fn secded_decode(word: u32, code: u8) -> SecdedResult {
+    let syndrome = hamming_checks(word) ^ (code & 0x3f);
+    let stored_overall = code >> 6 & 1;
+    let parity_ok = parity_u32(word) ^ parity_u32((code & 0x3f) as u32) == stored_overall;
+    match (syndrome, parity_ok) {
+        (0, true) => SecdedResult::Clean,
+        // Overall parity disagrees: exactly one bit flipped somewhere.
+        (0, false) => SecdedResult::Corrected(word), // the overall bit itself
+        (s, false) => {
+            if s.is_power_of_two() {
+                // A Hamming check bit flipped; the data is intact.
+                SecdedResult::Corrected(word)
+            } else if let Some(i) = DATA_POS.iter().position(|&p| p == s) {
+                SecdedResult::Corrected(word ^ (1 << i))
+            } else {
+                // Syndrome points outside the codeword: ≥2 upsets.
+                SecdedResult::DoubleError
+            }
+        }
+        // Non-zero syndrome with consistent overall parity: even number
+        // of flips.
+        (_, true) => SecdedResult::DoubleError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XorShift64;
+
+    #[test]
+    fn data_positions_are_well_formed() {
+        assert_eq!(DATA_POS.len(), 32);
+        for w in DATA_POS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &p in &DATA_POS {
+            assert!(!u32::from(p).is_power_of_two());
+            assert!((3..=38).contains(&p));
+        }
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        let mut rng = XorShift64::new(1);
+        for _ in 0..200 {
+            let w = rng.next_u32();
+            assert_eq!(secded_decode(w, secded_encode(w)), SecdedResult::Clean);
+        }
+        assert_eq!(secded_decode(0, secded_encode(0)), SecdedResult::Clean);
+        assert_eq!(
+            secded_decode(u32::MAX, secded_encode(u32::MAX)),
+            SecdedResult::Clean
+        );
+    }
+
+    #[test]
+    fn every_single_data_bit_flip_is_corrected() {
+        let mut rng = XorShift64::new(2);
+        for _ in 0..50 {
+            let w = rng.next_u32();
+            let code = secded_encode(w);
+            for bit in 0..32 {
+                let bad = w ^ (1 << bit);
+                assert_eq!(
+                    secded_decode(bad, code),
+                    SecdedResult::Corrected(w),
+                    "word {w:#x} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_flip_is_corrected() {
+        let mut rng = XorShift64::new(3);
+        for _ in 0..50 {
+            let w = rng.next_u32();
+            let code = secded_encode(w);
+            for bit in 0..7 {
+                let bad_code = code ^ (1 << bit);
+                match secded_decode(w, bad_code) {
+                    SecdedResult::Corrected(fixed) => assert_eq!(fixed, w),
+                    other => panic!("word {w:#x} check bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_data_bit_flips_are_detected() {
+        let mut rng = XorShift64::new(4);
+        for _ in 0..50 {
+            let w = rng.next_u32();
+            let code = secded_encode(w);
+            let b1 = rng.below(32) as u32;
+            let mut b2 = rng.below(32) as u32;
+            if b2 == b1 {
+                b2 = (b2 + 1) % 32;
+            }
+            let bad = w ^ (1 << b1) ^ (1 << b2);
+            assert_eq!(
+                secded_decode(bad, code),
+                SecdedResult::DoubleError,
+                "word {w:#x} bits {b1},{b2}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_plus_check_double_flips_are_detected() {
+        let mut rng = XorShift64::new(5);
+        for _ in 0..100 {
+            let w = rng.next_u32();
+            let code = secded_encode(w);
+            let db = rng.below(32) as u32;
+            let cb = rng.below(7) as u32;
+            let r = secded_decode(w ^ (1 << db), code ^ (1 << cb));
+            // Never silently accepted, never miscorrected to a wrong word.
+            match r {
+                SecdedResult::DoubleError => {}
+                SecdedResult::Corrected(fixed) => assert_ne!(
+                    fixed,
+                    w ^ (1 << db),
+                    "double flip miscorrected to the corrupted word"
+                ),
+                SecdedResult::Clean => panic!("double flip decoded clean"),
+            }
+        }
+    }
+
+    #[test]
+    fn parity_detects_odd_flips_only() {
+        let w = 0xdead_beef;
+        let code = parity_encode(w);
+        assert!(parity_check(w, code));
+        assert!(!parity_check(w ^ 1, code));
+        assert!(!parity_check(w ^ 0b111 << 7, code));
+        // Even number of flips escapes parity — by design.
+        assert!(parity_check(w ^ 0b11, code));
+    }
+}

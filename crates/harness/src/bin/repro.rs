@@ -11,6 +11,7 @@
 //! repro pipeline    Section 4  (cycles per iteration vs unroll)
 //! repro scaling     Section 5.4 (multi-core area equivalence)
 //! repro energy      energy per element, all configurations
+//! repro resilience  local-store protection cost + seeded fault campaign
 //! repro width       Section 2.2 (vector-width area/bandwidth tradeoff)
 //! repro isa         instruction-set reference (generated from descriptors)
 //! repro all         everything above
@@ -21,8 +22,8 @@
 //! ```
 
 use dbx_harness::{
-    energy, fig13, isa_ref, pipeline, scaling, stream_exp, table2, table3, table4, table5, table6,
-    width_exp,
+    energy, fig13, isa_ref, pipeline, resilience, scaling, stream_exp, table2, table3, table4,
+    table5, table6, width_exp,
 };
 
 fn main() {
@@ -61,12 +62,13 @@ fn main() {
         "pipeline" => println!("{}", pipeline::run().render()),
         "scaling" => println!("{}", scaling::run(scale).render()),
         "energy" => println!("{}", energy::run(scale).render()),
+        "resilience" => println!("{}", resilience::run(scale).render()),
         "width" => println!("{}", width_exp::run().render()),
         "isa" => println!("{}", isa_ref::render()),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy width isa all"
+                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa all"
             );
             std::process::exit(2);
         }
@@ -74,8 +76,18 @@ fn main() {
 
     if cmd == "all" {
         for name in [
-            "table2", "fig13", "table3", "table4", "table5", "table6", "stream", "pipeline",
-            "scaling", "energy", "width",
+            "table2",
+            "fig13",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "stream",
+            "pipeline",
+            "scaling",
+            "energy",
+            "resilience",
+            "width",
         ] {
             run_one(name);
             println!();

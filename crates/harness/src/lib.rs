@@ -12,6 +12,7 @@
 //! | [`stream_exp`] | Section 5.2 — constant throughput beyond the local store via the prefetcher |
 //! | [`scaling`] | Section 5.4 — shared-nothing multi-core / area-equivalence argument |
 //! | [`energy`] | The abstract's headline: energy per element, all configurations + x86 references |
+//! | [`resilience`] | Local-store protection (parity/SECDED) cost and a seeded fault campaign |
 //! | [`width_exp`] | Section 2.2 — vector-width area/bandwidth tradeoff |
 //! | [`pipeline`] | Section 4 — cycles/iteration vs unroll factor, theoretical peak |
 //!
@@ -25,6 +26,7 @@ pub mod fig13;
 pub mod isa_ref;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod scaling;
 pub mod stream_exp;
 pub mod table2;

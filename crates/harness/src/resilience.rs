@@ -1,0 +1,237 @@
+//! Resilience experiment: what local-store protection *costs* (area,
+//! power, cycles, energy per element) and what it *buys* (a seeded
+//! bit-flip campaign survived), on the flagship DBA_2LSU_EIS
+//! configuration at 65 nm.
+//!
+//! The cost half extends Table 3 with parity and SECDED design points;
+//! the fault half replays the same deterministic upset under each scheme
+//! and reports the outcome: unprotected memories let the flip *escape*
+//! into the result, parity detects it and the retry policy re-runs the
+//! kernel, SECDED corrects it in place for one extra read cycle.
+
+use crate::report::{f1, f3, TextTable};
+use crate::scaled;
+use dbx_core::{run_set_op_with, ProcModel, RecoveryPolicy, RunOptions, SetOpKind};
+use dbx_faults::{FaultCounters, FaultPlan, FaultTarget, ProtectionKind};
+use dbx_synth::{area_report_with, power_report_with, Tech};
+
+/// One protection design point: synthesis and runtime cost.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Protection scheme.
+    pub protection: ProtectionKind,
+    /// Total (logic + memory) area in mm².
+    pub total_mm2: f64,
+    /// Power at fMAX in mW.
+    pub power_mw: f64,
+    /// Cycles of the reference intersection kernel.
+    pub cycles: u64,
+    /// Energy per element in nJ for that kernel.
+    pub energy_nj: f64,
+}
+
+/// One protection scheme's response to the seeded upset.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Protection scheme.
+    pub protection: ProtectionKind,
+    /// Whether the run's result matched the fault-free reference.
+    pub correct: bool,
+    /// Retries the recovery policy spent.
+    pub retries: u32,
+    /// Fault accounting of the run.
+    pub faults: FaultCounters,
+    /// Human-readable outcome.
+    pub outcome: &'static str,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Resilience {
+    /// Cost rows (none / parity / SECDED).
+    pub costs: Vec<CostRow>,
+    /// Fault-campaign rows (none / parity / SECDED).
+    pub faults: Vec<FaultRow>,
+    /// Elements processed by the reference kernel.
+    pub elements: u64,
+}
+
+const MODEL: ProcModel = ProcModel::Dba2LsuEis { partial: true };
+
+// 2500-element sets (the quickstart size): DMEM1 must hold set B plus
+// the worst-case result, i.e. 12 bytes/element, so ≤2730 fit in 32 KiB.
+fn workload(scale: f64) -> (Vec<u32>, Vec<u32>) {
+    let n = scaled(2500, scale);
+    let a: Vec<u32> = (0..n as u32).map(|i| 2 * i).collect();
+    let b: Vec<u32> = (0..n as u32).map(|i| 3 * i).collect();
+    (a, b)
+}
+
+/// Runs the protection-cost sweep and the seeded fault campaign.
+pub fn run(scale: f64) -> Resilience {
+    let tech = Tech::tsmc65lp();
+    let (a, b) = workload(scale);
+    let elements = (a.len() + b.len()) as u64;
+
+    let costs = ProtectionKind::all()
+        .into_iter()
+        .map(|protection| {
+            let opts = RunOptions {
+                protection: Some(protection),
+                ..RunOptions::default()
+            };
+            let r = run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &opts).expect("clean run");
+            let p = power_report_with(MODEL, tech, protection);
+            CostRow {
+                protection,
+                total_mm2: area_report_with(MODEL, tech, protection).total_mm2(),
+                power_mw: p.total_mw(),
+                cycles: r.cycles,
+                energy_nj: p.energy_per_element_nj(elements, r.cycles),
+            }
+        })
+        .collect();
+
+    // The same deterministic upset for every scheme: flip bit 0 of data
+    // word 18 before the kernel reads it. a[18] = 36 is a common element,
+    // so an escaped flip visibly corrupts the intersection.
+    let plan = FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 18, 0);
+    let clean = run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &RunOptions::default())
+        .expect("reference run")
+        .result;
+    let faults = ProtectionKind::all()
+        .into_iter()
+        .map(|protection| {
+            let opts = RunOptions {
+                protection: Some(protection),
+                fault_plan: Some(plan.clone()),
+                policy: RecoveryPolicy::Retry { max_retries: 2 },
+                watchdog: None,
+            };
+            let r =
+                run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &opts).expect("recovered run");
+            let outcome = if r.faults.escaped > 0 {
+                "escaped: silent data corruption"
+            } else if r.retries > 0 {
+                "detected, kernel re-run"
+            } else if r.faults.corrected > 0 {
+                "corrected in place"
+            } else {
+                "no effect"
+            };
+            FaultRow {
+                protection,
+                correct: r.result == clean,
+                retries: r.retries,
+                faults: r.faults,
+                outcome,
+            }
+        })
+        .collect();
+
+    Resilience {
+        costs,
+        faults,
+        elements,
+    }
+}
+
+impl Resilience {
+    /// Renders both tables.
+    pub fn render(&self) -> String {
+        let base = &self.costs[0];
+        let pct = |x: f64, b: f64| format!("+{:.1}%", 100.0 * (x - b) / b);
+        let mut cost = TextTable::new([
+            "Protection",
+            "Area[mm2]",
+            "(vs none)",
+            "P[mW]",
+            "(vs none)",
+            "Cycles",
+            "nJ/elem",
+            "(vs none)",
+        ]);
+        for r in &self.costs {
+            cost.row([
+                r.protection.name().to_string(),
+                f3(r.total_mm2),
+                if r.protection == ProtectionKind::None {
+                    "-".into()
+                } else {
+                    pct(r.total_mm2, base.total_mm2)
+                },
+                f1(r.power_mw),
+                if r.protection == ProtectionKind::None {
+                    "-".into()
+                } else {
+                    pct(r.power_mw, base.power_mw)
+                },
+                r.cycles.to_string(),
+                f3(r.energy_nj),
+                if r.protection == ProtectionKind::None {
+                    "-".into()
+                } else {
+                    pct(r.energy_nj, base.energy_nj)
+                },
+            ]);
+        }
+        let mut fault = TextTable::new([
+            "Protection",
+            "Result",
+            "Retries",
+            "Corrected",
+            "Detected",
+            "Escaped",
+            "Outcome",
+        ]);
+        for r in &self.faults {
+            fault.row([
+                r.protection.name().to_string(),
+                if r.correct { "correct" } else { "WRONG" }.to_string(),
+                r.retries.to_string(),
+                r.faults.corrected.to_string(),
+                r.faults.detected.to_string(),
+                r.faults.escaped.to_string(),
+                r.outcome.to_string(),
+            ]);
+        }
+        format!(
+            "Resilience — local-store protection cost ({}, 65nm, {} elements)\n{}\n\
+             Seeded upset (dmem0 word 18 bit 0 @cycle 0) under each scheme\n{}",
+            MODEL.name(),
+            self.elements,
+            cost.render(),
+            fault.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_costs_are_ordered_and_the_campaign_behaves() {
+        let r = run(0.1);
+        let [none, parity, secded] = &r.costs[..] else {
+            panic!("three cost rows");
+        };
+        assert!(none.total_mm2 < parity.total_mm2);
+        assert!(parity.total_mm2 < secded.total_mm2);
+        assert!(none.power_mw < secded.power_mw);
+        // SECDED charges a cycle per protected read.
+        assert!(secded.cycles > none.cycles);
+        assert!(secded.energy_nj > none.energy_nj);
+
+        let [fn_, fp, fs] = &r.faults[..] else {
+            panic!("three fault rows");
+        };
+        assert!(fn_.faults.escaped >= 1, "unprotected flip must be flagged");
+        assert!(!fn_.correct, "the unprotected result is silently wrong");
+        assert!(fp.correct && fp.retries >= 1 && fp.faults.detected >= 1);
+        assert!(fs.correct && fs.retries == 0 && fs.faults.corrected >= 1);
+
+        let s = r.render();
+        assert!(s.contains("secded") && s.contains("Escaped"));
+    }
+}

@@ -53,6 +53,46 @@ pub enum MemError {
         /// Explanation of the problem.
         reason: &'static str,
     },
+    /// A parity-protected memory read a word whose stored parity bit
+    /// disagrees with its contents: an upset was *detected* (parity cannot
+    /// correct). Raised by [`crate::LocalMemory`] under
+    /// [`ProtectionKind::Parity`](dbx_faults::ProtectionKind::Parity).
+    ParityUpset {
+        /// Name of the memory that detected the upset.
+        mem: &'static str,
+        /// Word-aligned address of the corrupted word.
+        addr: u32,
+    },
+    /// A SECDED-protected memory read a word with an uncorrectable
+    /// (double-bit) upset.
+    DoubleUpset {
+        /// Name of the memory that detected the upset.
+        mem: &'static str,
+        /// Word-aligned address of the corrupted word.
+        addr: u32,
+    },
+    /// The DMAC dropped a burst mid-transfer: the transfer completed with
+    /// missing data and must be considered failed.
+    TransferFault {
+        /// Source address of the failed transfer.
+        src: u32,
+        /// Destination address of the failed transfer.
+        dst: u32,
+    },
+}
+
+impl MemError {
+    /// True for the variants that model *hardware faults* (detected upsets
+    /// and failed transfers) rather than program bugs; the CPU converts
+    /// these into a precise machine-fault trap.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            MemError::ParityUpset { .. }
+                | MemError::DoubleUpset { .. }
+                | MemError::TransferFault { .. }
+        )
+    }
 }
 
 impl fmt::Display for MemError {
@@ -85,6 +125,15 @@ impl fmt::Display for MemError {
                 write!(f, "{requested}-byte access on a {bus}-byte bus")
             }
             MemError::BadDescriptor { reason } => write!(f, "bad DMA descriptor: {reason}"),
+            MemError::ParityUpset { mem, addr } => {
+                write!(f, "parity error in {mem} at {addr:#010x} (detected upset)")
+            }
+            MemError::DoubleUpset { mem, addr } => {
+                write!(f, "uncorrectable double-bit upset in {mem} at {addr:#010x}")
+            }
+            MemError::TransferFault { src, dst } => {
+                write!(f, "DMA transfer {src:#010x} -> {dst:#010x} dropped a burst")
+            }
         }
     }
 }

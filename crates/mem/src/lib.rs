@@ -28,6 +28,9 @@ pub use error::MemError;
 pub use local::{AccessPort, LocalMemory};
 pub use prefetch::{BurstBus, Dmac, DmacProgram, DmacState, TransferDescriptor};
 pub use sysmem::SystemMemory;
+// Fault-model vocabulary, re-exported so memory users need not depend on
+// `dbx-faults` directly.
+pub use dbx_faults::{FaultCounters, ProtectionKind};
 
 /// Width of one memory access in bits. The paper's DBA configurations use a
 /// 128-bit data bus; the 108Mini baseline uses 32 bits.

@@ -12,6 +12,9 @@
 
 use crate::error::MemError;
 use crate::Width;
+use dbx_faults::ecc::{parity_check, parity_encode, secded_decode, secded_encode, SecdedResult};
+use dbx_faults::{FaultCounters, ProtectionKind};
+use std::collections::BTreeSet;
 
 /// Identifies which port of a (potentially dual-ported) local memory is used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +40,19 @@ pub struct LocalMemory {
     pub pf_accesses: u64,
     /// Lifetime statistics: total bytes moved (both ports).
     pub bytes_moved: u64,
+    /// Protection scheme of this array (parity / SECDED / none).
+    protection: ProtectionKind,
+    /// Stored check code per 32-bit word (empty when unprotected).
+    codes: Vec<u8>,
+    /// Word indices holding an injected upset the array has not yet
+    /// corrected or been rewritten over — used to account *escaped*
+    /// (silently consumed) corruption.
+    tainted: BTreeSet<usize>,
+    /// Hard (stuck-at) faults: `(word index, bit, forced value)`,
+    /// re-applied after every write that touches the word.
+    stuck: Vec<(usize, u8, bool)>,
+    /// Resilience accounting: injected/corrected/detected/escaped.
+    pub faults: FaultCounters,
 }
 
 impl LocalMemory {
@@ -63,6 +79,11 @@ impl LocalMemory {
             core_accesses: 0,
             pf_accesses: 0,
             bytes_moved: 0,
+            protection: ProtectionKind::None,
+            codes: Vec::new(),
+            tainted: BTreeSet::new(),
+            stuck: Vec::new(),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -97,6 +118,179 @@ impl LocalMemory {
     pub fn begin_cycle(&mut self) {
         self.core_accesses_this_cycle = 0;
         self.pf_accesses_this_cycle = 0;
+    }
+
+    /// Current protection scheme of the array.
+    pub fn protection(&self) -> ProtectionKind {
+        self.protection
+    }
+
+    /// Rebuilds the array with the given protection scheme: the check-bit
+    /// sideband is (re-)encoded over the current contents and any taint
+    /// from earlier injections is forgotten.
+    pub fn set_protection(&mut self, kind: ProtectionKind) {
+        self.protection = kind;
+        self.tainted.clear();
+        if kind == ProtectionKind::None {
+            self.codes.clear();
+            return;
+        }
+        let n_words = self.data.len().div_ceil(4);
+        self.codes = vec![0; n_words];
+        for ix in 0..n_words {
+            self.codes[ix] = self.encode(self.word_at(ix));
+        }
+    }
+
+    /// Word indices currently known to hold uncorrected corruption.
+    pub fn tainted_words(&self) -> usize {
+        self.tainted.len()
+    }
+
+    fn word_at(&self, ix: usize) -> u32 {
+        let off = ix * 4;
+        let mut v = 0u32;
+        for i in (0..4.min(self.data.len() - off)).rev() {
+            v = (v << 8) | self.data[off + i] as u32;
+        }
+        v
+    }
+
+    fn put_word(&mut self, ix: usize, w: u32) {
+        let off = ix * 4;
+        for i in 0..4.min(self.data.len() - off) {
+            self.data[off + i] = (w >> (8 * i)) as u8;
+        }
+    }
+
+    fn encode(&self, word: u32) -> u8 {
+        match self.protection {
+            ProtectionKind::None => 0,
+            ProtectionKind::Parity => parity_encode(word),
+            ProtectionKind::Secded => secded_encode(word),
+        }
+    }
+
+    /// Flips one data bit *behind the protection scheme's back*: the stored
+    /// check bits are left untouched, exactly like a particle strike in the
+    /// SRAM array. `word_sel` is reduced modulo the word count.
+    pub fn inject_bit_flip(&mut self, word_sel: u64, bit: u8) {
+        let n_words = (self.data.len() / 4).max(1);
+        let ix = (word_sel % n_words as u64) as usize;
+        let w = self.word_at(ix);
+        self.put_word(ix, w ^ 1u32 << (bit % 32));
+        self.tainted.insert(ix);
+        self.faults.injected += 1;
+    }
+
+    /// Installs a stuck-at fault: the bit is forced to `value` now and
+    /// after every subsequent write to the word. Check bits are not
+    /// updated, so protected arrays can observe the fault.
+    pub fn inject_stuck_at(&mut self, word_sel: u64, bit: u8, value: bool) {
+        let n_words = (self.data.len() / 4).max(1);
+        let ix = (word_sel % n_words as u64) as usize;
+        let bit = bit % 32;
+        self.stuck.push((ix, bit, value));
+        self.faults.injected += 1;
+        self.force_stuck_word(ix);
+    }
+
+    /// Re-applies every stuck bit registered for word `ix`; taints the word
+    /// if forcing actually changed it.
+    fn force_stuck_word(&mut self, ix: usize) {
+        let mut w = self.word_at(ix);
+        let mut changed = false;
+        for &(six, bit, value) in &self.stuck {
+            if six != ix {
+                continue;
+            }
+            let forced = if value { w | 1 << bit } else { w & !(1 << bit) };
+            changed |= forced != w;
+            w = forced;
+        }
+        if changed {
+            self.put_word(ix, w);
+            self.tainted.insert(ix);
+        }
+    }
+
+    /// Verifies the protected words covering `[off, off+len)` before a
+    /// read, correcting / detecting / accounting as the scheme allows.
+    fn verify(&mut self, off: usize, len: usize) -> Result<(), MemError> {
+        if self.protection == ProtectionKind::None && self.tainted.is_empty() {
+            return Ok(());
+        }
+        for ix in off / 4..=(off + len - 1) / 4 {
+            let addr = self.base + (ix * 4) as u32;
+            match self.protection {
+                ProtectionKind::None => {
+                    // Raw SRAM: corruption sails straight into the core.
+                    if self.tainted.contains(&ix) {
+                        self.faults.escaped += 1;
+                    }
+                }
+                ProtectionKind::Parity => {
+                    if !parity_check(self.word_at(ix), self.codes[ix]) {
+                        self.faults.detected += 1;
+                        return Err(MemError::ParityUpset {
+                            mem: self.name,
+                            addr,
+                        });
+                    }
+                    // Parity passed: an even number of flips (or none).
+                    if self.tainted.remove(&ix) {
+                        self.faults.escaped += 1;
+                    }
+                }
+                ProtectionKind::Secded => match secded_decode(self.word_at(ix), self.codes[ix]) {
+                    SecdedResult::Clean => {
+                        self.tainted.remove(&ix);
+                    }
+                    SecdedResult::Corrected(fixed) => {
+                        self.put_word(ix, fixed);
+                        self.codes[ix] = self.encode(fixed);
+                        self.tainted.remove(&ix);
+                        self.faults.corrected += 1;
+                    }
+                    SecdedResult::DoubleError => {
+                        self.faults.detected += 1;
+                        return Err(MemError::DoubleUpset {
+                            mem: self.name,
+                            addr,
+                        });
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-write bookkeeping for words covering `[off, off+len)`:
+    /// re-forces stuck bits, re-encodes check bits over the new contents,
+    /// and clears taint (a full overwrite replaces corrupt data; a partial
+    /// write of a tainted word commits the corruption, which counts as an
+    /// escape).
+    fn recode(&mut self, off: usize, len: usize) {
+        if self.protection == ProtectionKind::None
+            && self.tainted.is_empty()
+            && self.stuck.is_empty()
+        {
+            return;
+        }
+        for ix in off / 4..=(off + len - 1) / 4 {
+            if self.tainted.remove(&ix) && (off > ix * 4 || off + len < ix * 4 + 4) {
+                self.faults.escaped += 1;
+            }
+            // Encode over the data as written — the ECC encoder sits in
+            // front of the array — then re-force stuck array bits, so a
+            // hard fault stays visible to the checker on the next read.
+            if self.protection != ProtectionKind::None {
+                self.codes[ix] = self.encode(self.word_at(ix));
+            }
+            if !self.stuck.is_empty() {
+                self.force_stuck_word(ix);
+            }
+        }
     }
 
     fn check(&self, addr: u32, width: Width) -> Result<usize, MemError> {
@@ -162,6 +356,7 @@ impl LocalMemory {
     pub fn read_unmetered(&mut self, addr: u32, width: Width) -> Result<u128, MemError> {
         let off = self.check(addr, width)?;
         let len = width.bytes();
+        self.verify(off, len)?;
         let mut v: u128 = 0;
         for i in (0..len).rev() {
             v = (v << 8) | self.data[off + i] as u128;
@@ -185,6 +380,7 @@ impl LocalMemory {
             self.data[off + i] = (v & 0xff) as u8;
             v >>= 8;
         }
+        self.recode(off, len);
         self.bytes_moved += len as u64;
         Ok(())
     }
@@ -269,6 +465,10 @@ impl LocalMemory {
         for b in &mut self.data {
             *b = byte;
         }
+        if self.protection != ProtectionKind::None || !self.stuck.is_empty() {
+            self.recode(0, self.data.len());
+        }
+        self.tainted.clear();
     }
 }
 
@@ -440,5 +640,131 @@ mod tests {
         let ws = [1u32, 2, 3, 0xffff_ffff];
         m.load_words(0x6000_0040, &ws).unwrap();
         assert_eq!(m.read_words(0x6000_0040, 4).unwrap(), ws);
+    }
+
+    #[test]
+    fn secded_corrects_injected_flip_in_place() {
+        let mut m = mem();
+        m.set_protection(ProtectionKind::Secded);
+        m.load_words(0x6000_0000, &[0xcafe_babe]).unwrap();
+        m.inject_bit_flip(0, 13);
+        assert_eq!(m.tainted_words(), 1);
+        // The read returns the *corrected* value and scrubs the array.
+        assert_eq!(
+            m.read_unmetered(0x6000_0000, Width::W32).unwrap(),
+            0xcafe_babe
+        );
+        assert_eq!(m.faults.corrected, 1);
+        assert_eq!(m.tainted_words(), 0);
+        // Second read is clean without further correction.
+        assert_eq!(
+            m.read_unmetered(0x6000_0000, Width::W32).unwrap(),
+            0xcafe_babe
+        );
+        assert_eq!(m.faults.corrected, 1);
+    }
+
+    #[test]
+    fn secded_detects_double_flip() {
+        let mut m = mem();
+        m.set_protection(ProtectionKind::Secded);
+        m.load_words(0x6000_0000, &[42]).unwrap();
+        m.inject_bit_flip(0, 3);
+        m.inject_bit_flip(0, 21);
+        let e = m.read_unmetered(0x6000_0000, Width::W32).unwrap_err();
+        assert!(matches!(e, MemError::DoubleUpset { mem: "dmem0", .. }));
+        assert_eq!(m.faults.detected, 1);
+    }
+
+    #[test]
+    fn parity_detects_single_flip() {
+        let mut m = mem();
+        m.set_protection(ProtectionKind::Parity);
+        m.load_words(0x6000_0010, &[7]).unwrap();
+        m.inject_bit_flip(4, 0);
+        let e = m.read_unmetered(0x6000_0010, Width::W32).unwrap_err();
+        assert!(matches!(
+            e,
+            MemError::ParityUpset {
+                mem: "dmem0",
+                addr: 0x6000_0010
+            }
+        ));
+        assert_eq!(m.faults.detected, 1);
+    }
+
+    #[test]
+    fn parity_misses_even_flips_but_counts_escape() {
+        let mut m = mem();
+        m.set_protection(ProtectionKind::Parity);
+        m.load_words(0x6000_0000, &[0]).unwrap();
+        m.inject_bit_flip(0, 1);
+        m.inject_bit_flip(0, 2);
+        // Two flips cancel in the parity sum: the read succeeds with the
+        // corrupted word, and the escape counter says so.
+        assert_eq!(m.read_unmetered(0x6000_0000, Width::W32).unwrap(), 0b110);
+        assert_eq!(m.faults.escaped, 1);
+        assert_eq!(m.faults.detected, 0);
+    }
+
+    #[test]
+    fn unprotected_reads_of_corrupt_words_escape() {
+        let mut m = mem();
+        m.load_words(0x6000_0000, &[100]).unwrap();
+        m.inject_bit_flip(0, 0);
+        assert_eq!(m.read_unmetered(0x6000_0000, Width::W32).unwrap(), 101);
+        assert_eq!(m.faults.escaped, 1);
+        assert_eq!(m.faults.injected, 1);
+    }
+
+    #[test]
+    fn overwrite_clears_taint() {
+        let mut m = mem();
+        m.set_protection(ProtectionKind::Parity);
+        m.inject_bit_flip(0, 5);
+        m.write_unmetered(0x6000_0000, Width::W32, 99).unwrap();
+        assert_eq!(m.tainted_words(), 0);
+        assert_eq!(m.read_unmetered(0x6000_0000, Width::W32).unwrap(), 99);
+        assert_eq!(m.faults.detected, 0);
+        assert_eq!(m.faults.escaped, 0);
+    }
+
+    #[test]
+    fn wide_reads_verify_every_covered_word() {
+        let mut m = mem();
+        m.set_protection(ProtectionKind::Secded);
+        m.load_words(0x6000_0000, &[1, 2, 3, 4]).unwrap();
+        // Corrupt the third word; a 128-bit read must still see 1,2,3,4.
+        m.inject_bit_flip(2, 9);
+        let v = m.read_unmetered(0x6000_0000, Width::W128).unwrap();
+        assert_eq!(v & 0xffff_ffff, 1);
+        assert_eq!((v >> 64) & 0xffff_ffff, 3);
+        assert_eq!(m.faults.corrected, 1);
+    }
+
+    #[test]
+    fn stuck_at_survives_rewrites() {
+        let mut m = mem();
+        m.set_protection(ProtectionKind::Secded);
+        m.inject_stuck_at(0, 4, true);
+        m.write_unmetered(0x6000_0000, Width::W32, 0).unwrap();
+        // The array bit is forced high behind the encoder, so SECDED sees
+        // a single-bit error and corrects it on every read.
+        assert_eq!(m.read_unmetered(0x6000_0000, Width::W32).unwrap(), 0);
+        m.write_unmetered(0x6000_0000, Width::W32, 0x0f).unwrap();
+        assert_eq!(m.read_unmetered(0x6000_0000, Width::W32).unwrap(), 0x0f);
+        assert!(m.faults.corrected >= 2);
+    }
+
+    #[test]
+    fn set_protection_encodes_existing_contents() {
+        let mut m = mem();
+        m.load_words(0x6000_0000, &[0x1234_5678]).unwrap();
+        m.set_protection(ProtectionKind::Secded);
+        assert_eq!(
+            m.read_unmetered(0x6000_0000, Width::W32).unwrap(),
+            0x1234_5678
+        );
+        assert!(m.faults.is_zero());
     }
 }

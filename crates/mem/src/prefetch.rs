@@ -187,6 +187,12 @@ pub struct Dmac {
     pub busy_cycles: u64,
     /// Lifetime statistics: completed transfers.
     pub transfers_done: u64,
+    /// Lifetime statistics: transfers that completed with a dropped burst.
+    pub transfers_failed: u64,
+    // Fault injection: drop the next burst of the active/next transfer.
+    drop_next_burst: bool,
+    // The in-flight transfer lost a burst; fail it at completion.
+    faulted: bool,
 }
 
 impl Dmac {
@@ -205,7 +211,19 @@ impl Dmac {
             bytes_moved: 0,
             busy_cycles: 0,
             transfers_done: 0,
+            transfers_failed: 0,
+            drop_next_burst: false,
+            faulted: false,
         }
+    }
+
+    /// Fault injection: the next burst the DMAC would move (of the active
+    /// or next transfer) is silently skipped — modelling a lost bus grant.
+    /// The affected transfer raises [`MemError::TransferFault`] when it
+    /// completes, so the core sees a precise DMA machine fault rather than
+    /// quietly consuming a buffer with a hole in it.
+    pub fn inject_dropped_burst(&mut self) {
+        self.drop_next_burst = true;
     }
 
     /// Loads a program and starts executing it from step 0.
@@ -328,6 +346,14 @@ impl Dmac {
                     if self.burst_remaining == 0 {
                         // Start of a new burst within the transfer.
                         self.burst_remaining = d.burst_bytes.min(d.len_bytes - self.moved);
+                        if self.drop_next_burst {
+                            // Injected fault: the whole burst vanishes.
+                            self.drop_next_burst = false;
+                            self.faulted = true;
+                            self.moved += self.burst_remaining;
+                            self.burst_remaining = 0;
+                            break;
+                        }
                         if self.moved > 0 {
                             // Pay setup again for each subsequent burst.
                             self.setup_remaining = self.bus.setup_cycles;
@@ -353,8 +379,16 @@ impl Dmac {
                     self.bytes_moved += 16;
                 }
                 if self.moved >= d.len_bytes {
-                    self.transfers_done += 1;
                     self.state = DmacState::Running;
+                    if self.faulted {
+                        self.faulted = false;
+                        self.transfers_failed += 1;
+                        return Err(MemError::TransferFault {
+                            src: d.src,
+                            dst: d.dst,
+                        });
+                    }
+                    self.transfers_done += 1;
                 }
                 Ok(())
             }
@@ -564,6 +598,40 @@ mod tests {
             }
         }
         assert!(matches!(err, Some(MemError::PortConflict { .. })));
+    }
+
+    #[test]
+    fn dropped_burst_fails_the_transfer_precisely() {
+        let mut sys = SystemMemory::new();
+        let words: Vec<u32> = (0..256).collect();
+        sys.load_words(0x8000_0000, &words).unwrap();
+        let mut lm = LocalMemory::new_dual_port("dmem0", 0x6000_0000, 4096);
+        let mut dmac = Dmac::new(BurstBus {
+            setup_cycles: 2,
+            beats_per_cycle: 1,
+        });
+        dmac.load_program(one_shot(1024, 128)).unwrap();
+        dmac.inject_dropped_burst();
+        let e = dmac
+            .run_to_idle(&mut sys, &mut [&mut lm], 100_000)
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            MemError::TransferFault {
+                src: 0x8000_0000,
+                dst: 0x6000_0000
+            }
+        ));
+        assert_eq!(dmac.transfers_failed, 1);
+        assert_eq!(dmac.transfers_done, 0);
+        // The first burst (128 bytes = 32 words) never arrived.
+        assert_ne!(lm.read_words(0x6000_0000, 32).unwrap(), words[..32]);
+        // Retrying the same program cleanly succeeds — the fault is
+        // transient.
+        dmac.load_program(one_shot(1024, 128)).unwrap();
+        dmac.run_to_idle(&mut sys, &mut [&mut lm], 100_000).unwrap();
+        assert_eq!(lm.read_words(0x6000_0000, 256).unwrap(), words);
+        assert_eq!(dmac.transfers_done, 1);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The executor: predicate trees → ASIP set operations → RID lists.
 
+use crate::error::QueryError;
 use crate::index::Table;
 use crate::predicate::Predicate;
-use dbx_core::multicore::run_partition;
-use dbx_core::runner::build_processor;
-use dbx_core::{run_sort, ProcModel, SetOpKind};
+use dbx_core::multicore::run_partition_with;
+use dbx_core::runner::build_processor_with;
+use dbx_core::{run_sort_with, ProcModel, RunOptions, SetOpKind};
 use dbx_cpu::isa::regs::{A2, A3, A4, A5};
-use dbx_cpu::{ProgramBuilder, SimError, DMEM0_BASE, SYSMEM_BASE};
+use dbx_cpu::{ProgramBuilder, DMEM0_BASE, SYSMEM_BASE};
+use dbx_faults::{FaultCounters, FaultPlan};
 
 /// Result of executing a query.
 #[derive(Debug, Clone)]
@@ -20,6 +22,29 @@ pub struct QueryOutput {
     /// Total elements streamed through the set operations (the paper's
     /// throughput denominator, summed over operations).
     pub elements_processed: u64,
+    /// Kernel re-runs consumed by the recovery policy across all
+    /// offloaded operations.
+    pub retries: u32,
+    /// Offloaded batches whose result came from the degraded scalar
+    /// fallback kernel.
+    pub degraded_ops: u64,
+    /// Fault accounting (injected/corrected/detected/escaped) aggregated
+    /// over all offloaded operations.
+    pub faults: FaultCounters,
+}
+
+impl QueryOutput {
+    fn empty() -> Self {
+        QueryOutput {
+            rids: Vec::new(),
+            cycles: 0,
+            set_ops: 0,
+            elements_processed: 0,
+            retries: 0,
+            degraded_ops: 0,
+            faults: FaultCounters::default(),
+        }
+    }
 }
 
 /// A sorted column projection (the `ORDER BY` output).
@@ -29,19 +54,46 @@ pub struct SortedColumn {
     pub values: Vec<u32>,
     /// Simulated cycles of the sort.
     pub cycles: u64,
+    /// Sort re-runs consumed by the recovery policy.
+    pub retries: u32,
+    /// Whether the sort came from the degraded scalar fallback.
+    pub degraded: bool,
 }
 
 /// A query engine bound to one processor configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct QueryEngine {
     /// The processor model running the set operations.
     pub model: ProcModel,
+    /// Resilience options applied to every offloaded kernel: local-memory
+    /// protection override, recovery policy, per-operation watchdog. The
+    /// fault plan (if any) strikes the *first* offloaded operation of a
+    /// call; later operations run clean (transient-upset model).
+    pub options: RunOptions,
 }
 
 impl QueryEngine {
-    /// Creates an engine for a processor model.
+    /// Creates an engine for a processor model with default resilience
+    /// options (model-default protection, fail-fast, no watchdog).
     pub fn new(model: ProcModel) -> Self {
-        QueryEngine { model }
+        QueryEngine {
+            model,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Creates an engine with explicit resilience options.
+    pub fn with_options(model: ProcModel, options: RunOptions) -> Self {
+        QueryEngine { model, options }
+    }
+
+    /// Per-operation options: everything from the engine except the
+    /// fault plan, which is threaded separately (first operation only).
+    fn op_options(&self, plan: Option<FaultPlan>) -> RunOptions {
+        RunOptions {
+            fault_plan: plan,
+            ..self.options.clone()
+        }
     }
 
     fn offload(
@@ -50,14 +102,20 @@ impl QueryEngine {
         a: &[u32],
         b: &[u32],
         out: &mut QueryOutput,
-    ) -> Result<Vec<u32>, SimError> {
-        // `run_partition` batches inputs larger than the local store into
-        // sequential value-aligned chunks on the same core.
-        let (result, cycles) = run_partition(self.model, kind, a, b)?;
-        out.cycles += cycles;
+        plan: &mut Option<FaultPlan>,
+    ) -> Result<Vec<u32>, QueryError> {
+        // `run_partition_with` batches inputs larger than the local store
+        // into sequential value-aligned chunks on the same core, applying
+        // the recovery policy per batch.
+        let opts = self.op_options(plan.take());
+        let part = run_partition_with(self.model, kind, a, b, &opts)?;
+        out.cycles += part.cycles;
         out.set_ops += 1;
         out.elements_processed += (a.len() + b.len()) as u64;
-        Ok(result)
+        out.retries += part.retries;
+        out.degraded_ops += part.degraded as u64;
+        out.faults.merge(&part.faults);
+        Ok(part.result)
     }
 
     /// Merges posting lists of a key range into one sorted RID list with
@@ -67,7 +125,8 @@ impl QueryEngine {
         &self,
         lists: Vec<&[u32]>,
         out: &mut QueryOutput,
-    ) -> Result<Vec<u32>, SimError> {
+        plan: &mut Option<FaultPlan>,
+    ) -> Result<Vec<u32>, QueryError> {
         let mut level: Vec<Vec<u32>> = lists.into_iter().map(<[u32]>::to_vec).collect();
         if level.is_empty() {
             return Ok(Vec::new());
@@ -77,7 +136,7 @@ impl QueryEngine {
             let mut it = level.into_iter();
             while let Some(a) = it.next() {
                 match it.next() {
-                    Some(b) => next.push(self.offload(SetOpKind::Union, &a, &b, out)?),
+                    Some(b) => next.push(self.offload(SetOpKind::Union, &a, &b, out, plan)?),
                     None => next.push(a),
                 }
             }
@@ -91,48 +150,62 @@ impl QueryEngine {
         table: &Table,
         pred: &Predicate,
         out: &mut QueryOutput,
-    ) -> Result<Vec<u32>, SimError> {
+        plan: &mut Option<FaultPlan>,
+    ) -> Result<Vec<u32>, QueryError> {
         match pred {
             Predicate::Eq { column, value } => {
-                let ix = table.index(column).ok_or_else(|| {
-                    SimError::BadProgram(format!("no index on column '{column}'"))
+                let ix = table.index(column).ok_or_else(|| QueryError::NoIndex {
+                    column: column.clone(),
                 })?;
                 Ok(ix.lookup(*value).to_vec())
             }
             Predicate::Range { column, lo, hi } => {
-                let ix = table.index(column).ok_or_else(|| {
-                    SimError::BadProgram(format!("no index on column '{column}'"))
+                let ix = table.index(column).ok_or_else(|| QueryError::NoIndex {
+                    column: column.clone(),
                 })?;
-                self.merge_postings(ix.range(*lo, *hi), out)
+                self.merge_postings(ix.range(*lo, *hi), out, plan)
             }
             Predicate::And(a, b) => {
-                let ra = self.eval(table, a, out)?;
-                let rb = self.eval(table, b, out)?;
-                self.offload(SetOpKind::Intersect, &ra, &rb, out)
+                let ra = self.eval(table, a, out, plan)?;
+                let rb = self.eval(table, b, out, plan)?;
+                self.offload(SetOpKind::Intersect, &ra, &rb, out, plan)
             }
             Predicate::Or(a, b) => {
-                let ra = self.eval(table, a, out)?;
-                let rb = self.eval(table, b, out)?;
-                self.offload(SetOpKind::Union, &ra, &rb, out)
+                let ra = self.eval(table, a, out, plan)?;
+                let rb = self.eval(table, b, out, plan)?;
+                self.offload(SetOpKind::Union, &ra, &rb, out, plan)
             }
             Predicate::AndNot(a, b) => {
-                let ra = self.eval(table, a, out)?;
-                let rb = self.eval(table, b, out)?;
-                self.offload(SetOpKind::Difference, &ra, &rb, out)
+                let ra = self.eval(table, a, out, plan)?;
+                let rb = self.eval(table, b, out, plan)?;
+                self.offload(SetOpKind::Difference, &ra, &rb, out, plan)
             }
         }
     }
 
+    /// Projects `column` at `rids` with bounds checking.
+    fn project(&self, table: &Table, rids: &[u32], column: &str) -> Result<Vec<u32>, QueryError> {
+        let col = table.column(column).ok_or_else(|| QueryError::NoColumn {
+            column: column.to_string(),
+        })?;
+        rids.iter()
+            .map(|&r| {
+                col.get(r as usize)
+                    .copied()
+                    .ok_or(QueryError::RidOutOfRange {
+                        rid: r,
+                        n_rows: table.n_rows,
+                    })
+            })
+            .collect()
+    }
+
     /// Executes a predicate tree and returns the matching RIDs with the
-    /// simulated cost.
-    pub fn execute(&self, table: &Table, pred: &Predicate) -> Result<QueryOutput, SimError> {
-        let mut out = QueryOutput {
-            rids: Vec::new(),
-            cycles: 0,
-            set_ops: 0,
-            elements_processed: 0,
-        };
-        out.rids = self.eval(table, pred, &mut out)?;
+    /// simulated cost and resilience accounting.
+    pub fn execute(&self, table: &Table, pred: &Predicate) -> Result<QueryOutput, QueryError> {
+        let mut out = QueryOutput::empty();
+        let mut plan = self.options.fault_plan.clone();
+        out.rids = self.eval(table, pred, &mut out, &mut plan)?;
         Ok(out)
     }
 
@@ -140,15 +213,16 @@ impl QueryEngine {
     /// projected values are staged into the core's data memory and a
     /// hardware-loop reduction program runs over them. Returns the 32-bit
     /// wrapping sum and the simulated cycles.
-    pub fn sum(&self, table: &Table, rids: &[u32], column: &str) -> Result<(u32, u64), SimError> {
-        let col = table
-            .column(column)
-            .ok_or_else(|| SimError::BadProgram(format!("no column '{column}'")))?;
-        let projected: Vec<u32> = rids.iter().map(|&r| col[r as usize]).collect();
+    ///
+    /// The engine's protection override applies (a protected local store
+    /// charges its read surcharge here too); the fault plan and recovery
+    /// policy do not — the reduction is a single short pass and fails fast.
+    pub fn sum(&self, table: &Table, rids: &[u32], column: &str) -> Result<(u32, u64), QueryError> {
+        let projected = self.project(table, rids, column)?;
         if projected.is_empty() {
             return Ok((0, 0));
         }
-        let mut p = build_processor(self.model)?;
+        let mut p = build_processor_with(self.model, self.options.protection)?;
         let base = if self.model == ProcModel::Mini108 {
             SYSMEM_BASE
         } else {
@@ -160,10 +234,10 @@ impl QueryEngine {
             _ => 64 * 1024 / 4,
         };
         if projected.len() > cap {
-            return Err(SimError::BadProgram(format!(
-                "{} projected values exceed the local store",
-                projected.len()
-            )));
+            return Err(QueryError::ProjectionTooLarge {
+                elements: projected.len(),
+                cap,
+            });
         }
         // a2 = sum, a3 = ptr, a4 = count, a5 = value.
         let mut b = ProgramBuilder::new();
@@ -183,21 +257,22 @@ impl QueryEngine {
     }
 
     /// `ORDER BY column` over a RID list: projects the column and sorts
-    /// it with the ASIP's merge-sort kernel.
+    /// it with the ASIP's merge-sort kernel under the engine's recovery
+    /// policy.
     pub fn order_by(
         &self,
         table: &Table,
         rids: &[u32],
         column: &str,
-    ) -> Result<SortedColumn, SimError> {
-        let col = table
-            .column(column)
-            .ok_or_else(|| SimError::BadProgram(format!("no column '{column}'")))?;
-        let projected: Vec<u32> = rids.iter().map(|&r| col[r as usize]).collect();
-        let r = run_sort(self.model, &projected)?;
+    ) -> Result<SortedColumn, QueryError> {
+        let projected = self.project(table, rids, column)?;
+        let opts = self.op_options(self.options.fault_plan.clone());
+        let r = run_sort_with(self.model, &projected, &opts)?;
         Ok(SortedColumn {
             values: r.result,
             cycles: r.cycles,
+            retries: r.retries,
+            degraded: r.degraded,
         })
     }
 }
@@ -205,6 +280,8 @@ impl QueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbx_core::RecoveryPolicy;
+    use dbx_faults::{FaultTarget, ProtectionKind};
 
     fn demo_table(rows: u32) -> Table {
         let color: Vec<u32> = (0..rows).map(|i| i % 5).collect();
@@ -232,6 +309,9 @@ mod tests {
         assert_eq!(out.rids, scan(&t, &pred));
         assert_eq!(out.set_ops, 1);
         assert!(out.cycles > 0);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.degraded_ops, 0);
+        assert!(out.faults.is_zero());
     }
 
     #[test]
@@ -292,6 +372,7 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(sorted.values, expect);
         assert!(sorted.cycles > 0);
+        assert!(!sorted.degraded);
     }
 
     #[test]
@@ -320,7 +401,33 @@ mod tests {
         let t = demo_table(10);
         let engine = QueryEngine::new(ProcModel::Dba1Lsu);
         let e = engine.execute(&t, &Predicate::eq("nope", 1)).unwrap_err();
-        assert!(matches!(e, SimError::BadProgram(_)));
+        assert_eq!(
+            e,
+            QueryError::NoIndex {
+                column: "nope".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_column_and_bad_rid_are_typed() {
+        let t = demo_table(10);
+        let engine = QueryEngine::new(ProcModel::Dba1LsuEis { partial: true });
+        let e = engine.sum(&t, &[0], "nope").unwrap_err();
+        assert_eq!(
+            e,
+            QueryError::NoColumn {
+                column: "nope".to_string()
+            }
+        );
+        let e = engine.order_by(&t, &[3, 99], "size").unwrap_err();
+        assert_eq!(
+            e,
+            QueryError::RidOutOfRange {
+                rid: 99,
+                n_rows: 10
+            }
+        );
     }
 
     #[test]
@@ -332,5 +439,56 @@ mod tests {
         assert!(out.rids.is_empty());
         let sorted = engine.order_by(&t, &out.rids, "size").unwrap();
         assert!(sorted.values.is_empty());
+    }
+
+    #[test]
+    fn query_retries_through_a_parity_upset() {
+        let t = demo_table(500);
+        let model = ProcModel::Dba2LsuEis { partial: true };
+        let pred = Predicate::eq("color", 2).and(Predicate::eq("region", 3));
+        let clean = QueryEngine::new(model).execute(&t, &pred).unwrap();
+        // Flip a bit in the first operation's A input before the kernel
+        // reads it; parity detects, the policy re-runs the kernel.
+        let plan = FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5);
+        let engine = QueryEngine::with_options(
+            model,
+            RunOptions {
+                protection: Some(ProtectionKind::Parity),
+                fault_plan: Some(plan),
+                policy: RecoveryPolicy::Retry { max_retries: 2 },
+                watchdog: None,
+            },
+        );
+        let out = engine.execute(&t, &pred).unwrap();
+        assert_eq!(
+            out.rids, clean.rids,
+            "retry must reproduce the clean result"
+        );
+        assert!(out.retries >= 1, "the upset must have cost a retry");
+        assert_eq!(out.degraded_ops, 0);
+        assert!(out.faults.detected >= 1);
+        assert_eq!(out.faults.escaped, 0);
+    }
+
+    #[test]
+    fn hung_query_ops_degrade_to_scalar() {
+        let t = demo_table(300);
+        let model = ProcModel::Dba1LsuEis { partial: true };
+        let pred = Predicate::eq("color", 1).and(Predicate::eq("region", 2));
+        let clean = QueryEngine::new(model).execute(&t, &pred).unwrap();
+        // A 10-cycle watchdog trips on every accelerated attempt; the
+        // policy falls back to the scalar kernel, which runs unwatched.
+        let engine = QueryEngine::with_options(
+            model,
+            RunOptions {
+                protection: None,
+                fault_plan: None,
+                policy: RecoveryPolicy::DegradeToScalar { max_retries: 0 },
+                watchdog: Some(10),
+            },
+        );
+        let out = engine.execute(&t, &pred).unwrap();
+        assert_eq!(out.rids, clean.rids);
+        assert!(out.degraded_ops >= 1, "degradation must be recorded");
     }
 }

@@ -1,0 +1,95 @@
+//! Typed errors of the query layer.
+//!
+//! Planner-level problems (missing indexes, bad RIDs, oversized
+//! projections) each get their own variant instead of being smuggled
+//! through [`SimError::BadProgram`]; faults and simulator errors from
+//! the offloaded kernels are wrapped in [`QueryError::Engine`].
+
+use dbx_cpu::SimError;
+use std::fmt;
+
+/// An error raised by the query executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A table was built from an empty column set.
+    EmptyTable,
+    /// A table's columns disagree on the row count.
+    ColumnLengthMismatch {
+        /// The offending column.
+        column: String,
+        /// Row count of the first column.
+        expected: usize,
+        /// Row count of the offending column.
+        got: usize,
+    },
+    /// The predicate references a column that has no secondary index.
+    NoIndex {
+        /// The column the predicate named.
+        column: String,
+    },
+    /// A projection (`SUM`, `ORDER BY`) references an unknown column.
+    NoColumn {
+        /// The column the projection named.
+        column: String,
+    },
+    /// A RID in the input list does not exist in the table.
+    RidOutOfRange {
+        /// The offending row id.
+        rid: u32,
+        /// The table's row count.
+        n_rows: u32,
+    },
+    /// A projection does not fit the target core's local store.
+    ProjectionTooLarge {
+        /// Projected element count.
+        elements: usize,
+        /// The local store's word capacity.
+        cap: usize,
+    },
+    /// The offloaded kernel failed (including unrecovered machine
+    /// faults, surfaced as [`SimError::Fault`]).
+    Engine(SimError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyTable => write!(f, "a table needs at least one column"),
+            QueryError::ColumnLengthMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "column '{column}' length mismatch: expected {expected} rows, got {got}"
+            ),
+            QueryError::NoIndex { column } => write!(f, "no index on column '{column}'"),
+            QueryError::NoColumn { column } => write!(f, "no column '{column}'"),
+            QueryError::RidOutOfRange { rid, n_rows } => {
+                write!(f, "rid {rid} out of range for a table of {n_rows} rows")
+            }
+            QueryError::ProjectionTooLarge { elements, cap } => {
+                write!(
+                    f,
+                    "{elements} projected values exceed the local store ({cap} words)"
+                )
+            }
+            QueryError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for QueryError {
+    fn from(e: SimError) -> Self {
+        QueryError::Engine(e)
+    }
+}

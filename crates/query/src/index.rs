@@ -1,5 +1,6 @@
 //! Tables and secondary indexes producing sorted RID lists.
 
+use crate::error::QueryError;
 use std::collections::BTreeMap;
 
 /// A secondary index: column value → sorted list of row ids.
@@ -54,24 +55,41 @@ impl Table {
     /// Builds a table from named columns (all must have equal length).
     ///
     /// # Panics
-    /// Panics on empty column sets or mismatched lengths — those are
-    /// construction bugs, not data errors.
+    /// Panics on empty column sets or mismatched lengths; loading
+    /// user-supplied data should go through [`Table::try_build`].
     pub fn build(name: &str, columns: &[(&str, Vec<u32>)]) -> Self {
-        assert!(!columns.is_empty(), "a table needs at least one column");
+        match Self::try_build(name, columns) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Table::build`]: reports empty column sets and length
+    /// mismatches as typed [`QueryError`]s instead of panicking.
+    pub fn try_build(name: &str, columns: &[(&str, Vec<u32>)]) -> Result<Self, QueryError> {
+        if columns.is_empty() {
+            return Err(QueryError::EmptyTable);
+        }
         let n_rows = columns[0].1.len();
         let mut cols = BTreeMap::new();
         let mut indexes = BTreeMap::new();
         for (cname, data) in columns {
-            assert_eq!(data.len(), n_rows, "column '{cname}' length mismatch");
-            indexes.insert(cname.to_string(), SecondaryIndex::build(data));
-            cols.insert(cname.to_string(), data.clone());
+            if data.len() != n_rows {
+                return Err(QueryError::ColumnLengthMismatch {
+                    column: (*cname).to_string(),
+                    expected: n_rows,
+                    got: data.len(),
+                });
+            }
+            indexes.insert((*cname).to_string(), SecondaryIndex::build(data));
+            cols.insert((*cname).to_string(), data.clone());
         }
-        Table {
+        Ok(Table {
             name: name.to_string(),
             n_rows: n_rows as u32,
             columns: cols,
             indexes,
-        }
+        })
     }
 
     /// The index for a column.
@@ -127,5 +145,21 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_columns_panic() {
         Table::build("t", &[("a", vec![1]), ("b", vec![1, 2])]);
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let e = Table::try_build("t", &[]).unwrap_err();
+        assert_eq!(e, QueryError::EmptyTable);
+        let e = Table::try_build("t", &[("a", vec![1]), ("b", vec![1, 2])]).unwrap_err();
+        assert_eq!(
+            e,
+            QueryError::ColumnLengthMismatch {
+                column: "b".to_string(),
+                expected: 1,
+                got: 2
+            }
+        );
+        assert!(Table::try_build("t", &[("a", vec![1, 2])]).is_ok());
     }
 }

@@ -25,9 +25,11 @@
 //! ```
 
 pub mod engine;
+pub mod error;
 pub mod index;
 pub mod predicate;
 
 pub use engine::{QueryEngine, QueryOutput, SortedColumn};
+pub use error::QueryError;
 pub use index::{SecondaryIndex, Table};
 pub use predicate::Predicate;

@@ -9,6 +9,7 @@ use crate::tech::Tech;
 use dbx_core::datapath::{ALL_TO_ALL_COMPARATORS, MERGE8_COMPARATORS, SORT4_COMPARATORS};
 use dbx_core::states::{LOAD_BUF_CAP, STORE_FIFO_CAP};
 use dbx_core::ProcModel;
+use dbx_faults::ProtectionKind;
 
 /// One sized logic component.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,40 @@ const GE_PER_STATE_BIT: f64 = 28.0;
 /// GE per 32-bit output lane of an emit/shuffle network, per input it can
 /// select from.
 const GE_PER_EMIT_LANE_INPUT: f64 = 1540.0;
+
+// ---- local-store protection (parity / SECDED ECC) ----
+
+/// GE per protected port for word parity: one 32-bit XOR-reduce tree per
+/// direction plus the stored-vs-computed compare on reads.
+const GE_PARITY_PER_PORT: f64 = 180.0;
+/// GE per protected port for Hamming SECDED(39,32): seven overlapping
+/// parity trees on the write side, syndrome computation plus the 39-bit
+/// single-bit correction mux on the read side.
+const GE_SECDED_PER_PORT: f64 = 1_650.0;
+
+/// The encoder/decoder logic a protected local store adds (`None` when
+/// the configuration has no local stores or no protection). The dual-port
+/// data arrays need codecs on every port of every LSU's memory.
+fn protection_component(model: ProcModel, protection: ProtectionKind) -> Option<Component> {
+    let cfg = model.cpu_config();
+    if cfg.dmem_kb_per_lsu == 0 {
+        return None;
+    }
+    let ports = 2.0 * cfg.n_lsus as f64;
+    match protection {
+        ProtectionKind::None => None,
+        ProtectionKind::Parity => Some(Component {
+            name: "Mem protection: parity",
+            ge: ports * GE_PARITY_PER_PORT,
+            activity: 1.2,
+        }),
+        ProtectionKind::Secded => Some(Component {
+            name: "Mem protection: SECDED",
+            ge: ports * GE_SECDED_PER_PORT,
+            activity: 1.2,
+        }),
+    }
+}
 
 /// Counts the extension's architectural state bits from the real datapath
 /// constants (two load buffers, two word windows with flags, the result
@@ -184,8 +219,10 @@ pub fn components(model: ProcModel) -> Vec<Component> {
     }
 }
 
-/// Memory macro area in mm² for a configuration.
-fn mem_mm2(model: ProcModel, tech: &Tech) -> f64 {
+/// Memory macro area in mm² for a configuration. Protection widens the
+/// data arrays by the check bits (33/32 for parity, 39/32 for SECDED);
+/// the single-port instruction memory stays unprotected.
+fn mem_mm2(model: ProcModel, tech: &Tech, protection: ProtectionKind) -> f64 {
     let cfg = model.cpu_config();
     if cfg.dmem_kb_per_lsu == 0 {
         return 0.0; // the baseline's cache arrays live in its logic budget
@@ -198,19 +235,28 @@ fn mem_mm2(model: ProcModel, tech: &Tech) -> f64 {
     } else {
         tech.sram_dp_um2_per_kb
     };
-    let dmem = cfg.total_dmem_kb() as f64 * per_kb;
+    let dmem = cfg.total_dmem_kb() as f64 * per_kb * protection.storage_factor();
     (imem + dmem) / 1.0e6
 }
 
-/// Full area report for a configuration at a node.
+/// Full area report for a configuration at a node (unprotected local
+/// stores — the paper's Table 3 design point).
 pub fn area_report(model: ProcModel, tech: Tech) -> AreaReport {
-    let components = components(model);
+    area_report_with(model, tech, ProtectionKind::None)
+}
+
+/// [`area_report`] with protected local stores: the data arrays grow by
+/// the check-bit storage factor and the encoder/decoder logic appears as
+/// an extra component.
+pub fn area_report_with(model: ProcModel, tech: Tech, protection: ProtectionKind) -> AreaReport {
+    let mut components = components(model);
+    components.extend(protection_component(model, protection));
     let logic_um2: f64 = components.iter().map(|c| c.ge * tech.ge_um2).sum();
     AreaReport {
         model,
         tech,
         logic_mm2: logic_um2 / 1.0e6,
-        mem_mm2: mem_mm2(model, &tech),
+        mem_mm2: mem_mm2(model, &tech, protection),
         components,
     }
 }
@@ -335,6 +381,28 @@ mod tests {
         for (a, b) in one.iter().zip(two.iter()) {
             assert!(b.ge >= a.ge, "{} shrank with a second LSU", a.name);
         }
+    }
+
+    #[test]
+    fn protection_surcharges_are_modest_and_ordered() {
+        let t = Tech::tsmc65lp();
+        let m = ProcModel::Dba2LsuEis { partial: true };
+        let base = area_report(m, t).total_mm2();
+        let none = area_report_with(m, t, ProtectionKind::None).total_mm2();
+        let parity = area_report_with(m, t, ProtectionKind::Parity).total_mm2();
+        let secded = area_report_with(m, t, ProtectionKind::Secded).total_mm2();
+        assert_eq!(none, base, "no protection must not move Table 3");
+        assert!(base < parity && parity < secded);
+        let p = (parity - base) / base;
+        let s = (secded - base) / base;
+        assert!((0.003..0.06).contains(&p), "parity surcharge {p:.4}");
+        assert!((0.03..0.20).contains(&s), "SECDED surcharge {s:.4}");
+        // The baseline has no local stores to protect.
+        let mini = area_report_with(ProcModel::Mini108, t, ProtectionKind::Secded);
+        assert_eq!(
+            mini.total_mm2(),
+            area_report(ProcModel::Mini108, t).total_mm2()
+        );
     }
 
     #[test]

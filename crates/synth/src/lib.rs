@@ -29,8 +29,8 @@ pub mod tech;
 pub mod timing;
 pub mod width;
 
-pub use area::{area_report, table4_breakdown, AreaReport, Component};
-pub use power::{power_from_activity, power_report, PowerReport};
+pub use area::{area_report, area_report_with, table4_breakdown, AreaReport, Component};
+pub use power::{power_from_activity, power_report, power_report_with, PowerReport};
 pub use report::{synthesis_row, SynthesisRow};
 pub use tech::Tech;
 pub use timing::fmax_mhz;

@@ -8,11 +8,12 @@
 //! scaled by the measured per-cycle event rates, mirroring the
 //! activity-dump step.
 
-use crate::area::{area_report, AreaReport};
+use crate::area::{area_report, area_report_with, AreaReport};
 use crate::tech::Tech;
 use crate::timing::fmax_mhz;
 use dbx_core::ProcModel;
 use dbx_cpu::stats::RunStats;
+use dbx_faults::ProtectionKind;
 
 /// Power estimate for a configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +50,16 @@ impl PowerReport {
 }
 
 fn dynamic_power(area: &AreaReport, tech: &Tech, f_mhz: f64, activity_scale: f64) -> PowerReport {
+    dynamic_power_with(area, tech, f_mhz, activity_scale, ProtectionKind::None)
+}
+
+fn dynamic_power_with(
+    area: &AreaReport,
+    tech: &Tech,
+    f_mhz: f64,
+    activity_scale: f64,
+    protection: ProtectionKind,
+) -> PowerReport {
     let kge_eff: f64 = area
         .components
         .iter()
@@ -56,7 +67,9 @@ fn dynamic_power(area: &AreaReport, tech: &Tech, f_mhz: f64, activity_scale: f64
         .sum();
     let mem_kb = {
         let cfg = area.model.cpu_config();
-        (cfg.total_dmem_kb() + cfg.imem_kb) as f64
+        // Check bits widen the data arrays and burn proportional access
+        // energy; the instruction memory stays unprotected.
+        cfg.total_dmem_kb() as f64 * protection.storage_factor() + cfg.imem_kb as f64
     };
     PowerReport {
         model: area.model,
@@ -78,6 +91,16 @@ pub fn power_report(model: ProcModel, tech: Tech) -> PowerReport {
     let area = area_report(model, tech);
     let f = fmax_mhz(model, &tech);
     dynamic_power(&area, &tech, f, 1.0)
+}
+
+/// [`power_report`] with protected local stores: the codec logic and the
+/// widened data arrays both burn power. The SECDED read-cycle surcharge
+/// shows up in a run's *cycles* (the mem system charges it per access),
+/// so energy-per-element comparisons see both effects.
+pub fn power_report_with(model: ProcModel, tech: Tech, protection: ProtectionKind) -> PowerReport {
+    let area = area_report_with(model, tech, protection);
+    let f = fmax_mhz(model, &tech);
+    dynamic_power_with(&area, &tech, f, 1.0, protection)
 }
 
 /// Power with measured switching activity from a simulation run.
@@ -174,6 +197,20 @@ mod tests {
         // The EIS core loop keeps the datapaths almost fully busy.
         assert!(p.total_mw() > 0.5 * nominal.total_mw());
         assert!(p.total_mw() < 1.6 * nominal.total_mw());
+    }
+
+    #[test]
+    fn protected_memories_cost_power_but_not_the_table3_numbers() {
+        let t = Tech::tsmc65lp();
+        let m = ProcModel::Dba2LsuEis { partial: true };
+        let base = power_report(m, t).total_mw();
+        let none = power_report_with(m, t, ProtectionKind::None).total_mw();
+        let parity = power_report_with(m, t, ProtectionKind::Parity).total_mw();
+        let secded = power_report_with(m, t, ProtectionKind::Secded).total_mw();
+        assert_eq!(none, base, "no protection must not move Table 3");
+        assert!(base < parity && parity < secded);
+        let s = (secded - base) / base;
+        assert!((0.005..0.15).contains(&s), "SECDED power surcharge {s:.4}");
     }
 
     #[test]

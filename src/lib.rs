@@ -45,6 +45,7 @@ pub use dbx_analysis as analysis;
 pub use dbx_asm as asm;
 pub use dbx_core as dbisa;
 pub use dbx_cpu as cpu;
+pub use dbx_faults as faults;
 pub use dbx_harness as harness;
 pub use dbx_mem as mem;
 pub use dbx_query as query;

@@ -1,0 +1,220 @@
+//! End-to-end fault injection and resilience across the stack: seeded
+//! soft-error campaigns against the kernel runners, with the protection
+//! schemes and recovery policies that must contain them.
+//!
+//! The contract under test, per scheme:
+//! * SECDED + correctable faults → bit-identical results, no trap;
+//! * SECDED + uncorrectable faults → a *precise* machine fault, never
+//!   wrong data;
+//! * parity + retry → the fault is detected and the re-run reproduces
+//!   the fault-free result;
+//! * no protection → the escape counter flags consumed corruption.
+
+use dbasip::cpu::{FaultCause, SimError, IMEM_BASE};
+use dbasip::dbisa::{
+    run_set_op, run_set_op_with, run_sort, run_sort_with, ProcModel, RecoveryPolicy, RunOptions,
+    SetOpKind,
+};
+use dbasip::faults::{FaultPlan, FaultTarget, ProtectionKind};
+use dbasip::workloads::{sorted_set, Distribution};
+use proptest::prelude::*;
+
+const MODEL: ProcModel = ProcModel::Dba2LsuEis { partial: true };
+
+const ALL_KINDS: [SetOpKind; 3] = [
+    SetOpKind::Intersect,
+    SetOpKind::Union,
+    SetOpKind::Difference,
+];
+
+fn secded_opts(plan: FaultPlan) -> RunOptions {
+    RunOptions {
+        protection: Some(ProtectionKind::Secded),
+        fault_plan: Some(plan),
+        policy: RecoveryPolicy::FailFast,
+        watchdog: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A correctable-only campaign (single-bit flips on *distinct* words)
+    /// under SECDED must leave every set operation and the sort
+    /// bit-identical to the fault-free run, with nothing escaping.
+    #[test]
+    fn correctable_faults_never_change_results(
+        seed in 0u64..1_000,
+        words in proptest::collection::btree_set(0u64..2000, 1..4usize),
+        bit in 0u8..32,
+        cycle in 0u64..400,
+    ) {
+        let a = sorted_set(400, Distribution::Uniform, seed.wrapping_add(1));
+        let b = sorted_set(348, Distribution::Uniform, seed ^ 0x5a5a);
+        // Distinct words guarantee no word accumulates two flips, which
+        // would exceed SECDED's correction capability.
+        let mut plan = FaultPlan::new();
+        for (i, &word) in words.iter().enumerate() {
+            plan = plan.with_bit_flip(
+                FaultTarget::Dmem((word % 2) as usize),
+                cycle + 37 * i as u64,
+                word,
+                (bit + i as u8) % 32,
+            );
+        }
+        for kind in ALL_KINDS {
+            let clean = run_set_op(MODEL, kind, &a, &b).unwrap();
+            let run = run_set_op_with(MODEL, kind, &a, &b, &secded_opts(plan.clone())).unwrap();
+            prop_assert_eq!(&run.result, &clean.result, "{:?} diverged", kind);
+            prop_assert_eq!(run.faults.escaped, 0);
+            prop_assert_eq!(run.retries, 0);
+        }
+        let clean = run_sort(MODEL, &a).unwrap();
+        let run = run_sort_with(MODEL, &a, &secded_opts(plan)).unwrap();
+        prop_assert_eq!(&run.result, &clean.result, "sort diverged");
+        prop_assert_eq!(run.faults.escaped, 0);
+    }
+}
+
+#[test]
+fn double_flip_under_secded_is_a_precise_trap_never_wrong_data() {
+    let a: Vec<u32> = (0..256).map(|i| 2 * i).collect();
+    let b: Vec<u32> = (0..256).map(|i| 3 * i).collect();
+    // Two flips in the same word exceed SECDED's single-bit correction.
+    let plan = FaultPlan::new()
+        .with_bit_flip(FaultTarget::Dmem(0), 0, 17, 3)
+        .with_bit_flip(FaultTarget::Dmem(0), 0, 17, 9);
+    let e = run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &secded_opts(plan)).unwrap_err();
+    match e {
+        SimError::Fault(mf) => {
+            assert!(
+                matches!(mf.cause, FaultCause::UncorrectableEcc { mem: "dmem0", .. }),
+                "{mf:?}"
+            );
+            assert!(mf.pc >= IMEM_BASE, "precise trap pc {:#x}", mf.pc);
+            assert!(mf.cycle > 0);
+        }
+        other => panic!("expected a machine fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn parity_plus_retry_reproduces_the_fault_free_result() {
+    let a: Vec<u32> = (0..300).map(|i| 2 * i).collect();
+    let b: Vec<u32> = (0..300).map(|i| 3 * i).collect();
+    let clean = run_set_op(MODEL, SetOpKind::Union, &a, &b).unwrap();
+    let opts = RunOptions {
+        protection: Some(ProtectionKind::Parity),
+        fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 21, 12)),
+        policy: RecoveryPolicy::Retry { max_retries: 2 },
+        watchdog: None,
+    };
+    let run = run_set_op_with(MODEL, SetOpKind::Union, &a, &b, &opts).unwrap();
+    assert_eq!(run.result, clean.result);
+    assert!(
+        run.retries >= 1,
+        "parity can only detect; a re-run is needed"
+    );
+    assert!(run.faults.detected >= 1);
+    assert_eq!(run.faults.escaped, 0);
+    let mf = run.recovered_fault.expect("the survived fault is recorded");
+    assert!(matches!(
+        mf.cause,
+        FaultCause::ParityError { mem: "dmem0", .. }
+    ));
+}
+
+#[test]
+fn unprotected_memories_flag_consumed_corruption() {
+    let a: Vec<u32> = (0..300).map(|i| 2 * i).collect();
+    let b: Vec<u32> = (0..300).map(|i| 3 * i).collect();
+    let opts = RunOptions {
+        protection: Some(ProtectionKind::None),
+        fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 18, 0)),
+        policy: RecoveryPolicy::FailFast,
+        watchdog: None,
+    };
+    // No protection: the run completes "successfully" — only the escape
+    // counter tells the caller the result consumed corrupted data.
+    let run = run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &opts).unwrap();
+    assert!(run.faults.escaped >= 1);
+    assert_eq!(run.faults.corrected, 0);
+    assert_eq!(run.faults.detected, 0);
+}
+
+/// The CI fault matrix: a seeded campaign (grid point selected with
+/// `DBX_FAULT_SEED`) against every local-store configuration, under
+/// parity + degrade-to-scalar. Whatever the campaign hits, the answer
+/// must equal the fault-free reference and nothing may escape.
+#[test]
+fn seeded_matrix_across_models_recovers_everywhere() {
+    let base: u64 = std::env::var("DBX_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let a = sorted_set(300, Distribution::Uniform, 5);
+    let b = sorted_set(300, Distribution::Clustered { run_len: 4 }, 6);
+    let models = [
+        ProcModel::Dba1Lsu,
+        ProcModel::Dba2Lsu,
+        ProcModel::Dba1LsuEis { partial: true },
+        ProcModel::Dba2LsuEis { partial: true },
+    ];
+    for (mi, model) in models.into_iter().enumerate() {
+        let clean = run_set_op(model, SetOpKind::Intersect, &a, &b).unwrap();
+        for round in 0..3u64 {
+            let seed = base ^ (17 * mi as u64 + round);
+            let plan =
+                FaultPlan::seeded_dmem_flips(seed, 4, model.cpu_config().n_lsus, 4096, 5_000);
+            let opts = RunOptions {
+                protection: Some(ProtectionKind::Parity),
+                fault_plan: Some(plan),
+                policy: RecoveryPolicy::DegradeToScalar { max_retries: 1 },
+                watchdog: None,
+            };
+            let run = run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
+            assert_eq!(
+                run.result,
+                clean.result,
+                "{} seed {seed} diverged",
+                model.name()
+            );
+            assert_eq!(run.faults.escaped, 0, "{} seed {seed}", model.name());
+        }
+    }
+}
+
+#[test]
+fn seeded_campaigns_are_deterministic_end_to_end() {
+    // Override the campaign seed with DBX_FAULT_SEED=<n> to explore.
+    let seed: u64 = std::env::var("DBX_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let p1 = FaultPlan::seeded_dmem_flips(seed, 8, 2, 4096, 10_000);
+    let p2 = FaultPlan::seeded_dmem_flips(seed, 8, 2, 4096, 10_000);
+    assert_eq!(p1, p2, "same seed, same campaign");
+    assert_ne!(
+        p1,
+        FaultPlan::seeded_dmem_flips(seed ^ 1, 8, 2, 4096, 10_000),
+        "different seed, different campaign"
+    );
+
+    let a = sorted_set(500, Distribution::Clustered { run_len: 8 }, 7);
+    let b = sorted_set(500, Distribution::Uniform, 9);
+    let opts = RunOptions {
+        protection: Some(ProtectionKind::Parity),
+        fault_plan: Some(p1),
+        policy: RecoveryPolicy::DegradeToScalar { max_retries: 1 },
+        watchdog: None,
+    };
+    let r1 = run_set_op_with(MODEL, SetOpKind::Difference, &a, &b, &opts).unwrap();
+    let r2 = run_set_op_with(MODEL, SetOpKind::Difference, &a, &b, &opts).unwrap();
+    assert_eq!(r1.result, r2.result);
+    assert_eq!(r1.retries, r2.retries);
+    assert_eq!(r1.faults, r2.faults);
+    assert_eq!(r1.cycles, r2.cycles, "replayable to the cycle");
+    // Whatever the campaign did, the answer is the fault-free one.
+    let clean = run_set_op(MODEL, SetOpKind::Difference, &a, &b).unwrap();
+    assert_eq!(r1.result, clean.result);
+}
