@@ -34,6 +34,15 @@ impl SetOpKind {
             SetOpKind::Difference => "diff",
         }
     }
+
+    /// Full kernel name, used as the span / benchmark-cell key.
+    pub fn name(self) -> &'static str {
+        match self {
+            SetOpKind::Intersect => "intersect",
+            SetOpKind::Union => "union",
+            SetOpKind::Difference => "difference",
+        }
+    }
 }
 
 /// Number of comparators in the all-to-all array (4x4) — structural

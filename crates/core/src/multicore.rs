@@ -19,6 +19,7 @@ use crate::datapath::SetOpKind;
 use crate::runner::{run_set_op_with, RunOptions};
 use dbx_cpu::SimError;
 use dbx_faults::FaultCounters;
+use dbx_observe::{ArgValue, TrackId};
 
 /// Result of a partitioned multi-core run.
 #[derive(Debug, Clone)]
@@ -228,6 +229,9 @@ pub fn multicore_set_op_with(
             } else {
                 None
             },
+            // Each logical core gets its own trace track so the
+            // shared-nothing board renders as parallel lanes.
+            observer: opts.observer.on_track(TrackId::Core(idx as u32)),
             ..opts.clone()
         };
         let r = run_partition_opts(model, kind, &a[ra.clone()], &b[rb.clone()], &core_opts)?;
@@ -238,7 +242,19 @@ pub fn multicore_set_op_with(
         faults.merge(&r.faults);
     }
     let makespan_cycles = per_core_cycles.iter().copied().max().unwrap_or(0);
-    let total_cycles = per_core_cycles.iter().sum();
+    let total_cycles: u64 = per_core_cycles.iter().sum();
+    if opts.observer.is_enabled() {
+        let host = opts.observer.on_track(TrackId::Host);
+        host.place("multicore", "parallel", makespan_cycles, || {
+            vec![
+                ("kind", ArgValue::from(kind.name())),
+                ("model", ArgValue::from(model.name())),
+                ("cores", (per_core_cycles.len() as u64).into()),
+                ("total_cycles", total_cycles.into()),
+                ("retries", u64::from(retries).into()),
+            ]
+        });
+    }
     Ok(MultiCoreRun {
         result,
         makespan_cycles,
@@ -359,6 +375,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 23, 9)),
             policy: RecoveryPolicy::Retry { max_retries: 2 },
             watchdog: None,
+            ..Default::default()
         };
         let mc = multicore_set_op_with(model, SetOpKind::Intersect, &a, &b, 4, &opts).unwrap();
         assert_eq!(mc.result, clean.result);

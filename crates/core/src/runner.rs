@@ -24,9 +24,14 @@ use crate::kernels::{hwset, hwsort, scalar, SetLayout, SortLayout};
 use crate::ops::DbExtension;
 use crate::states::SENTINEL;
 use dbx_cpu::ext::Extension;
+use dbx_cpu::observe::emit_kernel_run;
 use dbx_cpu::program::Program;
-use dbx_cpu::{MachineFault, Processor, RunStats, SimError, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
+use dbx_cpu::{
+    MachineFault, Processor, ProfileSnapshot, RunStats, SimError, DMEM0_BASE, DMEM1_BASE,
+    SYSMEM_BASE,
+};
 use dbx_faults::{FaultCounters, FaultPlan, ProtectionKind};
+use dbx_observe::{ArgValue, Observer};
 
 /// Cycle budget for a single kernel run — generous; kernels that exceed it
 /// are broken, not slow.
@@ -111,6 +116,12 @@ pub struct RunOptions {
     /// roughly an order of magnitude slower, so the accelerated budget
     /// would trip spuriously.
     pub watchdog: Option<u64>,
+    /// Observability sink. Disabled by default; when enabled, every
+    /// attempt emits a cycle-domain span (successful attempts as `kernel`
+    /// spans with profile-region children, faulted attempts as `fault`
+    /// spans) plus the run's event counters. The observer never touches
+    /// the simulated machine, so enabling it cannot change cycle counts.
+    pub observer: Observer,
 }
 
 /// Outcome of a simulated kernel run.
@@ -132,6 +143,10 @@ pub struct KernelRun {
     pub faults: FaultCounters,
     /// The last machine fault a retry or degrade recovered from.
     pub recovered_fault: Option<MachineFault>,
+    /// Cycle-attribution profile of the successful attempt. Present only
+    /// when the run was observed ([`RunOptions::observer`]), since that is
+    /// when profiling is switched on.
+    pub profile: Option<ProfileSnapshot>,
 }
 
 impl KernelRun {
@@ -184,6 +199,63 @@ pub fn build_processor_with(
         p.attach_extension(Box::new(DbExtension::new(wiring)));
     }
     Ok(p)
+}
+
+/// Emits the kernel span (with profile-region children when profiling
+/// was on) and the run's event counters for one successful attempt.
+#[allow(clippy::too_many_arguments)]
+fn emit_run_observation(
+    obs: &Observer,
+    kernel: &str,
+    model: ProcModel,
+    snap: Option<&ProfileSnapshot>,
+    stats: &RunStats,
+    elements: u64,
+    rows_out: u64,
+    attempt: u32,
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    emit_kernel_run(
+        obs,
+        kernel,
+        stats,
+        snap,
+        &[
+            ("model", ArgValue::from(model.name())),
+            ("elements", elements.into()),
+            ("rows_out", rows_out.into()),
+            ("attempt", u64::from(attempt).into()),
+        ],
+    );
+}
+
+/// Emits a `fault`-category span for an attempt a machine fault cut
+/// short, so retries and degrades stay visible on the timeline.
+fn emit_fault_observation(
+    obs: &Observer,
+    kernel: &str,
+    model: ProcModel,
+    p: &Processor,
+    mf: &MachineFault,
+    attempt: u32,
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.place(kernel, "fault", p.cycles, || {
+        vec![
+            ("model", ArgValue::from(model.name())),
+            ("cause", format!("{:?}", mf.cause).into()),
+            ("attempt", u64::from(attempt).into()),
+        ]
+    });
+    for (name, value) in p.counters.named() {
+        if value != 0 {
+            obs.counter(name, value as f64);
+        }
+    }
 }
 
 /// The trusted fallback model for [`RecoveryPolicy::DegradeToScalar`]:
@@ -286,6 +358,9 @@ pub fn run_set_op_with(
         // Each attempt starts from clean hardware and re-placed inputs —
         // the checkpoint here is the kernel boundary itself.
         let mut p = build_processor_with(model, opts.protection)?;
+        if opts.observer.is_enabled() {
+            p.enable_profiling();
+        }
         p.load_program(program.clone())?;
         p.mem.poke_words(layout.a_base, a)?;
         p.mem.poke_words(layout.b_base, b)?;
@@ -304,6 +379,20 @@ pub fn run_set_op_with(
                 };
                 let result = p.mem.peek_words(layout.c_base, out_len)?;
                 faults.merge(&p.fault_counters());
+                let profile = p
+                    .profile()
+                    .zip(p.program())
+                    .map(|(pr, prog)| pr.snapshot(prog));
+                emit_run_observation(
+                    &opts.observer,
+                    kind.name(),
+                    model,
+                    profile.as_ref(),
+                    &stats,
+                    (a.len() + b.len()) as u64,
+                    result.len() as u64,
+                    attempt,
+                );
                 return Ok(KernelRun {
                     result,
                     cycles: stats.cycles,
@@ -313,10 +402,12 @@ pub fn run_set_op_with(
                     degraded: false,
                     faults,
                     recovered_fault: recovered,
+                    profile,
                 });
             }
             Err(SimError::Fault(mf)) => {
                 faults.merge(&p.fault_counters());
+                emit_fault_observation(&opts.observer, kind.name(), model, &p, &mf, attempt);
                 recovered = Some(mf.clone());
                 if attempt < opts.policy.max_retries() {
                     attempt += 1;
@@ -325,6 +416,7 @@ pub fn run_set_op_with(
                 if matches!(opts.policy, RecoveryPolicy::DegradeToScalar { .. }) {
                     let fallback = RunOptions {
                         protection: opts.protection,
+                        observer: opts.observer.clone(),
                         ..RunOptions::default()
                     };
                     let mut run = run_set_op_with(scalar_fallback(model), kind, a, b, &fallback)?;
@@ -383,6 +475,7 @@ pub fn run_sort_with(
             degraded: false,
             faults: FaultCounters::default(),
             recovered_fault: None,
+            profile: None,
         });
     }
     let n = padded.len() as u32;
@@ -419,6 +512,9 @@ pub fn run_sort_with(
     let mut recovered: Option<MachineFault> = None;
     loop {
         let mut p = build_processor_with(exec_model, opts.protection)?;
+        if opts.observer.is_enabled() {
+            p.enable_profiling();
+        }
         p.load_program(program.clone())?;
         p.mem.poke_words(src, &padded)?;
         if attempt == 0 {
@@ -434,6 +530,20 @@ pub fn run_sort_with(
                     .peek_words(if in_dst { dst } else { src }, n as usize)?;
                 result.truncate(data.len()); // strip sentinel padding
                 faults.merge(&p.fault_counters());
+                let profile = p
+                    .profile()
+                    .zip(p.program())
+                    .map(|(pr, prog)| pr.snapshot(prog));
+                emit_run_observation(
+                    &opts.observer,
+                    "sort",
+                    model,
+                    profile.as_ref(),
+                    &stats,
+                    data.len() as u64,
+                    result.len() as u64,
+                    attempt,
+                );
                 return Ok(KernelRun {
                     result,
                     cycles: stats.cycles,
@@ -443,10 +553,12 @@ pub fn run_sort_with(
                     degraded: false,
                     faults,
                     recovered_fault: recovered,
+                    profile,
                 });
             }
             Err(SimError::Fault(mf)) => {
                 faults.merge(&p.fault_counters());
+                emit_fault_observation(&opts.observer, "sort", model, &p, &mf, attempt);
                 recovered = Some(mf.clone());
                 if attempt < opts.policy.max_retries() {
                     attempt += 1;
@@ -455,6 +567,7 @@ pub fn run_sort_with(
                 if matches!(opts.policy, RecoveryPolicy::DegradeToScalar { .. }) {
                     let fallback = RunOptions {
                         protection: opts.protection,
+                        observer: opts.observer.clone(),
                         ..RunOptions::default()
                     };
                     let mut run = run_sort_with(scalar_fallback(model), data, &fallback)?;
@@ -592,6 +705,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5)),
             policy: RecoveryPolicy::Retry { max_retries: 2 },
             watchdog: None,
+            ..Default::default()
         };
         let r = run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
         assert_eq!(r.result, clean.result, "retry reproduces the clean result");
@@ -619,6 +733,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5)),
             policy: RecoveryPolicy::FailFast,
             watchdog: None,
+            ..Default::default()
         };
         let r = run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
         assert_eq!(r.result, clean.result);
@@ -637,6 +752,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5)),
             policy: RecoveryPolicy::FailFast,
             watchdog: None,
+            ..Default::default()
         };
         let e = run_set_op_with(
             ProcModel::Dba2LsuEis { partial: true },
@@ -662,6 +778,7 @@ mod tests {
             fault_plan: None,
             policy: RecoveryPolicy::DegradeToScalar { max_retries: 1 },
             watchdog: Some(10),
+            ..Default::default()
         };
         let r = run_set_op_with(model, SetOpKind::Union, &a, &b, &opts).unwrap();
         assert_eq!(r.result, clean.result);
@@ -684,6 +801,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 41, 11)),
             policy: RecoveryPolicy::Retry { max_retries: 2 },
             watchdog: None,
+            ..Default::default()
         };
         let r = run_sort_with(ProcModel::Dba1LsuEis { partial: true }, &data, &opts).unwrap();
         assert_eq!(r.result, expect);

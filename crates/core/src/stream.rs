@@ -27,6 +27,7 @@ use crate::runner::{build_processor_with, run_set_op, scalar_fallback, RecoveryP
 use dbx_cpu::{Processor, SimError, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
 use dbx_faults::{FaultCounters, FaultPlan, ProtectionKind};
 use dbx_mem::prefetch::{Direction, DmacProgram, FsmStep, TransferDescriptor};
+use dbx_observe::{Observer, TrackId};
 
 /// Streaming configuration.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +62,9 @@ pub struct StreamOptions {
     pub policy: RecoveryPolicy,
     /// Watchdog cycle budget per chunk kernel run.
     pub watchdog_per_chunk: Option<u64>,
+    /// Observability sink: per-chunk `kernel` spans on the core track,
+    /// DMA-wait spans mirrored onto the DMAC track, and stream counters.
+    pub observer: Observer,
 }
 
 /// Outcome of a streamed set operation.
@@ -169,11 +173,12 @@ pub fn stream_set_op_with(
         plans.push((ra, rb));
     }
 
+    let obs = &opts.observer;
     // Startup: prefetch chunk 0 and wait for it (unavoidable cold start).
     if let Some((ra, rb)) = plans.first() {
         let prog = prefetch_program(a_base, b_base, ra, rb, 0);
-        dmac_load(&mut p, prog, &mut run)?;
-        drain_dmac(&mut p, &mut run)?;
+        dmac_load(&mut p, prog, &mut run, obs)?;
+        drain_dmac(&mut p, &mut run, obs)?;
     }
 
     // Pipeline: while the kernel processes chunk i (buffers i % 2), one
@@ -199,15 +204,18 @@ pub fn stream_set_op_with(
             }
         }
         steps.push(FsmStep::Halt);
-        dmac_load(&mut p, DmacProgram { steps, descriptors }, &mut run)?;
+        dmac_load(&mut p, DmacProgram { steps, descriptors }, &mut run, obs)?;
 
         let (ra, rb) = &plans[i];
         let mut attempt = 0u32;
         let emitted = loop {
-            match run_chunk(&mut p, ra, rb, i % 2, &mut run) {
+            match run_chunk(&mut p, ra, rb, i, &mut run, obs) {
                 Ok(v) => break v,
                 Err(e) if is_survivable(&e) => {
                     run.faults.merge(&p.fault_counters());
+                    obs.place(&format!("chunk{i}"), "fault", p.cycles, || {
+                        vec![("error", format!("{e}").into())]
+                    });
                     if matches!(opts.policy, RecoveryPolicy::FailFast) {
                         return Err(e);
                     }
@@ -219,7 +227,9 @@ pub fn stream_set_op_with(
                         // Rewind to the chunk checkpoint: re-issue the
                         // (idempotent) in-flight write-back and the
                         // prefetches of this chunk and the next.
-                        replay_checkpoint(&mut p, &mut run, a_base, b_base, &plans, i, pending_wb)?;
+                        replay_checkpoint(
+                            &mut p, &mut run, a_base, b_base, &plans, i, pending_wb, obs,
+                        )?;
                         continue;
                     }
                     if matches!(opts.policy, RecoveryPolicy::DegradeToScalar { .. }) {
@@ -234,8 +244,16 @@ pub fn stream_set_op_with(
                         run.degraded_chunks += 1;
                         run.kernel_cycles += kr.cycles;
                         run.total_cycles += kr.cycles;
+                        obs.place(&format!("chunk{i}"), "kernel", kr.cycles, || {
+                            vec![
+                                ("degraded", "true".into()),
+                                ("rows_out", kr.result.len().into()),
+                            ]
+                        });
                         // Re-arm the DMA pipeline for the following chunk.
-                        replay_checkpoint(&mut p, &mut run, a_base, b_base, &plans, i, pending_wb)?;
+                        replay_checkpoint(
+                            &mut p, &mut run, a_base, b_base, &plans, i, pending_wb, obs,
+                        )?;
                         // Stage the scalar result through the chunk's C
                         // slot so the write-back path stays uniform.
                         p.mem.poke_words(C_BUF[i % 2], &kr.result)?;
@@ -266,13 +284,22 @@ pub fn stream_set_op_with(
             steps: vec![FsmStep::Transfer { desc: 0 }, FsmStep::Halt],
             descriptors: vec![d],
         };
-        dmac_load(&mut p, prog, &mut run)?;
+        dmac_load(&mut p, prog, &mut run, obs)?;
     }
-    drain_dmac(&mut p, &mut run)?;
+    drain_dmac(&mut p, &mut run, obs)?;
     if let Some(d) = p.mem.dmac.as_ref() {
         run.bytes_streamed = d.bytes_moved;
     }
     run.faults.merge(&p.fault_counters());
+    if obs.is_enabled() {
+        obs.counter("bytes_streamed", run.bytes_streamed as f64);
+        obs.counter("chunks", run.chunks as f64);
+        obs.counter("dma_stall_cycles", run.dma_stall_cycles as f64);
+        obs.counter("faults.injected", run.faults.injected as f64);
+        obs.counter("faults.corrected", run.faults.corrected as f64);
+        obs.counter("faults.detected", run.faults.detected as f64);
+        obs.counter("faults.escaped", run.faults.escaped as f64);
+    }
     Ok(run)
 }
 
@@ -291,6 +318,7 @@ fn is_survivable(e: &SimError) -> bool {
 /// in-flight write-back of chunk `i-1` (idempotent — the C slot still
 /// holds its data) and the prefetches of chunks `i` and `i+1`, then waits
 /// for all of it (counted as DMA stall).
+#[allow(clippy::too_many_arguments)]
 fn replay_checkpoint(
     p: &mut Processor,
     run: &mut StreamRun,
@@ -299,6 +327,7 @@ fn replay_checkpoint(
     plans: &[(std::ops::Range<usize>, std::ops::Range<usize>)],
     i: usize,
     pending_wb: Option<TransferDescriptor>,
+    obs: &Observer,
 ) -> Result<(), SimError> {
     let mut steps = Vec::new();
     let mut descriptors = Vec::new();
@@ -318,8 +347,8 @@ fn replay_checkpoint(
         }
     }
     steps.push(FsmStep::Halt);
-    dmac_load(p, DmacProgram { steps, descriptors }, run)?;
-    drain_dmac(p, run)
+    dmac_load(p, DmacProgram { steps, descriptors }, run, obs)?;
+    drain_dmac(p, run, obs)
 }
 
 fn align16(x: u32) -> u32 {
@@ -385,8 +414,13 @@ fn prefetch_program(
 /// Loads a DMAC program, first waiting out any still-running transfer
 /// (the wait is counted as DMA stall — serialization double buffering is
 /// supposed to avoid).
-fn dmac_load(p: &mut Processor, prog: DmacProgram, run: &mut StreamRun) -> Result<(), SimError> {
-    drain_dmac(p, run)?;
+fn dmac_load(
+    p: &mut Processor,
+    prog: DmacProgram,
+    run: &mut StreamRun,
+    obs: &Observer,
+) -> Result<(), SimError> {
+    drain_dmac(p, run, obs)?;
     let d = p
         .mem
         .dmac
@@ -396,19 +430,26 @@ fn dmac_load(p: &mut Processor, prog: DmacProgram, run: &mut StreamRun) -> Resul
     Ok(())
 }
 
-fn drain_dmac(p: &mut Processor, run: &mut StreamRun) -> Result<(), SimError> {
-    let mut guard = 0u64;
+fn drain_dmac(p: &mut Processor, run: &mut StreamRun, obs: &Observer) -> Result<(), SimError> {
+    let mut waited = 0u64;
     while p.mem.dmac.as_ref().is_some_and(|d| !d.is_idle()) {
         p.mem.begin_cycle();
         p.mem.tick_prefetcher()?;
         run.total_cycles += 1;
         run.dma_stall_cycles += 1;
-        guard += 1;
-        if guard > 100_000_000 {
+        waited += 1;
+        if waited > 100_000_000 {
             return Err(SimError::BadProgram(
                 "prefetcher never went idle".to_string(),
             ));
         }
+    }
+    if waited > 0 {
+        // The core-visible stall, mirrored onto the DMAC track at the
+        // same cycle interval so the trace shows who the core waited on.
+        let start = obs.place("dma.wait", "dma", waited, Vec::new);
+        obs.on_track(TrackId::Dmac(0))
+            .span_at("transfer", "dma", start, waited, Vec::new);
     }
     Ok(())
 }
@@ -419,9 +460,11 @@ fn run_chunk(
     p: &mut Processor,
     ra: &std::ops::Range<usize>,
     rb: &std::ops::Range<usize>,
-    parity: usize,
+    i: usize,
     run: &mut StreamRun,
+    obs: &Observer,
 ) -> Result<Vec<u32>, SimError> {
+    let parity = i % 2;
     // The head offset replays the 16-byte rounding of the prefetch.
     let head_a = (4 * ra.start as u32) % 16;
     let head_b = (4 * rb.start as u32) % 16;
@@ -440,6 +483,13 @@ fn run_chunk(
     run.kernel_cycles += stats.cycles;
     run.total_cycles += stats.cycles;
     let n = p.ar[2] as usize;
+    obs.place(&format!("chunk{i}"), "kernel", stats.cycles, || {
+        vec![
+            ("rows_a", ra.len().into()),
+            ("rows_b", rb.len().into()),
+            ("rows_out", n.into()),
+        ]
+    });
     p.mem.peek_words(C_BUF[parity], n)
 }
 
@@ -521,6 +571,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 800, 7)),
             policy: RecoveryPolicy::Retry { max_retries: 2 },
             watchdog_per_chunk: None,
+            ..Default::default()
         };
         let r = stream_set_op_with(SetOpKind::Intersect, &a, &b, StreamConfig::default(), &opts)
             .unwrap();
@@ -541,6 +592,7 @@ mod tests {
             fault_plan: None,
             policy: RecoveryPolicy::DegradeToScalar { max_retries: 0 },
             watchdog_per_chunk: Some(10),
+            ..Default::default()
         };
         let r =
             stream_set_op_with(SetOpKind::Union, &a, &b, StreamConfig::default(), &opts).unwrap();

@@ -29,6 +29,7 @@ pub mod error;
 pub mod ext;
 pub mod isa;
 pub mod memsys;
+pub mod observe;
 pub mod predictor;
 pub mod profiler;
 pub mod program;
@@ -41,8 +42,9 @@ pub use config::CpuConfig;
 pub use error::{FaultCause, MachineFault, SimError};
 pub use ext::{Extension, LsuUse, OpDescriptor, TieCtx};
 pub use isa::{BranchCond, ExtOp, Instr, LsWidth, OpArgs, Reg};
+pub use observe::emit_kernel_run;
 pub use predictor::PredictorKind;
-pub use profiler::{Hotspot, Profile};
+pub use profiler::{Hotspot, Profile, ProfileSnapshot};
 pub use program::{Program, ProgramBuilder, DMEM0_BASE, DMEM1_BASE, IMEM_BASE, SYSMEM_BASE};
 pub use queue::TieQueue;
 pub use sim::{Processor, StepOutcome};

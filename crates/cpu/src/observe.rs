@@ -1,0 +1,136 @@
+//! Span and counter emission for completed simulator runs.
+//!
+//! The simulator itself never sees the observer — instrumentation reads
+//! a finished [`RunStats`] (and optionally a [`ProfileSnapshot`]) and
+//! pushes fully formed spans into the shared registry. Enabling
+//! recording therefore cannot perturb a single simulated cycle, and the
+//! per-span durations are the simulator's own cycle counts, which is
+//! what lets the exporters reconcile span totals against
+//! `RunStats::cycles` exactly.
+//!
+//! Layout per run: one `kernel`-category span of `stats.cycles` placed
+//! at the track's clock, with the profile's regions overlaid as
+//! `region`-category child spans tiling the kernel interval, plus one
+//! counter sample per named event counter (stall classes, fault
+//! accounting, traffic).
+
+use crate::profiler::ProfileSnapshot;
+use crate::stats::RunStats;
+use dbx_observe::{ArgValue, Observer};
+
+/// Emits one completed run as a kernel span (advancing the observer's
+/// track clock by `stats.cycles`), overlays profile regions as child
+/// spans when a snapshot is supplied, and samples every named event
+/// counter. Extra `args` are attached to the kernel span. Returns the
+/// kernel span's start cycle.
+pub fn emit_kernel_run(
+    obs: &Observer,
+    name: &str,
+    stats: &RunStats,
+    profile: Option<&ProfileSnapshot>,
+    extra_args: &[(&'static str, ArgValue)],
+) -> u64 {
+    if !obs.is_enabled() {
+        return 0;
+    }
+    let start = obs.place(name, "kernel", stats.cycles, || {
+        let mut args: Vec<(&'static str, ArgValue)> = vec![
+            ("cycles", stats.cycles.into()),
+            ("instrs", stats.counters.instrs.into()),
+            ("cpi", stats.cpi().into()),
+            (
+                "halted",
+                ArgValue::Str(if stats.halted { "true" } else { "false" }.into()),
+            ),
+        ];
+        args.extend(extra_args.iter().cloned());
+        args
+    });
+
+    if let Some(snap) = profile {
+        // Regions tile the kernel interval in ranking order; when the
+        // profile covered the whole run their durations sum exactly to
+        // `stats.cycles`.
+        let mut at = start;
+        for h in snap.hotspots() {
+            obs.span_at(&h.region, "region", at, h.cycles, || {
+                vec![("execs", h.execs.into()), ("share", h.share.into())]
+            });
+            at += h.cycles;
+        }
+    }
+
+    for (cname, value) in stats.counters.named() {
+        if value != 0 {
+            obs.counter(cname, value as f64);
+        }
+    }
+    start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuConfig;
+    use crate::isa::regs::*;
+    use crate::program::ProgramBuilder;
+    use crate::sim::Processor;
+    use dbx_observe::TrackId;
+
+    fn looped_run() -> (RunStats, ProfileSnapshot) {
+        let mut b = ProgramBuilder::new();
+        b.label("head");
+        b.movi(A2, 50);
+        b.label("loop");
+        b.addi(A2, A2, -1);
+        b.bnez(A2, "loop");
+        b.label("tail");
+        b.halt();
+        let mut p = Processor::new(CpuConfig::local_store_core(1, 64)).unwrap();
+        p.enable_profiling();
+        p.load_program(b.build().unwrap()).unwrap();
+        let stats = p.run(100_000).unwrap();
+        let snap = p.profile().unwrap().snapshot(p.program().unwrap());
+        (stats, snap)
+    }
+
+    #[test]
+    fn kernel_span_reconciles_with_run_stats() {
+        let (stats, snap) = looped_run();
+        let (obs, sink) = Observer::memory();
+        emit_kernel_run(&obs, "loop50", &stats, Some(&snap), &[]);
+        let sink = sink.borrow();
+        assert_eq!(sink.track_cycles(TrackId::Core(0), "kernel"), stats.cycles);
+        // Regions tile the kernel span exactly.
+        let region_total: u64 = sink.spans_of("region").map(|s| s.dur).sum();
+        assert_eq!(region_total, stats.cycles);
+        let kernel = sink.spans_of("kernel").next().unwrap();
+        assert!(sink
+            .spans_of("region")
+            .all(|r| r.start >= kernel.start && r.end() <= kernel.end()));
+        assert_eq!(
+            sink.counter_value(TrackId::Core(0), "instrs"),
+            Some(stats.counters.instrs as f64)
+        );
+    }
+
+    #[test]
+    fn consecutive_runs_stack_on_the_clock() {
+        let (stats, _) = looped_run();
+        let (obs, sink) = Observer::memory();
+        let s0 = emit_kernel_run(&obs, "first", &stats, None, &[]);
+        let s1 = emit_kernel_run(&obs, "second", &stats, None, &[("n", 7u64.into())]);
+        assert_eq!(s0, 0);
+        assert_eq!(s1, stats.cycles);
+        let sink = sink.borrow();
+        let second = sink.spans_of("kernel").nth(1).unwrap();
+        assert_eq!(second.arg("n"), Some(&ArgValue::U64(7)));
+    }
+
+    #[test]
+    fn disabled_observer_emits_nothing_and_costs_nothing() {
+        let (stats, snap) = looped_run();
+        let obs = Observer::disabled();
+        assert_eq!(emit_kernel_run(&obs, "x", &stats, Some(&snap), &[]), 0);
+    }
+}

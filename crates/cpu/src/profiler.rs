@@ -39,9 +39,11 @@ impl Profile {
         self.by_addr.get(&pc).map(|e| e.1).unwrap_or(0)
     }
 
-    /// Aggregates the profile into labelled regions of `program` and
-    /// returns them sorted by descending cycle share.
-    pub fn hotspots(&self, program: &Program) -> Vec<Hotspot> {
+    /// Aggregates the profile into labelled regions of `program` once,
+    /// returning a cached, pre-sorted [`ProfileSnapshot`]. Callers that
+    /// slice the ranking repeatedly (`top_n`, reports, span emission)
+    /// should take one snapshot instead of re-aggregating per call.
+    pub fn snapshot(&self, program: &Program) -> ProfileSnapshot {
         let mut by_region: HashMap<&str, (u64, u64)> = HashMap::new();
         for (addr, (cy, ex)) in &self.by_addr {
             let region = program.region_of(*addr).unwrap_or("<unlabelled>");
@@ -62,14 +64,56 @@ impl Profile {
                 },
             })
             .collect();
-        v.sort_by_key(|h| std::cmp::Reverse(h.cycles));
-        v
+        // Descending cycles, region name as a deterministic tiebreak.
+        v.sort_by(|a, b| {
+            b.cycles
+                .cmp(&a.cycles)
+                .then_with(|| a.region.cmp(&b.region))
+        });
+        ProfileSnapshot {
+            hotspots: v,
+            total_cycles: self.total_cycles,
+        }
+    }
+
+    /// Aggregates the profile into labelled regions of `program` and
+    /// returns them sorted by descending cycle share.
+    pub fn hotspots(&self, program: &Program) -> Vec<Hotspot> {
+        self.snapshot(program).hotspots
     }
 
     /// Renders a human-readable hotspot report.
     pub fn report(&self, program: &Program) -> String {
+        self.snapshot(program).report()
+    }
+}
+
+/// A cached, pre-sorted aggregation of a [`Profile`] over one program's
+/// regions. Building it costs one pass over the per-address map; every
+/// accessor afterwards is a slice view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileSnapshot {
+    hotspots: Vec<Hotspot>,
+    /// Total cycles the profile attributed (equals the run's cycle count
+    /// when profiling covered the whole run).
+    pub total_cycles: u64,
+}
+
+impl ProfileSnapshot {
+    /// All regions, hottest first.
+    pub fn hotspots(&self) -> &[Hotspot] {
+        &self.hotspots
+    }
+
+    /// The `n` hottest regions (fewer if the program has fewer regions).
+    pub fn top_n(&self, n: usize) -> &[Hotspot] {
+        &self.hotspots[..n.min(self.hotspots.len())]
+    }
+
+    /// Renders a human-readable hotspot report.
+    pub fn report(&self) -> String {
         let mut out = String::from("region                         cycles        execs   share\n");
-        for h in self.hotspots(program) {
+        for h in &self.hotspots {
             out.push_str(&format!(
                 "{:<28} {:>9} {:>12} {:>6.1}%\n",
                 h.region,
@@ -137,5 +181,34 @@ mod tests {
         assert!(hs[0].share > 0.9, "loop must dominate, got {}", hs[0].share);
         let report = profile.report(proc.program().unwrap());
         assert!(report.contains("core_loop"));
+    }
+
+    #[test]
+    fn snapshot_caches_the_ranking() {
+        let mut b = ProgramBuilder::new();
+        b.label("a");
+        b.movi(A2, 100);
+        b.label("b");
+        b.addi(A2, A2, -1);
+        b.bnez(A2, "b");
+        b.halt();
+        let mut proc = Processor::new(CpuConfig::local_store_core(1, 64)).unwrap();
+        proc.enable_profiling();
+        proc.load_program(b.build().unwrap()).unwrap();
+        proc.run(100_000).unwrap();
+        let profile = proc.profile().unwrap();
+        let snap = profile.snapshot(proc.program().unwrap());
+        assert_eq!(
+            snap.hotspots(),
+            &profile.hotspots(proc.program().unwrap())[..]
+        );
+        assert_eq!(snap.top_n(1).len(), 1);
+        assert_eq!(snap.top_n(1)[0].region, "b");
+        assert!(snap.top_n(100).len() >= 2);
+        // Shares sum to 1 and total matches the run.
+        let total_share: f64 = snap.hotspots().iter().map(|h| h.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+        assert_eq!(snap.total_cycles, proc.cycles);
+        assert_eq!(snap.report(), profile.report(proc.program().unwrap()));
     }
 }

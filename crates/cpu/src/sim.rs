@@ -139,11 +139,7 @@ impl Processor {
     /// Copies the aggregated fault counters into the event counters so
     /// reports and the power model see them.
     fn harvest_fault_counters(&mut self) {
-        let fc = self.fault_counters();
-        self.counters.faults_injected = fc.injected;
-        self.counters.faults_corrected = fc.corrected;
-        self.counters.faults_detected = fc.detected;
-        self.counters.faults_escaped = fc.escaped;
+        self.counters.faults = self.fault_counters();
     }
 
     /// Attaches an instruction-set extension (replaces any previous one).
@@ -247,7 +243,10 @@ impl Processor {
             *pr = Profile::default();
         }
         if let Some(t) = self.trace.as_mut() {
-            *t = Trace::new(64.max(t.len()));
+            // Preserve the configured depth: `len()` is how many entries
+            // are currently retained, not the ring's capacity, and using
+            // it here silently resized the ring on every rerun.
+            *t = Trace::new(t.capacity());
         }
         self.predictor = Predictor::new(self.cfg.predictor);
     }
@@ -1081,9 +1080,9 @@ mod tests {
         let stats = p.run(1000).unwrap();
         // 99 ^ 8 = 107; +1 = 108 — wrong data reached the datapath.
         assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![108]);
-        assert_eq!(stats.counters.faults_injected, 1);
-        assert_eq!(stats.counters.faults_escaped, 1);
-        assert_eq!(stats.counters.faults_detected, 0);
+        assert_eq!(stats.counters.faults.injected, 1);
+        assert_eq!(stats.counters.faults.escaped, 1);
+        assert_eq!(stats.counters.faults.detected, 0);
     }
 
     #[test]
@@ -1096,8 +1095,8 @@ mod tests {
         p.set_fault_plan(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 0, 3));
         let stats = p.run(1000).unwrap();
         assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![100]);
-        assert_eq!(stats.counters.faults_corrected, 1);
-        assert_eq!(stats.counters.faults_escaped, 0);
+        assert_eq!(stats.counters.faults.corrected, 1);
+        assert_eq!(stats.counters.faults.escaped, 0);
         assert!(stats.counters.stall_ecc >= 1, "decoder stall charged");
     }
 
@@ -1121,7 +1120,7 @@ mod tests {
         ));
         // The destination word was never written: no wrong data committed.
         assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![0]);
-        assert_eq!(p.counters.faults_detected, 1);
+        assert_eq!(p.counters.faults.detected, 1);
     }
 
     #[test]
@@ -1136,7 +1135,7 @@ mod tests {
         p.set_fault_plan(FaultPlan::new().with_bit_flip(FaultTarget::RegFile, 1, 2, 0));
         let stats = p.run(100).unwrap();
         assert_eq!(p.ar[3], 40); // (21 ^ 1) * 2
-        assert_eq!(stats.counters.faults_injected, 1);
+        assert_eq!(stats.counters.faults.injected, 1);
     }
 
     #[test]
@@ -1170,6 +1169,6 @@ mod tests {
         p.clear_fault_plan();
         let stats = p.run(1000).unwrap();
         assert_eq!(p.mem.peek_words(DMEM0_BASE + 4, 1).unwrap(), vec![100]);
-        assert_eq!(stats.counters.faults_injected, 0);
+        assert_eq!(stats.counters.faults.injected, 0);
     }
 }

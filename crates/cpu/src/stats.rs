@@ -6,6 +6,8 @@
 //! simulated activity dumps (Section 5.1: Questa switching-activity dump fed
 //! into PrimeTime).
 
+use dbx_faults::FaultCounters;
+
 /// Architectural event counts accumulated over a run.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct EventCounters {
@@ -53,16 +55,11 @@ pub struct EventCounters {
     pub stall_control: u64,
     /// Cycles lost to the SECDED decoder on protected local-store reads.
     pub stall_ecc: u64,
-    /// Fault events injected into this core's resources.
-    pub faults_injected: u64,
-    /// Upsets corrected in place by SECDED local memories.
-    pub faults_corrected: u64,
-    /// Upsets detected (parity / double-bit / failed DMA) — each of these
-    /// raised a machine-fault trap.
-    pub faults_detected: u64,
-    /// Corrupted words consumed without the protection scheme noticing:
-    /// silent data corruption that reached the datapath.
-    pub faults_escaped: u64,
+    /// Fault accounting (injected / corrected / detected / escaped),
+    /// harvested from the memory system and fault plan on every run exit.
+    /// Shared with `dbx-faults` so resilience reports and the observability
+    /// registry read from one source of truth.
+    pub faults: FaultCounters,
 }
 
 impl EventCounters {
@@ -88,6 +85,35 @@ impl EventCounters {
         } else {
             self.mispredicts as f64 / self.branches as f64
         }
+    }
+
+    /// Total cycles lost to stalls of any class.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_load_use + self.stall_mem + self.stall_control + self.stall_ecc
+    }
+
+    /// The counters as stable `(name, value)` pairs for the observability
+    /// registry — one naming scheme shared by `repro observe`,
+    /// `repro resilience`, and the Perfetto exporter.
+    pub fn named(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("instrs", self.instrs),
+            ("flix_bundles", self.flix_bundles),
+            ("ext_ops", self.ext_ops),
+            ("bytes_loaded", self.bytes_loaded),
+            ("bytes_stored", self.bytes_stored),
+            ("branches", self.branches),
+            ("mispredicts", self.mispredicts),
+            ("hw_loop_backs", self.hw_loop_backs),
+            ("stall.load_use", self.stall_load_use),
+            ("stall.mem", self.stall_mem),
+            ("stall.control", self.stall_control),
+            ("stall.ecc", self.stall_ecc),
+            ("faults.injected", self.faults.injected),
+            ("faults.corrected", self.faults.corrected),
+            ("faults.detected", self.faults.detected),
+            ("faults.escaped", self.faults.escaped),
+        ]
     }
 }
 
@@ -152,6 +178,31 @@ mod tests {
         // the paper's theoretical peak example (Section 4).
         let t = s.throughput_meps(2000, 500.0);
         assert!((t - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_counters_cover_stalls_and_faults() {
+        let mut c = EventCounters {
+            stall_load_use: 3,
+            stall_mem: 4,
+            stall_control: 5,
+            stall_ecc: 6,
+            ..EventCounters::default()
+        };
+        c.faults.injected = 2;
+        c.faults.corrected = 1;
+        assert_eq!(c.stall_cycles(), 18);
+        let named = c.named();
+        let get = |k: &str| named.iter().find(|(n, _)| *n == k).map(|(_, v)| *v);
+        assert_eq!(get("stall.ecc"), Some(6));
+        assert_eq!(get("faults.injected"), Some(2));
+        assert_eq!(get("faults.corrected"), Some(1));
+        assert_eq!(get("faults.escaped"), Some(0));
+        // Names are unique — the registry keys on them.
+        let mut names: Vec<_> = named.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), named.len());
     }
 
     #[test]

@@ -60,6 +60,16 @@ impl Trace {
         self.entries.len()
     }
 
+    /// The configured ring depth (maximum retained entries).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total cycles across the retained tail.
+    pub fn retained_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.cost).sum()
+    }
+
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -102,9 +112,40 @@ mod tests {
             t.record(0x4000_0000 + 4 * k, k as u64, 1);
         }
         assert_eq!(t.len(), 3);
+        assert_eq!(t.capacity(), 3);
         assert_eq!(t.recorded, 10);
         let pcs: Vec<u32> = t.entries().map(|e| e.pc).collect();
         assert_eq!(pcs, vec![0x4000_001c, 0x4000_0020, 0x4000_0024]);
+    }
+
+    #[test]
+    fn reset_preserves_configured_depth() {
+        // Regression test: resetting run state used to rebuild the ring
+        // from `len()` — the retained count — so a short first run shrank
+        // (or a clamp grew) the configured depth for every rerun.
+        let mut b = ProgramBuilder::new();
+        b.movi(A2, 2);
+        b.label("l");
+        b.addi(A2, A2, -1);
+        b.bnez(A2, "l");
+        b.halt();
+        let prog = b.build().unwrap();
+        for depth in [4usize, 256] {
+            let mut p = Processor::new(CpuConfig::local_store_core(1, 64)).unwrap();
+            p.enable_tracing(depth);
+            p.load_program(prog.clone()).unwrap();
+            p.run(1000).unwrap();
+            assert_eq!(p.trace().unwrap().capacity(), depth);
+            p.reset_run_state();
+            assert_eq!(
+                p.trace().unwrap().capacity(),
+                depth,
+                "depth {depth} lost on reset"
+            );
+            assert_eq!(p.trace().unwrap().recorded, 0);
+            p.run(1000).unwrap();
+            assert_eq!(p.trace().unwrap().capacity(), depth);
+        }
     }
 
     #[test]

@@ -14,16 +14,25 @@
 //! repro resilience  local-store protection cost + seeded fault campaign
 //! repro width       Section 2.2 (vector-width area/bandwidth tradeoff)
 //! repro isa         instruction-set reference (generated from descriptors)
+//! repro observe     observability matrix: hotspots, Perfetto, benchmark snapshot
 //! repro all         everything above
 //!
 //! options: --quick   scale workloads down ~10x for a fast pass
 //!          --csv     with fig13: print CSV instead of the table
 //!          --op=union | --op=diff   with fig13: sweep another operation
+//!
+//! observe options:
+//!          --json              print the benchmark snapshot JSON
+//!          --perfetto <path>   write the Chrome-trace/Perfetto timeline
+//!          --folded <path>     write folded stacks for flamegraph tools
+//!          --top <n>           hotspot regions per kernel (default 3)
+//!          --check <baseline>  diff against a committed snapshot; exit 1
+//!                              on any >3% cycle regression
 //! ```
 
 use dbx_harness::{
-    energy, fig13, isa_ref, pipeline, resilience, scaling, stream_exp, table2, table3, table4,
-    table5, table6, width_exp,
+    energy, fig13, isa_ref, observe, pipeline, resilience, scaling, stream_exp, table2, table3,
+    table4, table5, table6, width_exp,
 };
 
 fn main() {
@@ -65,10 +74,11 @@ fn main() {
         "resilience" => println!("{}", resilience::run(scale).render()),
         "width" => println!("{}", width_exp::run().render()),
         "isa" => println!("{}", isa_ref::render()),
+        "observe" => run_observe(&args, scale),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa all"
+                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe all"
             );
             std::process::exit(2);
         }
@@ -88,11 +98,62 @@ fn main() {
             "energy",
             "resilience",
             "width",
+            "observe",
         ] {
             run_one(name);
             println!();
         }
     } else {
         run_one(cmd);
+    }
+}
+
+/// Value of a `--flag <value>` pair, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run_observe(args: &[String], scale: f64) {
+    let o = observe::run(scale);
+    let top: usize = flag_value(args, "--top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    if let Some(path) = flag_value(args, "--perfetto") {
+        std::fs::write(path, o.perfetto()).expect("write perfetto trace");
+        eprintln!("wrote Perfetto trace to {path}");
+    }
+    if let Some(path) = flag_value(args, "--folded") {
+        std::fs::write(path, o.folded().render()).expect("write folded stacks");
+        eprintln!("wrote folded stacks to {path}");
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", o.snapshot().to_json());
+    } else {
+        println!("{}", o.render());
+        println!("{}", o.hotspot_report(top));
+    }
+
+    if let Some(path) = flag_value(args, "--check") {
+        let baseline = std::fs::read_to_string(path).expect("read baseline snapshot");
+        match o.check(&baseline) {
+            Ok(diffs) => {
+                let regressions = diffs.iter().filter(|d| d.regression).count();
+                eprintln!("{}", observe::Observe::render_diff(&diffs));
+                if regressions > 0 {
+                    eprintln!("{regressions} cell(s) regressed beyond the 3% threshold");
+                    std::process::exit(1);
+                }
+                eprintln!("no cycle regressions against {path}");
+            }
+            Err(e) => {
+                eprintln!("baseline comparison failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! | [`scaling`] | Section 5.4 — shared-nothing multi-core / area-equivalence argument |
 //! | [`energy`] | The abstract's headline: energy per element, all configurations + x86 references |
 //! | [`resilience`] | Local-store protection (parity/SECDED) cost and a seeded fault campaign |
+//! | [`observe`] | Unified tracing/metrics: hotspot tables, Perfetto timeline, folded stacks, benchmark snapshot |
 //! | [`width_exp`] | Section 2.2 — vector-width area/bandwidth tradeoff |
 //! | [`pipeline`] | Section 4 — cycles/iteration vs unroll factor, theoretical peak |
 //!
@@ -24,6 +25,7 @@
 pub mod energy;
 pub mod fig13;
 pub mod isa_ref;
+pub mod observe;
 pub mod pipeline;
 pub mod report;
 pub mod resilience;

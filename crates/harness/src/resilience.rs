@@ -13,6 +13,7 @@ use crate::report::{f1, f3, TextTable};
 use crate::scaled;
 use dbx_core::{run_set_op_with, ProcModel, RecoveryPolicy, RunOptions, SetOpKind};
 use dbx_faults::{FaultCounters, FaultPlan, FaultTarget, ProtectionKind};
+use dbx_observe::{Observer, TrackId};
 use dbx_synth::{area_report_with, power_report_with, Tech};
 
 /// One protection design point: synthesis and runtime cost.
@@ -102,19 +103,38 @@ pub fn run(scale: f64) -> Resilience {
     let faults = ProtectionKind::all()
         .into_iter()
         .map(|protection| {
+            // The campaign reads its fault accounting from the
+            // observability counter registry — the same
+            // `faults.injected/corrected/detected/escaped` samples
+            // `repro observe` exports — so both reports share one
+            // source of truth.
+            let (observer, sink) = Observer::memory();
             let opts = RunOptions {
                 protection: Some(protection),
                 fault_plan: Some(plan.clone()),
                 policy: RecoveryPolicy::Retry { max_retries: 2 },
                 watchdog: None,
+                observer,
             };
             let r =
                 run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &opts).expect("recovered run");
-            let outcome = if r.faults.escaped > 0 {
+            let registry = sink.borrow();
+            let counter = |name: &str| {
+                registry
+                    .counter_value(TrackId::Core(0), name)
+                    .unwrap_or(0.0) as u64
+            };
+            let counted = FaultCounters {
+                injected: counter("faults.injected"),
+                corrected: counter("faults.corrected"),
+                detected: counter("faults.detected"),
+                escaped: counter("faults.escaped"),
+            };
+            let outcome = if counted.escaped > 0 {
                 "escaped: silent data corruption"
             } else if r.retries > 0 {
                 "detected, kernel re-run"
-            } else if r.faults.corrected > 0 {
+            } else if counted.corrected > 0 {
                 "corrected in place"
             } else {
                 "no effect"
@@ -123,7 +143,7 @@ pub fn run(scale: f64) -> Resilience {
                 protection,
                 correct: r.result == clean,
                 retries: r.retries,
-                faults: r.faults,
+                faults: counted,
                 outcome,
             }
         })
@@ -230,6 +250,9 @@ mod tests {
         assert!(!fn_.correct, "the unprotected result is silently wrong");
         assert!(fp.correct && fp.retries >= 1 && fp.faults.detected >= 1);
         assert!(fs.correct && fs.retries == 0 && fs.faults.corrected >= 1);
+        // The rows above were read from the observability counter
+        // registry, so every scheme must have registered its injection.
+        assert!(r.faults.iter().all(|f| f.faults.injected >= 1));
 
         let s = r.render();
         assert!(s.contains("secded") && s.contains("Escaped"));

@@ -1,0 +1,46 @@
+//! `dbx-observe` — unified tracing, metrics, and cycle attribution.
+//!
+//! The paper's tool flow (Figure 4) *starts* with cycle-accurate profiling
+//! ("the profiler unveils hotspots") and *ends* with cycle-accurate
+//! verification of the extension. This crate is the reproduction's version
+//! of that loop grown to system scale: every layer — the ISS, the kernel
+//! runners, the streaming driver, the multicore partitioner, the query
+//! engine — records **spans** (what ran, on which track, for how many
+//! *simulated* cycles) and **counters** (stall breakdowns, fault
+//! accounting, bytes moved) into one registry, from which three exporters
+//! read:
+//!
+//! * [`perfetto`] — a Chrome-trace/Perfetto JSON writer: one track per
+//!   core, one per DMAC, one for the query engine, loadable in
+//!   <https://ui.perfetto.dev>.
+//! * [`folded`] — folded stacks (`a;b;c cycles`) for flamegraph tools,
+//!   built from the per-address profile aggregated into program regions.
+//! * [`snapshot`] — a machine-readable benchmark snapshot
+//!   (`BENCH_observe.json`): cycles, elements/cycle, and stall fractions
+//!   per kernel × model × technology cell, diffable against a committed
+//!   baseline so CI catches throughput regressions.
+//!
+//! Timestamps are **cycle-domain**, taken from the simulator's cycle
+//! counter, never from wall clock — a trace is bit-reproducible across
+//! hosts. Recording is zero-cost when disabled: a disabled [`Observer`]
+//! is a `None` and every call short-circuits before touching its
+//! arguments' heap; the simulated machine is never aware of the observer,
+//! so enabling it cannot change a single simulated cycle.
+//!
+//! The crate is dependency-free and knows nothing about the simulator;
+//! `dbx-cpu` and the layers above it push fully-formed spans through the
+//! [`Recorder`] trait.
+
+pub mod folded;
+pub mod json;
+pub mod perfetto;
+pub mod recorder;
+pub mod snapshot;
+pub mod span;
+
+pub use folded::{folded_line, FoldedStacks};
+pub use json::Json;
+pub use perfetto::{validate_chrome_trace, write_chrome_trace};
+pub use recorder::{Observer, Recorder, TraceSink};
+pub use snapshot::{BenchCell, BenchSnapshot, CellDiff, SnapshotError};
+pub use span::{ArgValue, CounterSample, Span, TrackId};

@@ -1,0 +1,345 @@
+//! The machine-readable benchmark snapshot (`BENCH_observe.json`).
+//!
+//! One [`BenchCell`] per kernel × processor model × technology node,
+//! holding the simulated cycle count for a pinned workload plus derived
+//! throughput and stall fractions. A snapshot serializes to stable JSON,
+//! parses back, and diffs against a committed baseline; CI fails the
+//! build when any pinned cell's cycle count regresses by more than
+//! [`REGRESSION_THRESHOLD`] (3%). Cycle counts are deterministic for a
+//! pinned workload, so the threshold exists to absorb *intentional*
+//! small model refinements, not noise.
+
+use crate::json::{Json, JsonError};
+use std::fmt;
+
+/// Relative cycle increase above which a cell counts as a regression.
+pub const REGRESSION_THRESHOLD: f64 = 0.03;
+
+/// Schema tag written into every snapshot.
+pub const SCHEMA: &str = "dbx-observe/bench/v1";
+
+/// One benchmark measurement: a kernel on a model at a tech node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Kernel name (`intersect`, `union`, `difference`, `sort`).
+    pub kernel: String,
+    /// Processor model name (see `ProcModel::name`).
+    pub model: String,
+    /// Whether the partial-EIS variant of the model was used.
+    pub partial: bool,
+    /// Technology node label (`tsmc65lp`, `gf28slp`).
+    pub tech: String,
+    /// Simulated cycles for the pinned workload.
+    pub cycles: u64,
+    /// Elements processed (pinned workload size).
+    pub elements: u64,
+    /// Throughput at the model's f_max for this node, in million
+    /// elements per second.
+    pub throughput_meps: f64,
+    /// Fraction of cycles lost to load-use interlocks.
+    pub stall_load_use: f64,
+    /// Fraction of cycles lost to memory-port conflicts.
+    pub stall_mem: f64,
+    /// Fraction of cycles lost to control (branch/loop) overhead.
+    pub stall_control: f64,
+    /// Fraction of cycles lost to SECDED read stalls.
+    pub stall_ecc: f64,
+}
+
+impl BenchCell {
+    /// Stable identity of the cell inside a snapshot.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}{}/{}",
+            self.kernel,
+            self.model,
+            if self.partial { "+partial" } else { "" },
+            self.tech
+        )
+    }
+
+    /// Elements per cycle (the tech-independent figure of merit).
+    pub fn elements_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.elements as f64 / self.cycles as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("model", Json::Str(self.model.clone())),
+            ("partial", Json::Bool(self.partial)),
+            ("tech", Json::Str(self.tech.clone())),
+            ("cycles", Json::Num(self.cycles as f64)),
+            ("elements", Json::Num(self.elements as f64)),
+            ("throughput_meps", Json::Num(self.throughput_meps)),
+            ("stall_load_use", Json::Num(self.stall_load_use)),
+            ("stall_mem", Json::Num(self.stall_mem)),
+            ("stall_control", Json::Num(self.stall_control)),
+            ("stall_ecc", Json::Num(self.stall_ecc)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchCell, SnapshotError> {
+        let str_field = |key: &str| -> Result<String, SnapshotError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SnapshotError::Malformed(format!("cell missing string {key:?}")))
+        };
+        let num_field = |key: &str| -> Result<f64, SnapshotError> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| SnapshotError::Malformed(format!("cell missing number {key:?}")))
+        };
+        Ok(BenchCell {
+            kernel: str_field("kernel")?,
+            model: str_field("model")?,
+            partial: matches!(v.get("partial"), Some(Json::Bool(true))),
+            tech: str_field("tech")?,
+            cycles: num_field("cycles")? as u64,
+            elements: num_field("elements")? as u64,
+            throughput_meps: num_field("throughput_meps")?,
+            stall_load_use: num_field("stall_load_use")?,
+            stall_mem: num_field("stall_mem")?,
+            stall_control: num_field("stall_control")?,
+            stall_ecc: num_field("stall_ecc")?,
+        })
+    }
+}
+
+/// A full benchmark snapshot: every pinned cell from one `repro observe`
+/// run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchSnapshot {
+    /// Measurement cells, in generation order (kernel-major).
+    pub cells: Vec<BenchCell>,
+}
+
+/// How one cell moved relative to the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Cell identity (`kernel/model/tech`).
+    pub key: String,
+    /// Baseline cycles.
+    pub baseline_cycles: u64,
+    /// Current cycles.
+    pub current_cycles: u64,
+    /// Relative change: `(current - baseline) / baseline`.
+    pub delta: f64,
+    /// Whether the change exceeds [`REGRESSION_THRESHOLD`].
+    pub regression: bool,
+}
+
+/// Snapshot load/compare failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The document did not parse as JSON.
+    Parse(JsonError),
+    /// Parsed, but is not a snapshot of the expected schema.
+    Malformed(String),
+    /// A baseline cell has no counterpart in the current run (or vice
+    /// versa) — the benchmark matrix changed without updating the
+    /// baseline.
+    MissingCell(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Parse(e) => write!(f, "snapshot parse failure: {e}"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            SnapshotError::MissingCell(k) => {
+                write!(f, "cell {k:?} present on one side of the diff only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<JsonError> for SnapshotError {
+    fn from(e: JsonError) -> Self {
+        SnapshotError::Parse(e)
+    }
+}
+
+impl BenchSnapshot {
+    /// Serializes the snapshot as stable JSON (cells in order).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(BenchCell::to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a snapshot, checking the schema tag.
+    pub fn from_json(text: &str) -> Result<BenchSnapshot, SnapshotError> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => {
+                return Err(SnapshotError::Malformed(format!(
+                    "schema {other:?}, expected {SCHEMA:?}"
+                )))
+            }
+            None => return Err(SnapshotError::Malformed("missing schema tag".into())),
+        }
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| SnapshotError::Malformed("missing cells array".into()))?;
+        Ok(BenchSnapshot {
+            cells: cells
+                .iter()
+                .map(BenchCell::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Looks up a cell by identity key.
+    pub fn cell(&self, key: &str) -> Option<&BenchCell> {
+        self.cells.iter().find(|c| c.key() == key)
+    }
+
+    /// Compares `self` (the current run) against a baseline. Every
+    /// baseline cell must exist in the current run and vice versa;
+    /// otherwise the benchmark matrix drifted and the diff is
+    /// [`SnapshotError::MissingCell`]. Returns one [`CellDiff`] per cell
+    /// in baseline order.
+    pub fn diff(&self, baseline: &BenchSnapshot) -> Result<Vec<CellDiff>, SnapshotError> {
+        for c in &self.cells {
+            if baseline.cell(&c.key()).is_none() {
+                return Err(SnapshotError::MissingCell(c.key()));
+            }
+        }
+        let mut out = Vec::with_capacity(baseline.cells.len());
+        for base in &baseline.cells {
+            let key = base.key();
+            let cur = self
+                .cell(&key)
+                .ok_or_else(|| SnapshotError::MissingCell(key.clone()))?;
+            let delta = if base.cycles == 0 {
+                0.0
+            } else {
+                (cur.cycles as f64 - base.cycles as f64) / base.cycles as f64
+            };
+            out.push(CellDiff {
+                key,
+                baseline_cycles: base.cycles,
+                current_cycles: cur.cycles,
+                delta,
+                regression: delta > REGRESSION_THRESHOLD,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(kernel: &str, cycles: u64) -> BenchCell {
+        BenchCell {
+            kernel: kernel.into(),
+            model: "DBA 1-LSU".into(),
+            partial: false,
+            tech: "tsmc65lp".into(),
+            cycles,
+            elements: 4000,
+            throughput_meps: 250.0,
+            stall_load_use: 0.05,
+            stall_mem: 0.02,
+            stall_control: 0.10,
+            stall_ecc: 0.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_stable() {
+        let snap = BenchSnapshot {
+            cells: vec![cell("intersect", 10_000), cell("union", 12_000)],
+        };
+        let text = snap.to_json();
+        let back = BenchSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn schema_is_enforced() {
+        assert!(matches!(
+            BenchSnapshot::from_json("{\"cells\": []}"),
+            Err(SnapshotError::Malformed(_))
+        ));
+        assert!(matches!(
+            BenchSnapshot::from_json("{\"schema\": \"other/v9\", \"cells\": []}"),
+            Err(SnapshotError::Malformed(_))
+        ));
+        assert!(matches!(
+            BenchSnapshot::from_json("nope"),
+            Err(SnapshotError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_beyond_threshold() {
+        let baseline = BenchSnapshot {
+            cells: vec![cell("intersect", 10_000), cell("union", 10_000)],
+        };
+        let current = BenchSnapshot {
+            cells: vec![
+                cell("intersect", 10_200), // +2% — within threshold
+                cell("union", 10_400),     // +4% — regression
+            ],
+        };
+        let diffs = current.diff(&baseline).unwrap();
+        assert_eq!(diffs.len(), 2);
+        assert!(!diffs[0].regression);
+        assert!(diffs[1].regression);
+        assert!((diffs[1].delta - 0.04).abs() < 1e-9);
+        // Improvements never flag.
+        let faster = BenchSnapshot {
+            cells: vec![cell("intersect", 5_000), cell("union", 9_000)],
+        };
+        assert!(faster
+            .diff(&baseline)
+            .unwrap()
+            .iter()
+            .all(|d| !d.regression));
+    }
+
+    #[test]
+    fn diff_requires_matching_matrices() {
+        let baseline = BenchSnapshot {
+            cells: vec![cell("intersect", 10_000)],
+        };
+        let current = BenchSnapshot {
+            cells: vec![cell("intersect", 10_000), cell("union", 10_000)],
+        };
+        assert!(matches!(
+            current.diff(&baseline),
+            Err(SnapshotError::MissingCell(_))
+        ));
+        assert!(matches!(
+            baseline.diff(&current),
+            Err(SnapshotError::MissingCell(_))
+        ));
+    }
+
+    #[test]
+    fn cell_key_and_derived_metrics() {
+        let mut c = cell("sort", 8_000);
+        c.partial = true;
+        assert_eq!(c.key(), "sort/DBA 1-LSU+partial/tsmc65lp");
+        assert!((c.elements_per_cycle() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! The span and counter data model.
+//!
+//! A [`Span`] is one contiguous stretch of simulated cycles attributed to
+//! a named activity on a [`TrackId`] (a core, a DMAC, or the host-side
+//! query engine). A [`CounterSample`] is one named value at one cycle
+//! stamp. Both are plain data; semantics (nesting, track clocks) live in
+//! [`crate::recorder`].
+
+use std::fmt;
+
+/// Identifies one timeline in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrackId {
+    /// A simulated processor core (index within the run).
+    Core(u32),
+    /// A data-prefetcher / DMA controller (index within the run).
+    Dmac(u32),
+    /// The host-side driver: query operators, chunk planning.
+    Host,
+}
+
+impl Default for TrackId {
+    fn default() -> Self {
+        TrackId::Core(0)
+    }
+}
+
+impl TrackId {
+    /// Stable numeric id for trace formats that key tracks by integer
+    /// (Chrome-trace `tid`). Cores are 0.., DMACs 1000.., host is 9999.
+    pub fn tid(&self) -> u64 {
+        match self {
+            TrackId::Core(i) => u64::from(*i),
+            TrackId::Dmac(i) => 1000 + u64::from(*i),
+            TrackId::Host => 9999,
+        }
+    }
+
+    /// Human-readable track name.
+    pub fn label(&self) -> String {
+        match self {
+            TrackId::Core(i) => format!("core{i}"),
+            TrackId::Dmac(i) => format!("dmac{i}"),
+            TrackId::Host => "host".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TrackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A span or counter argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (cycle counts, row counts, bytes).
+    U64(u64),
+    /// Floating point (rates, fractions).
+    F64(f64),
+    /// Free-form text (model names, outcomes).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded span: `[start, start + dur)` in simulated cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Timeline the span belongs to.
+    pub track: TrackId,
+    /// Activity name (kernel, operator, region).
+    pub name: String,
+    /// Category, used for trace-viewer colouring and filtering
+    /// (`kernel`, `region`, `dma`, `query`, ...).
+    pub cat: &'static str,
+    /// Start cycle (cycle-domain timestamp).
+    pub start: u64,
+    /// Duration in cycles (zero-length spans are legal: instant markers).
+    pub dur: u64,
+    /// Key/value annotations (rows in/out, stall cycles, ...).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Span {
+    /// End cycle (exclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.dur
+    }
+
+    /// Looks up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// One counter observation at one cycle stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Timeline the counter belongs to.
+    pub track: TrackId,
+    /// Counter name (e.g. `stall.load_use`, `faults.corrected`).
+    pub name: &'static str,
+    /// Cycle stamp.
+    pub cycle: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_ids_are_stable_and_distinct() {
+        assert_eq!(TrackId::Core(0).tid(), 0);
+        assert_eq!(TrackId::Core(7).tid(), 7);
+        assert_eq!(TrackId::Dmac(0).tid(), 1000);
+        assert_eq!(TrackId::Host.tid(), 9999);
+        assert_eq!(TrackId::Core(2).label(), "core2");
+        assert_eq!(TrackId::Dmac(1).label(), "dmac1");
+        assert_eq!(TrackId::Host.to_string(), "host");
+    }
+
+    #[test]
+    fn span_accessors() {
+        let s = Span {
+            track: TrackId::Core(0),
+            name: "intersect".into(),
+            cat: "kernel",
+            start: 100,
+            dur: 50,
+            args: vec![("rows_in", 10u64.into()), ("model", "DBA".into())],
+        };
+        assert_eq!(s.end(), 150);
+        assert_eq!(s.arg("rows_in"), Some(&ArgValue::U64(10)));
+        assert_eq!(s.arg("nope"), None);
+    }
+}

@@ -7,8 +7,9 @@ use dbx_core::multicore::run_partition_with;
 use dbx_core::runner::build_processor_with;
 use dbx_core::{run_sort_with, ProcModel, RunOptions, SetOpKind};
 use dbx_cpu::isa::regs::{A2, A3, A4, A5};
-use dbx_cpu::{ProgramBuilder, DMEM0_BASE, SYSMEM_BASE};
+use dbx_cpu::{emit_kernel_run, ProgramBuilder, DMEM0_BASE, SYSMEM_BASE};
 use dbx_faults::{FaultCounters, FaultPlan};
+use dbx_observe::{ArgValue, TrackId};
 
 /// Result of executing a query.
 #[derive(Debug, Clone)]
@@ -115,6 +116,19 @@ impl QueryEngine {
         out.retries += part.retries;
         out.degraded_ops += part.degraded as u64;
         out.faults.merge(&part.faults);
+        if self.options.observer.is_enabled() {
+            // Host-track operator span: the query plan's view of the
+            // offload, clocked by the cycles the ASIP spent on it.
+            let host = self.options.observer.on_track(TrackId::Host);
+            host.place(kind.name(), "query", part.cycles, || {
+                vec![
+                    ("rows_a", ArgValue::from(a.len())),
+                    ("rows_b", b.len().into()),
+                    ("rows_out", part.result.len().into()),
+                    ("retries", u64::from(part.retries).into()),
+                ]
+            });
+        }
         Ok(part.result)
     }
 
@@ -205,7 +219,22 @@ impl QueryEngine {
     pub fn execute(&self, table: &Table, pred: &Predicate) -> Result<QueryOutput, QueryError> {
         let mut out = QueryOutput::empty();
         let mut plan = self.options.fault_plan.clone();
+        let host = self.options.observer.on_track(TrackId::Host);
+        let base = host.clock();
         out.rids = self.eval(table, pred, &mut out, &mut plan)?;
+        if host.is_enabled() {
+            // Root span over the whole predicate tree. The per-operator
+            // `place` calls above advanced the host clock by exactly
+            // `out.cycles`, so this overlay tiles them without moving it.
+            host.span_at("query", "query", base, out.cycles, || {
+                vec![
+                    ("set_ops", ArgValue::from(out.set_ops)),
+                    ("rows_out", out.rids.len().into()),
+                    ("elements", out.elements_processed.into()),
+                    ("retries", u64::from(out.retries).into()),
+                ]
+            });
+        }
         Ok(out)
     }
 
@@ -252,7 +281,27 @@ impl QueryEngine {
         b.halt();
         p.load_program(b.build()?)?;
         p.mem.poke_words(base, &projected)?;
+        let obs = &self.options.observer;
+        if obs.is_enabled() {
+            p.enable_profiling();
+        }
         let stats = p.run(1_000_000_000)?;
+        if obs.is_enabled() {
+            let snap = p
+                .profile()
+                .zip(p.program())
+                .map(|(pr, prog)| pr.snapshot(prog));
+            emit_kernel_run(
+                obs,
+                "sum",
+                &stats,
+                snap.as_ref(),
+                &[
+                    ("model", ArgValue::from(self.model.name())),
+                    ("elements", projected.len().into()),
+                ],
+            );
+        }
         Ok((p.ar[2], stats.cycles))
     }
 
@@ -457,6 +506,7 @@ mod tests {
                 fault_plan: Some(plan),
                 policy: RecoveryPolicy::Retry { max_retries: 2 },
                 watchdog: None,
+                ..Default::default()
             },
         );
         let out = engine.execute(&t, &pred).unwrap();
@@ -485,6 +535,7 @@ mod tests {
                 fault_plan: None,
                 policy: RecoveryPolicy::DegradeToScalar { max_retries: 0 },
                 watchdog: Some(10),
+                ..Default::default()
             },
         );
         let out = engine.execute(&t, &pred).unwrap();

@@ -1,0 +1,89 @@
+//! `dbx-trace` — trace exporter for the simulated kernel matrix.
+//!
+//! Runs every built-in kernel on every processor configuration with
+//! recording enabled (the same matrix as `repro observe`) and exports
+//! the cycle-domain timeline:
+//!
+//! ```text
+//! dbx-trace --perfetto out.json   Chrome-trace/Perfetto timeline
+//! dbx-trace --folded out.txt      folded stacks for flamegraph tools
+//! dbx-trace --top 5               hotspot regions per kernel (stdout)
+//! dbx-trace --quick               ~10x smaller workloads
+//! ```
+//!
+//! With no export flags it prints the overview table and the hotspot
+//! report. All timestamps are simulated cycles, never wall clock; load
+//! a `--perfetto` file at <https://ui.perfetto.dev> with one lane per
+//! processor configuration.
+
+use std::process::ExitCode;
+
+use dbasip::harness::observe;
+use dbasip::observe::validate_chrome_trace;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dbx-trace [--quick] [--top N] [--perfetto FILE] [--folded FILE]\n\n\
+         Runs the kernel x configuration matrix with recording enabled and\n\
+         exports the simulated-cycle timeline."
+    );
+    std::process::exit(2);
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, a) in args.iter().enumerate() {
+        let value_of_prev =
+            i > 0 && matches!(args[i - 1].as_str(), "--top" | "--perfetto" | "--folded");
+        let known = matches!(a.as_str(), "--quick" | "--top" | "--perfetto" | "--folded");
+        if !known && !value_of_prev {
+            eprintln!("unknown argument '{a}'");
+            usage();
+        }
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let top: usize = match flag_value(&args, "--top").map(str::parse) {
+        Some(Ok(n)) => n,
+        Some(Err(_)) => usage(),
+        None => 3,
+    };
+
+    let o = observe::run(if quick { 0.1 } else { 1.0 });
+
+    let mut exported = false;
+    if let Some(path) = flag_value(&args, "--perfetto") {
+        let text = o.perfetto();
+        // Exports must load in the viewer; refuse to write garbage.
+        if let Err(e) = validate_chrome_trace(&text) {
+            eprintln!("internal error: generated trace is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote Perfetto trace to {path}");
+        exported = true;
+    }
+    if let Some(path) = flag_value(&args, "--folded") {
+        if let Err(e) = std::fs::write(path, o.folded().render()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote folded stacks to {path}");
+        exported = true;
+    }
+
+    if !exported {
+        println!("{}", o.render());
+    }
+    println!("{}", o.hotspot_report(top));
+    ExitCode::SUCCESS
+}

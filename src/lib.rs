@@ -48,6 +48,7 @@ pub use dbx_cpu as cpu;
 pub use dbx_faults as faults;
 pub use dbx_harness as harness;
 pub use dbx_mem as mem;
+pub use dbx_observe as observe;
 pub use dbx_query as query;
 pub use dbx_showcase as showcase;
 pub use dbx_synth as synth;

@@ -33,6 +33,7 @@ fn secded_opts(plan: FaultPlan) -> RunOptions {
         fault_plan: Some(plan),
         policy: RecoveryPolicy::FailFast,
         watchdog: None,
+        ..Default::default()
     }
 }
 
@@ -108,6 +109,7 @@ fn parity_plus_retry_reproduces_the_fault_free_result() {
         fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 21, 12)),
         policy: RecoveryPolicy::Retry { max_retries: 2 },
         watchdog: None,
+        ..Default::default()
     };
     let run = run_set_op_with(MODEL, SetOpKind::Union, &a, &b, &opts).unwrap();
     assert_eq!(run.result, clean.result);
@@ -133,6 +135,7 @@ fn unprotected_memories_flag_consumed_corruption() {
         fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 18, 0)),
         policy: RecoveryPolicy::FailFast,
         watchdog: None,
+        ..Default::default()
     };
     // No protection: the run completes "successfully" — only the escape
     // counter tells the caller the result consumed corrupted data.
@@ -171,6 +174,7 @@ fn seeded_matrix_across_models_recovers_everywhere() {
                 fault_plan: Some(plan),
                 policy: RecoveryPolicy::DegradeToScalar { max_retries: 1 },
                 watchdog: None,
+                ..Default::default()
             };
             let run = run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
             assert_eq!(
@@ -207,6 +211,7 @@ fn seeded_campaigns_are_deterministic_end_to_end() {
         fault_plan: Some(p1),
         policy: RecoveryPolicy::DegradeToScalar { max_retries: 1 },
         watchdog: None,
+        ..Default::default()
     };
     let r1 = run_set_op_with(MODEL, SetOpKind::Difference, &a, &b, &opts).unwrap();
     let r2 = run_set_op_with(MODEL, SetOpKind::Difference, &a, &b, &opts).unwrap();

@@ -1,0 +1,150 @@
+//! Observability-layer integration: the trace a kernel run emits must be
+//! viewer-loadable, cycle-exact against the run statistics, and strictly
+//! free when recording is disabled.
+
+use dbasip::dbisa::{run_set_op_with, run_sort_with, ProcModel, RunOptions, SetOpKind};
+use dbasip::observe::{validate_chrome_trace, write_chrome_trace, Observer, TrackId};
+use dbasip::query::{Predicate, QueryEngine, Table};
+use dbasip::workloads::{set_pair_with_selectivity, sort_input, SortOrder};
+
+const SEED: u64 = 0x5e7_0b5;
+const MODEL: ProcModel = ProcModel::Dba2LsuEis { partial: true };
+
+fn seeded_sets() -> (Vec<u32>, Vec<u32>) {
+    set_pair_with_selectivity(2000, 2000, 0.5, SEED)
+}
+
+/// Runs the seeded intersection with recording on and returns the
+/// Chrome-trace JSON plus the run's cycle count.
+fn traced_intersection() -> (String, u64) {
+    let (a, b) = seeded_sets();
+    let (obs, sink) = Observer::memory();
+    let opts = RunOptions {
+        observer: obs,
+        ..RunOptions::default()
+    };
+    let r = run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &opts).unwrap();
+    drop(opts);
+    let sink = std::rc::Rc::try_unwrap(sink).unwrap().into_inner();
+    (write_chrome_trace(&sink), r.cycles)
+}
+
+#[test]
+fn golden_seeded_intersection_trace_validates_and_is_deterministic() {
+    let (text, cycles) = traced_intersection();
+    let n_events = validate_chrome_trace(&text).expect("schema-valid Chrome trace");
+    // Thread metadata + the kernel span + its region children + counters.
+    assert!(n_events >= 5, "expected a populated trace, got {n_events}");
+    assert!(text.contains("\"intersect\""), "kernel span present");
+    assert!(text.contains("\"cat\":\"kernel\""));
+    assert!(
+        text.contains("\"cat\":\"region\""),
+        "region attribution present"
+    );
+    assert!(text.contains("core_loop"), "hottest region is in the trace");
+    assert!(
+        text.contains(&format!("\"dur\":{cycles}")),
+        "kernel span duration equals the run's cycle count"
+    );
+    // Same seed, same workload: the export is byte-identical.
+    let (again, _) = traced_intersection();
+    assert_eq!(text, again, "trace export must be deterministic");
+}
+
+#[test]
+fn span_cycles_reconcile_with_run_stats_totals() {
+    let (a, b) = seeded_sets();
+    let sort_data = sort_input(2048, SortOrder::Random, SEED);
+    let (obs, sink) = Observer::memory();
+    let opts = RunOptions {
+        observer: obs,
+        ..RunOptions::default()
+    };
+    let mut expect: u64 = 0;
+    for kind in [
+        SetOpKind::Intersect,
+        SetOpKind::Union,
+        SetOpKind::Difference,
+    ] {
+        expect += run_set_op_with(MODEL, kind, &a, &b, &opts).unwrap().cycles;
+    }
+    expect += run_sort_with(MODEL, &sort_data, &opts).unwrap().cycles;
+    drop(opts);
+    let sink = std::rc::Rc::try_unwrap(sink).unwrap().into_inner();
+    let got = sink.track_cycles(TrackId::Core(0), "kernel");
+    // The acceptance bar is ±0.1%; the implementation is cycle-exact.
+    let drift = (got as f64 - expect as f64).abs() / expect as f64;
+    assert!(
+        drift <= 0.001,
+        "kernel spans total {got} cycles vs RunStats {expect} ({:.4}% off)",
+        100.0 * drift
+    );
+    assert_eq!(got, expect, "span totals should reconcile exactly");
+}
+
+#[test]
+fn query_operator_spans_tile_the_host_track() {
+    let colors: Vec<u32> = (0..600).map(|i| i % 5).collect();
+    let sizes: Vec<u32> = (0..600).map(|i| (i * 7) % 40).collect();
+    let table = Table::build("t", &[("color", colors), ("size", sizes)]);
+    let pred = Predicate::eq("color", 2).and(Predicate::between("size", 5, 30));
+
+    let (obs, sink) = Observer::memory();
+    let opts = RunOptions {
+        observer: obs,
+        ..RunOptions::default()
+    };
+    let engine = QueryEngine::with_options(MODEL, opts);
+    let out = engine.execute(&table, &pred).unwrap();
+    drop(engine);
+    let sink = std::rc::Rc::try_unwrap(sink).unwrap().into_inner();
+
+    // The root "query" overlay spans exactly the query's cycle cost, and
+    // the per-operator spans underneath it sum to the same total.
+    let query_cycles = sink.track_cycles(TrackId::Host, "query");
+    assert_eq!(
+        query_cycles,
+        2 * out.cycles,
+        "root overlay + operator spans"
+    );
+    let text = write_chrome_trace(&sink);
+    validate_chrome_trace(&text).expect("query trace is schema-valid");
+    assert!(text.contains("rows_out"));
+}
+
+#[test]
+fn disabled_recording_is_free() {
+    let (a, b) = seeded_sets();
+
+    // Baseline: no observer at all (RunOptions::default() is disabled).
+    let plain =
+        run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &RunOptions::default()).unwrap();
+
+    // Explicitly disabled observer: must behave identically.
+    let disabled_opts = RunOptions {
+        observer: Observer::disabled(),
+        ..RunOptions::default()
+    };
+    let off = run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &disabled_opts).unwrap();
+    assert_eq!(off.result, plain.result, "results byte-identical");
+    assert_eq!(off.cycles, plain.cycles, "recording off adds zero cycles");
+    assert_eq!(off.stats.counters, plain.stats.counters);
+    assert!(off.profile.is_none(), "no profiling without an observer");
+
+    // Recording on: the *simulated* cost must still be identical — the
+    // trace is an observation, never a perturbation.
+    let (obs, sink) = Observer::memory();
+    let on_opts = RunOptions {
+        observer: obs,
+        ..RunOptions::default()
+    };
+    let on = run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &on_opts).unwrap();
+    drop(on_opts);
+    let sink = std::rc::Rc::try_unwrap(sink).unwrap().into_inner();
+    assert_eq!(on.result, plain.result);
+    assert_eq!(
+        on.cycles, plain.cycles,
+        "observation must not perturb cycles"
+    );
+    assert!(!sink.spans.is_empty(), "recording on actually recorded");
+}
