@@ -13,6 +13,14 @@
 //!   unrolling (Section 4), partial loading (Table 2), branch prediction
 //!   on the scalar merge loop (Section 2.3), and the baseline's cache
 //!   geometry.
+//!
+//! Beyond the criterion targets, the crate hosts the `repro bench`
+//! paper-figure suite: [`suite`] fans the evaluation's sweeps out over
+//! the host shard scheduler and [`perf`] serializes the result as the
+//! regression-gated `BENCH_perf.json` snapshot.
+
+pub mod perf;
+pub mod suite;
 
 /// Shared bench workload seed.
 pub const SEED: u64 = 0xbe7c4;

@@ -1,0 +1,384 @@
+//! The machine-readable paper-figure snapshot (`BENCH_perf.json`).
+//!
+//! One [`PerfPoint`] per sweep coordinate of the `repro bench` suite —
+//! throughput over selectivity (Figure 13), over set size and processor
+//! configuration (Table 2's axis), merge-sort over input size (Table 5's
+//! kernel), and makespan/speedup over core count (Section 5.4) — plus
+//! the EIS-vs-x86 headline ratios of Tables 5 and 6 computed against the
+//! *published* reference constants ([`dbx_x86ref::published`]).
+//!
+//! Every number in the snapshot derives from **simulated cycles** at the
+//! synthesis model's fMAX; host wall-clock never enters, so the file is
+//! bit-identical across machines and across host thread counts — CI
+//! diffs it against a committed baseline exactly like `BENCH_observe.json`
+//! and fails on any cycle regression beyond [`REGRESSION_THRESHOLD`].
+
+use dbx_observe::json::{Json, JsonError};
+use std::fmt;
+
+/// Relative cycle increase above which a point counts as a regression.
+pub const REGRESSION_THRESHOLD: f64 = 0.03;
+
+/// Schema tag written into every perf snapshot.
+pub const SCHEMA: &str = "dbx-bench/perf/v1";
+
+/// Quantizes a derived metric to the 6 decimal places the JSON writer
+/// emits, so a snapshot survives a serialize/parse round trip unchanged
+/// (`snapshot == parse(to_json(snapshot))`). Apply to every non-integer
+/// field at construction.
+pub fn q6(x: f64) -> f64 {
+    (x * 1.0e6).round() / 1.0e6
+}
+
+/// One sweep coordinate of the paper-figure suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Figure family: `selectivity`, `size`, `sort`, or `cores`.
+    pub figure: String,
+    /// Kernel name (`intersect`, `union`, `difference`, `sort`).
+    pub kernel: String,
+    /// Processor model name (see `ProcModel::name`).
+    pub model: String,
+    /// The sweep coordinate: selectivity in `[0, 1]`, elements per set,
+    /// sort input size, or simulated core count.
+    pub x: f64,
+    /// Elements processed (the paper's throughput denominator).
+    pub elements: u64,
+    /// Simulated cycles (makespan for multi-core points).
+    pub cycles: u64,
+    /// The model's fMAX on TSMC 65 nm LP used for the throughput, MHz.
+    pub fmax_mhz: f64,
+    /// Throughput at `fmax_mhz`, M elements/s.
+    pub throughput_meps: f64,
+    /// Parallel speedup over one simulated core (`1.0` off the `cores`
+    /// figure).
+    pub speedup: f64,
+}
+
+impl PerfPoint {
+    /// Stable identity of the point inside a snapshot.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/x={}",
+            self.figure, self.kernel, self.model, self.x
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::Str(self.figure.clone())),
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("model", Json::Str(self.model.clone())),
+            ("x", Json::Num(self.x)),
+            ("elements", Json::Num(self.elements as f64)),
+            ("cycles", Json::Num(self.cycles as f64)),
+            ("fmax_mhz", Json::Num(self.fmax_mhz)),
+            ("throughput_meps", Json::Num(self.throughput_meps)),
+            ("speedup", Json::Num(self.speedup)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<PerfPoint, PerfError> {
+        let str_field = |key: &str| -> Result<String, PerfError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| PerfError::Malformed(format!("point missing string {key:?}")))
+        };
+        let num_field = |key: &str| -> Result<f64, PerfError> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| PerfError::Malformed(format!("point missing number {key:?}")))
+        };
+        Ok(PerfPoint {
+            figure: str_field("figure")?,
+            kernel: str_field("kernel")?,
+            model: str_field("model")?,
+            x: num_field("x")?,
+            elements: num_field("elements")? as u64,
+            cycles: num_field("cycles")? as u64,
+            fmax_mhz: num_field("fmax_mhz")?,
+            throughput_meps: num_field("throughput_meps")?,
+            speedup: num_field("speedup")?,
+        })
+    }
+}
+
+/// A full perf snapshot: every sweep point from one `repro bench` run,
+/// plus the named headline ratios.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfSnapshot {
+    /// Workload scale the suite ran at (`1.0` = the paper's sizes).
+    pub scale: f64,
+    /// Sweep points, in generation order (figure-major).
+    pub points: Vec<PerfPoint>,
+    /// Named headline ratios (e.g. `hwset_vs_swset_published`), in
+    /// generation order.
+    pub ratios: Vec<(String, f64)>,
+}
+
+/// How one point moved relative to the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointDiff {
+    /// Point identity (`figure/kernel/model/x=..`).
+    pub key: String,
+    /// Baseline cycles.
+    pub baseline_cycles: u64,
+    /// Current cycles.
+    pub current_cycles: u64,
+    /// Relative change: `(current - baseline) / baseline`.
+    pub delta: f64,
+    /// Whether the change exceeds [`REGRESSION_THRESHOLD`].
+    pub regression: bool,
+}
+
+/// Perf snapshot load/compare failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfError {
+    /// The document did not parse as JSON.
+    Parse(JsonError),
+    /// Parsed, but is not a snapshot of the expected schema.
+    Malformed(String),
+    /// A baseline point has no counterpart in the current run (or vice
+    /// versa) — the sweep matrix changed without updating the baseline.
+    MissingPoint(String),
+    /// Baseline and current run used different workload scales, so cycle
+    /// counts are not comparable.
+    ScaleMismatch {
+        /// Scale recorded in the baseline.
+        baseline: f64,
+        /// Scale of the current run.
+        current: f64,
+    },
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::Parse(e) => write!(f, "perf snapshot parse failure: {e}"),
+            PerfError::Malformed(m) => write!(f, "malformed perf snapshot: {m}"),
+            PerfError::MissingPoint(k) => {
+                write!(f, "point {k:?} present on one side of the diff only")
+            }
+            PerfError::ScaleMismatch { baseline, current } => write!(
+                f,
+                "baseline ran at scale {baseline}, current at {current} — not comparable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+impl From<JsonError> for PerfError {
+    fn from(e: JsonError) -> Self {
+        PerfError::Parse(e)
+    }
+}
+
+impl PerfSnapshot {
+    /// Serializes the snapshot as stable JSON (points and ratios in
+    /// order).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("scale", Json::Num(self.scale)),
+            (
+                "points",
+                Json::Arr(self.points.iter().map(PerfPoint::to_json).collect()),
+            ),
+            (
+                "ratios",
+                Json::Obj(
+                    self.ratios
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a snapshot, checking the schema tag.
+    pub fn from_json(text: &str) -> Result<PerfSnapshot, PerfError> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => {
+                return Err(PerfError::Malformed(format!(
+                    "schema {other:?}, expected {SCHEMA:?}"
+                )))
+            }
+            None => return Err(PerfError::Malformed("missing schema tag".into())),
+        }
+        let scale = doc
+            .get("scale")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| PerfError::Malformed("missing scale".into()))?;
+        let points = doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PerfError::Malformed("missing points array".into()))?
+            .iter()
+            .map(PerfPoint::from_json)
+            .collect::<Result<_, _>>()?;
+        let ratios = match doc.get("ratios") {
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| PerfError::Malformed(format!("ratio {k:?} not a number")))
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err(PerfError::Malformed("missing ratios object".into())),
+        };
+        Ok(PerfSnapshot {
+            scale,
+            points,
+            ratios,
+        })
+    }
+
+    /// Looks up a point by identity key.
+    pub fn point(&self, key: &str) -> Option<&PerfPoint> {
+        self.points.iter().find(|p| p.key() == key)
+    }
+
+    /// Looks up a named headline ratio.
+    pub fn ratio(&self, name: &str) -> Option<f64> {
+        self.ratios.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Compares `self` (the current run) against a baseline. Scales must
+    /// match and every point must exist on both sides; otherwise the
+    /// sweep matrix drifted and the diff errors. Returns one [`PointDiff`]
+    /// per point in baseline order.
+    pub fn diff(&self, baseline: &PerfSnapshot) -> Result<Vec<PointDiff>, PerfError> {
+        if self.scale != baseline.scale {
+            return Err(PerfError::ScaleMismatch {
+                baseline: baseline.scale,
+                current: self.scale,
+            });
+        }
+        for p in &self.points {
+            if baseline.point(&p.key()).is_none() {
+                return Err(PerfError::MissingPoint(p.key()));
+            }
+        }
+        let mut out = Vec::with_capacity(baseline.points.len());
+        for base in &baseline.points {
+            let key = base.key();
+            let cur = self
+                .point(&key)
+                .ok_or_else(|| PerfError::MissingPoint(key.clone()))?;
+            let delta = if base.cycles == 0 {
+                0.0
+            } else {
+                (cur.cycles as f64 - base.cycles as f64) / base.cycles as f64
+            };
+            out.push(PointDiff {
+                key,
+                baseline_cycles: base.cycles,
+                current_cycles: cur.cycles,
+                delta,
+                regression: delta > REGRESSION_THRESHOLD,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(figure: &str, x: f64, cycles: u64) -> PerfPoint {
+        PerfPoint {
+            figure: figure.into(),
+            kernel: "intersect".into(),
+            model: "DBA 2-LSU EIS".into(),
+            x,
+            elements: 5000,
+            cycles,
+            fmax_mhz: 410.0,
+            throughput_meps: q6(5000.0 * 410.0 / cycles as f64),
+            speedup: 1.0,
+        }
+    }
+
+    fn snap(cycles: &[u64]) -> PerfSnapshot {
+        PerfSnapshot {
+            scale: 1.0,
+            points: cycles
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| point("selectivity", i as f64 * 0.25, c))
+                .collect(),
+            ratios: vec![("hwset_vs_swset_published".into(), 1.094)],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_stable() {
+        let s = snap(&[10_000, 12_000, 14_000]);
+        let text = s.to_json();
+        let back = PerfSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+        assert_eq!(back.ratio("hwset_vs_swset_published"), Some(1.094));
+    }
+
+    #[test]
+    fn schema_and_shape_are_enforced() {
+        assert!(matches!(
+            PerfSnapshot::from_json("{\"points\": []}"),
+            Err(PerfError::Malformed(_))
+        ));
+        assert!(matches!(
+            PerfSnapshot::from_json("{\"schema\": \"other/v9\"}"),
+            Err(PerfError::Malformed(_))
+        ));
+        assert!(matches!(
+            PerfSnapshot::from_json("nope"),
+            Err(PerfError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_beyond_threshold() {
+        let baseline = snap(&[10_000, 10_000]);
+        let current = snap(&[10_200, 10_400]); // +2%, +4%
+        let diffs = current.diff(&baseline).unwrap();
+        assert!(!diffs[0].regression);
+        assert!(diffs[1].regression);
+        assert!((diffs[1].delta - 0.04).abs() < 1e-9);
+        // Improvements never flag.
+        assert!(snap(&[9_000, 5_000])
+            .diff(&baseline)
+            .unwrap()
+            .iter()
+            .all(|d| !d.regression));
+    }
+
+    #[test]
+    fn diff_requires_matching_matrix_and_scale() {
+        let baseline = snap(&[10_000]);
+        let current = snap(&[10_000, 11_000]);
+        assert!(matches!(
+            current.diff(&baseline),
+            Err(PerfError::MissingPoint(_))
+        ));
+        assert!(matches!(
+            baseline.diff(&current),
+            Err(PerfError::MissingPoint(_))
+        ));
+        let mut rescaled = snap(&[10_000]);
+        rescaled.scale = 0.5;
+        assert!(matches!(
+            rescaled.diff(&baseline),
+            Err(PerfError::ScaleMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,334 @@
+//! The paper-figure sweep suite behind `repro bench`.
+//!
+//! Regenerates the evaluation's performance figures as one machine-
+//! readable [`PerfSnapshot`]:
+//!
+//! * **selectivity** — intersection/union/difference throughput over
+//!   selectivity on DBA_2LSU_EIS (Figure 13's axis, all three set ops).
+//! * **size** — intersection throughput over set size across the
+//!   LSU/local-memory configurations (Table 2's model axis; inputs beyond
+//!   a local store batch through `run_partition`).
+//! * **sort** — merge-sort throughput over input size across
+//!   configurations (Table 5's kernel).
+//! * **cores** — multi-core makespan and speedup over core count on the
+//!   shared-nothing partitioner (Section 5.4).
+//!
+//! Plus the headline ratios of Tables 5 and 6 against the *published*
+//! x86 reference numbers ([`dbx_x86ref::published`]).
+//!
+//! Every sweep point is an independent simulation, so the suite fans out
+//! over the host shard scheduler ([`HostSched`]); results are collected
+//! in point order and contain only simulated cycles and constants derived
+//! from them — the snapshot is bit-identical whatever the host thread
+//! count.
+
+use crate::perf::{q6, PerfPoint, PerfSnapshot};
+use crate::SEED;
+use dbx_core::multicore::multicore_set_op_with;
+use dbx_core::{run_indexed, run_partition, HostSched, ProcModel, RunOptions, SetOpKind};
+use dbx_synth::{fmax_mhz, Tech};
+use dbx_workloads::{set_pair_with_selectivity, sort_input, SortOrder};
+use dbx_x86ref::published;
+
+/// How the suite runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteConfig {
+    /// Workload scale (`1.0` = the paper's experiment sizes).
+    pub scale: f64,
+    /// Host scheduler for fanning the sweep points out over threads.
+    pub sched: HostSched,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            scale: 1.0,
+            sched: HostSched::from_env(),
+        }
+    }
+}
+
+/// Scales an experiment size (`scale` in `(0, 1]`, floor of 32).
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(32)
+}
+
+/// One sweep coordinate to simulate.
+#[derive(Debug, Clone, Copy)]
+enum Spec {
+    /// A single-core set operation (batched beyond the local store).
+    Set {
+        figure: &'static str,
+        kind: SetOpKind,
+        model: ProcModel,
+        n: usize,
+        sel: f64,
+        x: f64,
+    },
+    /// A merge-sort run.
+    Sort { model: ProcModel, n: usize },
+    /// A shared-nothing multi-core intersection.
+    Cores {
+        kind: SetOpKind,
+        model: ProcModel,
+        n: usize,
+        cores: usize,
+    },
+}
+
+/// The model whose EIS numbers the paper headlines.
+const EIS: ProcModel = ProcModel::Dba2LsuEis { partial: true };
+
+/// The full sweep matrix at a workload scale, figure-major.
+fn build_specs(scale: f64) -> Vec<Spec> {
+    let mut specs = Vec::new();
+    // Figure 13's axis, for all three set operations.
+    for kind in [
+        SetOpKind::Intersect,
+        SetOpKind::Union,
+        SetOpKind::Difference,
+    ] {
+        for sel in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            specs.push(Spec::Set {
+                figure: "selectivity",
+                kind,
+                model: EIS,
+                n: scaled(2500, scale),
+                sel,
+                x: sel,
+            });
+        }
+    }
+    // Set size across the LSU/local-memory configurations.
+    for model in [
+        ProcModel::Dba1Lsu,
+        ProcModel::Dba2Lsu,
+        ProcModel::Dba1LsuEis { partial: true },
+        EIS,
+    ] {
+        // The 32-element floor can collapse adjacent scaled sizes at tiny
+        // scales; dedup so point keys stay unique.
+        let mut sizes: Vec<usize> = [625, 1250, 2500, 5000]
+            .into_iter()
+            .map(|b| scaled(b, scale))
+            .collect();
+        sizes.dedup();
+        for n in sizes {
+            specs.push(Spec::Set {
+                figure: "size",
+                kind: SetOpKind::Intersect,
+                model,
+                n,
+                sel: 0.5,
+                x: n as f64,
+            });
+        }
+    }
+    // Merge-sort input size across configurations.
+    for model in [
+        ProcModel::Dba1Lsu,
+        ProcModel::Dba1LsuEis { partial: true },
+        EIS,
+    ] {
+        let mut sizes: Vec<usize> = [1625, 3250, 6500]
+            .into_iter()
+            .map(|b| scaled(b, scale))
+            .collect();
+        sizes.dedup();
+        for n in sizes {
+            specs.push(Spec::Sort { model, n });
+        }
+    }
+    // Core-count scaling on the shared-nothing partitioner.
+    for cores in [1, 2, 4, 8, 16] {
+        specs.push(Spec::Cores {
+            kind: SetOpKind::Intersect,
+            model: EIS,
+            n: scaled(20_000, scale),
+            cores,
+        });
+    }
+    specs
+}
+
+/// Simulates one sweep coordinate. Cycle counts are deterministic for the
+/// pinned seed, so this is safe to run on any host thread.
+fn run_spec(spec: &Spec) -> PerfPoint {
+    let tech = Tech::tsmc65lp();
+    match *spec {
+        Spec::Set {
+            figure,
+            kind,
+            model,
+            n,
+            sel,
+            x,
+        } => {
+            let (a, b) = set_pair_with_selectivity(n, n, sel, SEED);
+            let (_, cycles) = run_partition(model, kind, &a, &b).expect("bench set point");
+            let elements = (a.len() + b.len()) as u64;
+            let fmax = fmax_mhz(model, &tech);
+            PerfPoint {
+                figure: figure.to_string(),
+                kernel: kind.name().to_string(),
+                model: model.name().to_string(),
+                x,
+                elements,
+                cycles,
+                fmax_mhz: q6(fmax),
+                throughput_meps: q6(elements as f64 * fmax / cycles as f64),
+                speedup: 1.0,
+            }
+        }
+        Spec::Sort { model, n } => {
+            let data = sort_input(n, SortOrder::Random, SEED);
+            let r = dbx_core::run_sort(model, &data).expect("bench sort point");
+            let fmax = fmax_mhz(model, &tech);
+            PerfPoint {
+                figure: "sort".to_string(),
+                kernel: "sort".to_string(),
+                model: model.name().to_string(),
+                x: n as f64,
+                elements: n as u64,
+                cycles: r.cycles,
+                fmax_mhz: q6(fmax),
+                throughput_meps: q6(r.stats.throughput_meps(n as u64, fmax)),
+                speedup: 1.0,
+            }
+        }
+        Spec::Cores {
+            kind,
+            model,
+            n,
+            cores,
+        } => {
+            let (a, b) = set_pair_with_selectivity(n, n, 0.5, SEED);
+            // The point itself is one shard of the outer fan-out; the
+            // simulated cores within it run sequentially.
+            let mc = multicore_set_op_with(model, kind, &a, &b, cores, &RunOptions::default())
+                .expect("bench cores point");
+            let elements = (a.len() + b.len()) as u64;
+            let fmax = fmax_mhz(model, &tech);
+            PerfPoint {
+                figure: "cores".to_string(),
+                kernel: kind.name().to_string(),
+                model: model.name().to_string(),
+                x: cores as f64,
+                elements,
+                cycles: mc.makespan_cycles,
+                fmax_mhz: q6(fmax),
+                throughput_meps: q6(mc.throughput_meps(elements, fmax)),
+                speedup: 1.0, // rewritten against the 1-core makespan below
+            }
+        }
+    }
+}
+
+/// Runs the full paper-figure suite and returns the snapshot.
+pub fn run_suite(cfg: &SuiteConfig) -> PerfSnapshot {
+    let specs = build_specs(cfg.scale);
+    let mut points = run_indexed(cfg.sched, specs.len(), |i| run_spec(&specs[i]));
+
+    // Speedup-vs-cores is relative to the 1-core makespan of the same
+    // figure (computed after the fan-out — it needs two points at once).
+    let one_core = points
+        .iter()
+        .find(|p| p.figure == "cores" && p.x == 1.0)
+        .map(|p| p.cycles)
+        .unwrap_or(0);
+    for p in points.iter_mut().filter(|p| p.figure == "cores") {
+        p.speedup = if p.cycles == 0 {
+            0.0
+        } else {
+            q6(one_core as f64 / p.cycles as f64)
+        };
+    }
+
+    // Headline ratios against the published x86 reference numbers.
+    let eis_name = EIS.name().to_string();
+    let hwset = points
+        .iter()
+        .find(|p| p.figure == "selectivity" && p.kernel == "intersect" && p.x == 0.5)
+        .map(|p| p.throughput_meps)
+        .unwrap_or(0.0);
+    let hwsort = points
+        .iter()
+        .filter(|p| p.figure == "sort" && p.model == eis_name)
+        .max_by(|a, b| a.x.total_cmp(&b.x))
+        .map(|p| p.throughput_meps)
+        .unwrap_or(0.0);
+    let max_speedup = points
+        .iter()
+        .filter(|p| p.figure == "cores")
+        .map(|p| p.speedup)
+        .fold(0.0, f64::max);
+    let ratios = vec![
+        (
+            "hwset_vs_swset_published".to_string(),
+            q6(hwset / published::i7_920::SWSET_MEPS),
+        ),
+        (
+            "hwsort_vs_swsort_published".to_string(),
+            q6(hwsort / published::q9550::SWSORT_MEPS),
+        ),
+        ("cores_speedup_max".to_string(), max_speedup),
+    ];
+
+    PerfSnapshot {
+        scale: cfg.scale,
+        points,
+        ratios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_across_host_thread_counts() {
+        let small = |sched| run_suite(&SuiteConfig { scale: 0.02, sched });
+        let seq = small(HostSched::Sequential);
+        let par = small(HostSched::Parallel { threads: 3 });
+        assert_eq!(seq, par, "snapshot must not depend on host threads");
+        assert_eq!(seq.to_json(), par.to_json());
+    }
+
+    #[test]
+    fn suite_covers_every_figure_and_ratio() {
+        let snap = run_suite(&SuiteConfig {
+            scale: 0.02,
+            sched: HostSched::Sequential,
+        });
+        for figure in ["selectivity", "size", "sort", "cores"] {
+            assert!(
+                snap.points.iter().any(|p| p.figure == figure),
+                "missing figure {figure}"
+            );
+        }
+        assert!(snap.ratio("hwset_vs_swset_published").is_some());
+        assert!(snap.ratio("hwsort_vs_swsort_published").is_some());
+        let s = snap.ratio("cores_speedup_max").unwrap();
+        assert!(s >= 1.0, "16 simulated cores must not slow down: {s}");
+        // Keys are unique — the diff relies on it.
+        let mut keys: Vec<String> = snap.points.iter().map(PerfPoint::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), snap.points.len());
+    }
+
+    #[test]
+    fn paper_scale_ratios_land_in_the_published_regime() {
+        // Scale 0.2 keeps the suite quick while the EIS throughput stays
+        // in the published ballpark (same cycle model, same fMAX model).
+        let snap = run_suite(&SuiteConfig {
+            scale: 0.2,
+            sched: HostSched::from_env(),
+        });
+        let hwset = snap.ratio("hwset_vs_swset_published").unwrap();
+        assert!(
+            (0.8..1.5).contains(&hwset),
+            "hwset/swset ratio {hwset} out of regime"
+        );
+    }
+}

@@ -16,6 +16,9 @@
 //!   prefetcher (double buffering).
 //! * [`multicore`] — shared-nothing partitioned execution across many
 //!   cores (the paper's area-equivalence argument).
+//! * [`sched`] — the host-parallel shard scheduler: runs independent
+//!   simulated shards on a work-stealing pool of host threads with
+//!   deterministic, shard-ordered merge.
 
 pub mod configs;
 pub mod datapath;
@@ -23,6 +26,7 @@ pub mod kernels;
 pub mod multicore;
 pub mod ops;
 pub mod runner;
+pub mod sched;
 pub mod states;
 pub mod stream;
 
@@ -34,4 +38,5 @@ pub use runner::{
     build_processor, build_processor_with, run_set_op, run_set_op_with, run_sort, run_sort_with,
     scalar_fallback, set_preflight, KernelRun, RecoveryPolicy, RunOptions,
 };
+pub use sched::{run_indexed, HostSched};
 pub use states::SENTINEL;

@@ -122,6 +122,13 @@ pub struct RunOptions {
     /// spans) plus the run's event counters. The observer never touches
     /// the simulated machine, so enabling it cannot change cycle counts.
     pub observer: Observer,
+    /// How fan-out layers — [`crate::multicore`], the query engine, the
+    /// bench sweeps — map independent shards onto host threads. The
+    /// single-kernel runners in this module ignore it (one kernel is one
+    /// shard). Whatever it is set to, results, simulated cycle counts,
+    /// fault counters, and observe traces are bit-identical to
+    /// [`crate::sched::HostSched::Sequential`].
+    pub sched: crate::sched::HostSched,
 }
 
 /// Outcome of a simulated kernel run.

@@ -72,7 +72,12 @@ pub struct TieCtx<'a> {
 }
 
 /// A pluggable instruction-set extension.
-pub trait Extension {
+///
+/// `Send` is a supertrait so a whole [`crate::Processor`] (which owns its
+/// extension as a boxed trait object) can migrate between host threads —
+/// the host-parallel shard scheduler builds per-core simulator instances
+/// inside worker threads and joins their results on the driver thread.
+pub trait Extension: Send {
     /// Extension name (reports, synthesis).
     fn name(&self) -> &'static str;
 

@@ -27,7 +27,7 @@ use crate::stats::{EventCounters, RunStats};
 use crate::trace::Trace;
 use dbx_faults::{FaultKind, FaultPlan, FaultTarget};
 use dbx_mem::{MemError, Width};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Hardware-loop registers (LBEG/LEND/LCOUNT).
 #[derive(Debug, Clone, Copy)]
@@ -63,7 +63,7 @@ pub struct Processor {
     pub counters: EventCounters,
     /// Cycles elapsed in the current/last run.
     pub cycles: u64,
-    program: Option<Rc<Program>>,
+    program: Option<Arc<Program>>,
     pending_load: Option<Reg>,
     halted: bool,
     profile: Option<Profile>,
@@ -193,7 +193,7 @@ impl Processor {
     }
 
     /// The loaded program.
-    pub fn program(&self) -> Option<&Rc<Program>> {
+    pub fn program(&self) -> Option<&Arc<Program>> {
         self.program.as_ref()
     }
 
@@ -218,7 +218,7 @@ impl Processor {
             )?;
         }
         self.pc = p.entry();
-        self.program = Some(Rc::new(p));
+        self.program = Some(Arc::new(p));
         self.reset_run_state();
         Ok(())
     }
@@ -676,6 +676,23 @@ mod tests {
 
     fn dba() -> Processor {
         Processor::new(CpuConfig::local_store_core(1, 64)).unwrap()
+    }
+
+    #[test]
+    fn simulator_state_is_send() {
+        // The host-parallel shard scheduler builds per-core Processor
+        // instances inside worker threads; every piece of simulator state
+        // must therefore be Send. This is a compile-time audit.
+        fn assert_send<T: Send>() {}
+        assert_send::<Processor>();
+        assert_send::<CpuConfig>();
+        assert_send::<RunStats>();
+        assert_send::<SimError>();
+        assert_send::<crate::ProfileSnapshot>();
+        assert_send::<crate::Program>();
+        assert_send::<Box<dyn Extension>>();
+        assert_send::<dbx_faults::FaultPlan>();
+        assert_send::<dbx_faults::FaultCounters>();
     }
 
     #[test]

@@ -141,9 +141,11 @@ impl RunStats {
     /// Throughput in million elements per second for `elements` processed
     /// at core frequency `f_mhz` — the paper's reporting metric
     /// (Section 5.2: `T = (l_a + l_b) / t` for set operations, `n / t`
-    /// for sorting).
+    /// for sorting). Degenerate inputs — zero cycles, or a frequency that
+    /// is zero, negative, or non-finite — report `0.0` rather than a
+    /// NaN/infinity that would poison downstream aggregates.
     pub fn throughput_meps(&self, elements: u64, f_mhz: f64) -> f64 {
-        if self.cycles == 0 {
+        if self.cycles == 0 || !f_mhz.is_finite() || f_mhz <= 0.0 {
             return 0.0;
         }
         // elements / (cycles / f) where f is in MHz and t in µs gives
@@ -216,5 +218,18 @@ mod tests {
         };
         assert_eq!(s.cpi(), 0.0);
         assert_eq!(s.throughput_meps(100, 400.0), 0.0);
+    }
+
+    #[test]
+    fn throughput_is_zero_for_degenerate_frequencies() {
+        let s = RunStats {
+            cycles: 1000,
+            halted: true,
+            counters: EventCounters::default(),
+        };
+        assert_eq!(s.throughput_meps(2000, 0.0), 0.0);
+        assert_eq!(s.throughput_meps(2000, -410.0), 0.0);
+        assert_eq!(s.throughput_meps(2000, f64::NAN), 0.0);
+        assert_eq!(s.throughput_meps(2000, f64::INFINITY), 0.0);
     }
 }

@@ -1,0 +1,166 @@
+//! `repro bench` — the paper-figure performance suite.
+//!
+//! Drives the [`dbx_bench::suite`] sweeps (selectivity, set size,
+//! merge-sort size, core count) over the host shard scheduler and
+//! exports the result three ways:
+//!
+//! * a per-figure throughput table plus the EIS-vs-x86 headline ratios
+//!   (the human report),
+//! * the machine-readable [`PerfSnapshot`] (`--json`) that CI diffs
+//!   against the committed `BENCH_perf.json` baseline (`--check`),
+//! * folded stacks (`figure;kernel;model@x cycles`) for flamegraph
+//!   tools (`--folded`).
+//!
+//! Every number derives from simulated cycles at the synthesis model's
+//! fMAX — host wall-clock never enters — so the snapshot is
+//! bit-identical for any `--threads` value and any machine.
+
+use crate::report::{f1, TextTable};
+use dbx_bench::perf::{PerfError, PerfSnapshot, PointDiff};
+use dbx_bench::suite::{run_suite, SuiteConfig};
+use dbx_core::HostSched;
+use dbx_observe::FoldedStacks;
+
+/// The full paper-figure suite result.
+#[derive(Debug)]
+pub struct Bench {
+    /// The machine-readable snapshot (what `BENCH_perf.json` holds).
+    pub snapshot: PerfSnapshot,
+}
+
+/// Runs the suite at a workload scale on the given host scheduler.
+/// `scale = 1.0` is the committed-baseline configuration (the only one
+/// `--check` can compare).
+pub fn run(scale: f64, sched: HostSched) -> Bench {
+    Bench {
+        snapshot: run_suite(&SuiteConfig { scale, sched }),
+    }
+}
+
+impl Bench {
+    /// The per-figure sweep tables plus the headline ratios.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Paper-figure perf suite — scale {} ({} points)\n",
+            self.snapshot.scale,
+            self.snapshot.points.len()
+        );
+        for figure in ["selectivity", "size", "sort", "cores"] {
+            let points: Vec<_> = self
+                .snapshot
+                .points
+                .iter()
+                .filter(|p| p.figure == figure)
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            let mut t = TextTable::new(["Kernel", "Processor", "x", "Cycles", "MEPS", "Speedup"]);
+            for p in points {
+                t.row([
+                    p.kernel.clone(),
+                    p.model.clone(),
+                    format!("{}", p.x),
+                    p.cycles.to_string(),
+                    f1(p.throughput_meps),
+                    format!("{:.2}", p.speedup),
+                ]);
+            }
+            out.push_str(&format!("\n[{figure}]\n{}", t.render()));
+        }
+        out.push_str("\nHeadline ratios vs published x86 numbers:\n");
+        for (name, value) in &self.snapshot.ratios {
+            out.push_str(&format!("  {name:<28} {value:.3}\n"));
+        }
+        out
+    }
+
+    /// Folded stacks (`figure;kernel;model@x cycles`) for flamegraph
+    /// tools — one frame per sweep point, weighted by simulated cycles.
+    pub fn folded(&self) -> FoldedStacks {
+        let mut fs = FoldedStacks::new();
+        for p in &self.snapshot.points {
+            let leaf = format!("{}@x={}", p.model, p.x);
+            fs.add(&[&p.figure, &p.kernel, &leaf], p.cycles);
+        }
+        fs
+    }
+
+    /// Compares this run's snapshot against a committed baseline.
+    pub fn check(&self, baseline: &str) -> Result<Vec<PointDiff>, PerfError> {
+        let base = PerfSnapshot::from_json(baseline)?;
+        self.snapshot.diff(&base)
+    }
+
+    /// Renders a `--check` diff, one line per sweep point.
+    pub fn render_diff(diffs: &[PointDiff]) -> String {
+        let mut t = TextTable::new(["Point", "Baseline", "Current", "Delta", ""]);
+        for d in diffs {
+            t.row([
+                d.key.clone(),
+                d.baseline_cycles.to_string(),
+                d.current_cycles.to_string(),
+                format!("{:+.2}%", 100.0 * d.delta),
+                if d.regression { "REGRESSION" } else { "ok" }.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Parses a `--threads` flag value into a host scheduler: absent falls
+/// back to `DBX_HOST_THREADS`, `0`/`auto` means all host cores, `1`
+/// forces the sequential path, `n` pins the worker count.
+pub fn sched_from_flag(threads: Option<&str>) -> HostSched {
+    match threads {
+        None => HostSched::from_env(),
+        Some("auto") | Some("0") => HostSched::Parallel { threads: 0 },
+        Some(n) => match n.parse::<usize>() {
+            Ok(1) => HostSched::Sequential,
+            Ok(n) => HostSched::Parallel { threads: n },
+            Err(_) => HostSched::from_env(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_every_figure_and_ratio() {
+        let b = run(0.02, HostSched::Sequential);
+        let text = b.render();
+        for section in ["[selectivity]", "[size]", "[sort]", "[cores]"] {
+            assert!(text.contains(section), "missing section {section}");
+        }
+        assert!(text.contains("hwset_vs_swset_published"));
+        assert!(text.contains("hwsort_vs_swsort_published"));
+    }
+
+    #[test]
+    fn self_check_is_clean_and_folded_totals_match() {
+        let b = run(0.02, HostSched::Sequential);
+        let diffs = b.check(&b.snapshot.to_json()).expect("self diff");
+        assert!(diffs.iter().all(|d| !d.regression && d.delta == 0.0));
+        let total: u64 = b.snapshot.points.iter().map(|p| p.cycles).sum();
+        assert_eq!(b.folded().total_cycles(), total);
+    }
+
+    #[test]
+    fn threads_flag_maps_onto_the_scheduler() {
+        assert_eq!(sched_from_flag(Some("1")), HostSched::Sequential);
+        assert_eq!(
+            sched_from_flag(Some("4")),
+            HostSched::Parallel { threads: 4 }
+        );
+        assert_eq!(
+            sched_from_flag(Some("auto")),
+            HostSched::Parallel { threads: 0 }
+        );
+        assert_eq!(
+            sched_from_flag(Some("0")),
+            HostSched::Parallel { threads: 0 }
+        );
+    }
+}

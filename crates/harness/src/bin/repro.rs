@@ -15,6 +15,7 @@
 //! repro width       Section 2.2 (vector-width area/bandwidth tradeoff)
 //! repro isa         instruction-set reference (generated from descriptors)
 //! repro observe     observability matrix: hotspots, Perfetto, benchmark snapshot
+//! repro bench       paper-figure perf suite: sweeps, ratios, BENCH_perf.json
 //! repro all         everything above
 //!
 //! options: --quick   scale workloads down ~10x for a fast pass
@@ -28,11 +29,20 @@
 //!          --top <n>           hotspot regions per kernel (default 3)
 //!          --check <baseline>  diff against a committed snapshot; exit 1
 //!                              on any >3% cycle regression
+//!
+//! bench options:
+//!          --scale <f>         workload scale (default 1.0; overrides --quick)
+//!          --threads <n|auto>  host worker threads for the sweep fan-out
+//!                              (default: DBX_HOST_THREADS, else sequential)
+//!          --json              print the perf snapshot JSON
+//!          --folded <path>     write folded stacks for flamegraph tools
+//!          --check <baseline>  diff against a committed BENCH_perf.json;
+//!                              exit 1 on any >3% cycle regression
 //! ```
 
 use dbx_harness::{
-    energy, fig13, isa_ref, observe, pipeline, resilience, scaling, stream_exp, table2, table3,
-    table4, table5, table6, width_exp,
+    bench, energy, fig13, isa_ref, observe, pipeline, resilience, scaling, stream_exp, table2,
+    table3, table4, table5, table6, width_exp,
 };
 
 fn main() {
@@ -75,10 +85,11 @@ fn main() {
         "width" => println!("{}", width_exp::run().render()),
         "isa" => println!("{}", isa_ref::render()),
         "observe" => run_observe(&args, scale),
+        "bench" => run_bench(&args, scale),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe all"
+                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe bench all"
             );
             std::process::exit(2);
         }
@@ -99,6 +110,7 @@ fn main() {
             "resilience",
             "width",
             "observe",
+            "bench",
         ] {
             run_one(name);
             println!();
@@ -146,6 +158,44 @@ fn run_observe(args: &[String], scale: f64) {
                 eprintln!("{}", observe::Observe::render_diff(&diffs));
                 if regressions > 0 {
                     eprintln!("{regressions} cell(s) regressed beyond the 3% threshold");
+                    std::process::exit(1);
+                }
+                eprintln!("no cycle regressions against {path}");
+            }
+            Err(e) => {
+                eprintln!("baseline comparison failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_bench(args: &[String], scale: f64) {
+    let scale = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(scale);
+    let sched = bench::sched_from_flag(flag_value(args, "--threads"));
+    let b = bench::run(scale, sched);
+
+    if let Some(path) = flag_value(args, "--folded") {
+        std::fs::write(path, b.folded().render()).expect("write folded stacks");
+        eprintln!("wrote folded stacks to {path}");
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", b.snapshot.to_json());
+    } else {
+        println!("{}", b.render());
+    }
+
+    if let Some(path) = flag_value(args, "--check") {
+        let baseline = std::fs::read_to_string(path).expect("read baseline snapshot");
+        match b.check(&baseline) {
+            Ok(diffs) => {
+                let regressions = diffs.iter().filter(|d| d.regression).count();
+                eprintln!("{}", bench::Bench::render_diff(&diffs));
+                if regressions > 0 {
+                    eprintln!("{regressions} point(s) regressed beyond the 3% threshold");
                     std::process::exit(1);
                 }
                 eprintln!("no cycle regressions against {path}");

@@ -14,6 +14,7 @@
 //! | [`energy`] | The abstract's headline: energy per element, all configurations + x86 references |
 //! | [`resilience`] | Local-store protection (parity/SECDED) cost and a seeded fault campaign |
 //! | [`observe`] | Unified tracing/metrics: hotspot tables, Perfetto timeline, folded stacks, benchmark snapshot |
+//! | [`bench`] | Section 6's figure sweeps as the regression-gated `BENCH_perf.json` suite |
 //! | [`width_exp`] | Section 2.2 — vector-width area/bandwidth tradeoff |
 //! | [`pipeline`] | Section 4 — cycles/iteration vs unroll factor, theoretical peak |
 //!
@@ -22,6 +23,7 @@
 //! `dbx-synth` timing model; the paper's published frequencies and
 //! throughputs are carried alongside for comparison.
 
+pub mod bench;
 pub mod energy;
 pub mod fig13;
 pub mod isa_ref;

@@ -115,6 +115,7 @@ pub fn run(scale: f64) -> Resilience {
                 policy: RecoveryPolicy::Retry { max_retries: 2 },
                 watchdog: None,
                 observer,
+                ..Default::default()
             };
             let r =
                 run_set_op_with(MODEL, SetOpKind::Intersect, &a, &b, &opts).expect("recovered run");

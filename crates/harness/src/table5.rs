@@ -52,26 +52,27 @@ pub struct Table5 {
     pub sw_n: usize,
 }
 
-/// Paper Table 5 constants.
+/// Paper Table 5 constants (see [`dbx_x86ref::published`]).
 pub fn paper_platforms() -> (Platform, Platform) {
+    use dbx_x86ref::published::{dba_2lsu_eis, q9550};
     (
         Platform {
             name: "Intel Q9550 (swsort)",
-            throughput_meps: 60.0,
-            clock_ghz: 3.22,
-            tdp_w: 95.0,
-            cores_threads: "4/4",
-            feature_nm: 45,
-            area_mm2: 214.0,
+            throughput_meps: q9550::SWSORT_MEPS,
+            clock_ghz: q9550::CLOCK_GHZ,
+            tdp_w: q9550::TDP_W,
+            cores_threads: q9550::CORES_THREADS,
+            feature_nm: q9550::FEATURE_NM,
+            area_mm2: q9550::AREA_MM2,
         },
         Platform {
             name: "DBA_2LSU_EIS (hwsort)",
-            throughput_meps: 28.3,
-            clock_ghz: 0.41,
-            tdp_w: 0.135,
-            cores_threads: "1/1",
-            feature_nm: 65,
-            area_mm2: 1.5,
+            throughput_meps: dba_2lsu_eis::HWSORT_MEPS,
+            clock_ghz: dba_2lsu_eis::CLOCK_GHZ,
+            tdp_w: dba_2lsu_eis::POWER_W,
+            cores_threads: dba_2lsu_eis::CORES_THREADS,
+            feature_nm: dba_2lsu_eis::FEATURE_NM,
+            area_mm2: dba_2lsu_eis::AREA_MM2,
         },
     )
 }

@@ -34,26 +34,27 @@ pub struct Table6 {
     pub sw_n: usize,
 }
 
-/// Paper Table 6 constants.
+/// Paper Table 6 constants (see [`dbx_x86ref::published`]).
 pub fn paper_platforms() -> (Platform, Platform) {
+    use dbx_x86ref::published::{dba_2lsu_eis, i7_920};
     (
         Platform {
             name: "Intel i7-920 (swset)",
-            throughput_meps: 1100.0,
-            clock_ghz: 2.67,
-            tdp_w: 130.0,
-            cores_threads: "4/8",
-            feature_nm: 45,
-            area_mm2: 263.0,
+            throughput_meps: i7_920::SWSET_MEPS,
+            clock_ghz: i7_920::CLOCK_GHZ,
+            tdp_w: i7_920::TDP_W,
+            cores_threads: i7_920::CORES_THREADS,
+            feature_nm: i7_920::FEATURE_NM,
+            area_mm2: i7_920::AREA_MM2,
         },
         Platform {
             name: "DBA_2LSU_EIS (hwset)",
-            throughput_meps: 1203.0,
-            clock_ghz: 0.41,
-            tdp_w: 0.135,
-            cores_threads: "1/1",
-            feature_nm: 65,
-            area_mm2: 1.5,
+            throughput_meps: dba_2lsu_eis::HWSET_MEPS,
+            clock_ghz: dba_2lsu_eis::CLOCK_GHZ,
+            tdp_w: dba_2lsu_eis::POWER_W,
+            cores_threads: dba_2lsu_eis::CORES_THREADS,
+            feature_nm: dba_2lsu_eis::FEATURE_NM,
+            area_mm2: dba_2lsu_eis::AREA_MM2,
         },
     )
 }

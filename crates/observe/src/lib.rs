@@ -41,6 +41,6 @@ pub mod span;
 pub use folded::{folded_line, FoldedStacks};
 pub use json::Json;
 pub use perfetto::{validate_chrome_trace, write_chrome_trace};
-pub use recorder::{Observer, Recorder, TraceSink};
+pub use recorder::{Observer, Recorder, SharedSink, TraceSink};
 pub use snapshot::{BenchCell, BenchSnapshot, CellDiff, SnapshotError};
 pub use span::{ArgValue, CounterSample, Span, TrackId};

@@ -10,12 +10,16 @@
 //!   with block-granular advancement. This is the `swset` of Table 6.
 //! * [`scalar`] — the plain branchy algorithms (Figures 2 and 3), the
 //!   software lower bound.
+//! * [`published`] — the published Q9550/i7-920/DBA throughput and power
+//!   constants of Tables 5 and 6, shared by the harness tables and the
+//!   `repro bench` perf suite.
 //!
 //! These run on the *host* CPU; the harness reports host measurements
 //! alongside the paper's published Q9550/i7-920 numbers. The kernels are
 //! written over `[u32; 4]` lanes with element-wise min/max so the
 //! compiler's auto-vectorizer maps them to SIMD.
 
+pub mod published;
 pub mod scalar;
 pub mod swset;
 pub mod swsort;
