@@ -7,11 +7,13 @@
 //! the EIS-vs-x86 headline ratios of Tables 5 and 6 computed against the
 //! *published* reference constants ([`dbx_x86ref::published`]).
 //!
-//! Every number in the snapshot derives from **simulated cycles** at the
-//! synthesis model's fMAX; host wall-clock never enters, so the file is
-//! bit-identical across machines and across host thread counts — CI
-//! diffs it against a committed baseline exactly like `BENCH_observe.json`
-//! and fails on any cycle regression beyond [`REGRESSION_THRESHOLD`].
+//! Every number in the snapshot *body* derives from **simulated cycles**
+//! at the synthesis model's fMAX; host wall-clock enters only the
+//! optional [`HostTiming`] metadata block (`--host-time`), which
+//! [`PerfSnapshot::diff`] ignores — so the committed file stays
+//! bit-identical across machines and across host thread counts and CI
+//! diffs it against a committed baseline exactly like `BENCH_observe.json`,
+//! failing on any cycle regression beyond [`REGRESSION_THRESHOLD`].
 
 use dbx_observe::json::{Json, JsonError};
 use std::fmt;
@@ -28,6 +30,73 @@ pub const SCHEMA: &str = "dbx-bench/perf/v1";
 /// field at construction.
 pub fn q6(x: f64) -> f64 {
     (x * 1.0e6).round() / 1.0e6
+}
+
+/// Host-side timing of one suite run (`repro bench --host-time`).
+///
+/// This is *metadata about the machine that ran the sweep*, not part of
+/// the snapshot identity: [`PerfSnapshot::diff`] never looks at it, it is
+/// absent from `BENCH_perf.json` (the committed baseline is produced
+/// without `--host-time`), and two runs of the same sweep on different
+/// hosts differ only here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostTiming {
+    /// Wall-clock nanoseconds for the whole sweep fan-out.
+    pub host_ns: u64,
+    /// Total simulated cycles across all sweep points.
+    pub sim_cycles: u64,
+    /// Host nanoseconds spent per simulated cycle.
+    pub ns_per_cycle: f64,
+    /// Million simulated cycles per host second (sim MIPS analogue).
+    pub sim_mcps: f64,
+    /// Host worker threads the sweep fanned out over.
+    pub threads: u64,
+}
+
+impl HostTiming {
+    /// Derives the per-cycle rates from a wall-clock measurement.
+    pub fn new(host_ns: u64, sim_cycles: u64, threads: u64) -> HostTiming {
+        let (ns_per_cycle, sim_mcps) = if host_ns == 0 || sim_cycles == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                host_ns as f64 / sim_cycles as f64,
+                sim_cycles as f64 * 1.0e3 / host_ns as f64,
+            )
+        };
+        HostTiming {
+            host_ns,
+            sim_cycles,
+            ns_per_cycle: q6(ns_per_cycle),
+            sim_mcps: q6(sim_mcps),
+            threads,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("host_ns", Json::Num(self.host_ns as f64)),
+            ("sim_cycles", Json::Num(self.sim_cycles as f64)),
+            ("ns_per_cycle", Json::Num(self.ns_per_cycle)),
+            ("sim_mcps", Json::Num(self.sim_mcps)),
+            ("threads", Json::Num(self.threads as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<HostTiming, PerfError> {
+        let num = |key: &str| -> Result<f64, PerfError> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| PerfError::Malformed(format!("host timing missing {key:?}")))
+        };
+        Ok(HostTiming {
+            host_ns: num("host_ns")? as u64,
+            sim_cycles: num("sim_cycles")? as u64,
+            ns_per_cycle: num("ns_per_cycle")?,
+            sim_mcps: num("sim_mcps")?,
+            threads: num("threads")? as u64,
+        })
+    }
 }
 
 /// One sweep coordinate of the paper-figure suite.
@@ -115,6 +184,10 @@ pub struct PerfSnapshot {
     /// Named headline ratios (e.g. `hwset_vs_swset_published`), in
     /// generation order.
     pub ratios: Vec<(String, f64)>,
+    /// Host timing metadata (`--host-time` only). Excluded from
+    /// [`PerfSnapshot::diff`] and absent from the committed baseline, so
+    /// `BENCH_perf.json` stays bit-identical across machines.
+    pub host: Option<HostTiming>,
 }
 
 /// How one point moved relative to the baseline.
@@ -180,15 +253,15 @@ impl PerfSnapshot {
     /// Serializes the snapshot as stable JSON (points and ratios in
     /// order).
     pub fn to_json(&self) -> String {
-        Json::obj([
-            ("schema", Json::Str(SCHEMA.into())),
-            ("scale", Json::Num(self.scale)),
+        let mut fields = vec![
+            ("schema".to_string(), Json::Str(SCHEMA.into())),
+            ("scale".to_string(), Json::Num(self.scale)),
             (
-                "points",
+                "points".to_string(),
                 Json::Arr(self.points.iter().map(PerfPoint::to_json).collect()),
             ),
             (
-                "ratios",
+                "ratios".to_string(),
                 Json::Obj(
                     self.ratios
                         .iter()
@@ -196,8 +269,13 @@ impl PerfSnapshot {
                         .collect(),
                 ),
             ),
-        ])
-        .to_string()
+        ];
+        // Host timing is appended last and only when measured, so a run
+        // without `--host-time` serializes byte-identically to before.
+        if let Some(h) = &self.host {
+            fields.push(("host".to_string(), h.to_json()));
+        }
+        Json::Obj(fields).to_string()
     }
 
     /// Parses a snapshot, checking the schema tag.
@@ -234,10 +312,15 @@ impl PerfSnapshot {
                 .collect::<Result<_, _>>()?,
             _ => return Err(PerfError::Malformed("missing ratios object".into())),
         };
+        let host = match doc.get("host") {
+            Some(v) => Some(HostTiming::from_json(v)?),
+            None => None,
+        };
         Ok(PerfSnapshot {
             scale,
             points,
             ratios,
+            host,
         })
     }
 
@@ -317,6 +400,7 @@ mod tests {
                 .map(|(i, &c)| point("selectivity", i as f64 * 0.25, c))
                 .collect(),
             ratios: vec![("hwset_vs_swset_published".into(), 1.094)],
+            host: None,
         }
     }
 
@@ -344,6 +428,35 @@ mod tests {
             PerfSnapshot::from_json("nope"),
             Err(PerfError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn host_timing_roundtrips_and_stays_out_of_the_diff() {
+        let base = snap(&[10_000, 12_000]);
+        let mut timed = base.clone();
+        timed.host = Some(HostTiming::new(250_000_000, 22_000, 4));
+        // Adding host metadata never changes the body serialization…
+        assert!(timed.to_json().contains("\"host\""));
+        assert!(!base.to_json().contains("\"host\""));
+        // …roundtrips losslessly…
+        let back = PerfSnapshot::from_json(&timed.to_json()).unwrap();
+        assert_eq!(back, timed);
+        let h = back.host.unwrap();
+        assert!((h.ns_per_cycle - q6(250_000_000.0 / 22_000.0)).abs() < 1e-9);
+        assert!((h.sim_mcps - q6(22_000.0 * 1.0e3 / 250_000_000.0)).abs() < 1e-9);
+        // …and is invisible to the regression diff in both directions.
+        let timed = PerfSnapshot::from_json(&timed.to_json()).unwrap();
+        for (cur, b) in [(&timed, &base), (&base, &timed)] {
+            let diffs = cur.diff(b).unwrap();
+            assert!(diffs.iter().all(|d| !d.regression && d.delta == 0.0));
+        }
+    }
+
+    #[test]
+    fn degenerate_host_timing_is_finite() {
+        let h = HostTiming::new(0, 0, 1);
+        assert_eq!(h.ns_per_cycle, 0.0);
+        assert_eq!(h.sim_mcps, 0.0);
     }
 
     #[test]

@@ -278,6 +278,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> PerfSnapshot {
         scale: cfg.scale,
         points,
         ratios,
+        host: None,
     }
 }
 

@@ -67,6 +67,7 @@ pub struct CompareMatrix {
 /// Invalid lanes (index >= count) must be pre-filled with the sentinel by
 /// the caller; the matrix covers all 16 pairs regardless.
 #[allow(clippy::needless_range_loop)] // index form mirrors the comparator grid
+#[inline]
 pub fn all_to_all(a: &[u32; 4], b: &[u32; 4]) -> CompareMatrix {
     let mut eq = 0u16;
     let mut lt = 0u16;
@@ -86,6 +87,7 @@ pub fn all_to_all(a: &[u32; 4], b: &[u32; 4]) -> CompareMatrix {
 
 /// Sorts four values with the optimal 5-comparator sorting network
 /// (the circuit behind the presort load instruction).
+#[inline]
 pub fn sort4(v: [u32; 4]) -> [u32; 4] {
     #[inline]
     fn cas(v: &mut [u32; 4], i: usize, j: usize) {
@@ -104,6 +106,7 @@ pub fn sort4(v: [u32; 4]) -> [u32; 4] {
 
 /// Merges two sorted 4-element vectors into a sorted 8-element vector with
 /// a bitonic merge network (the circuit behind the merge-sort `SOP`).
+#[inline]
 pub fn merge8(a: [u32; 4], b: [u32; 4]) -> [u32; 8] {
     // Reverse b to form a bitonic sequence, then three compare-exchange
     // stages with strides 4, 2, 1 (12 comparators total).
@@ -378,6 +381,35 @@ pub fn sop_set(
     emitted_b: &[bool; 4],
     partial: bool,
 ) -> SopOutcome {
+    let mut out = SopOutcome {
+        consume_a: 0,
+        consume_b: 0,
+        emit: Vec::with_capacity(8),
+        emitted_a: [false; 4],
+        emitted_b: [false; 4],
+    };
+    sop_set_into(
+        kind, wa, va, emitted_a, wb, vb, emitted_b, partial, &mut out,
+    );
+    out
+}
+
+/// [`sop_set`] writing into caller-owned storage: `out.emit` is cleared
+/// and refilled (its capacity is reused), every other field overwritten.
+/// This is the per-cycle form — the simulated datapath evaluates one
+/// `SOP` per cycle and must not hit the allocator to do it.
+#[allow(clippy::too_many_arguments)] // mirrors the instruction's operand list
+pub fn sop_set_into(
+    kind: SetOpKind,
+    wa: &[u32; 4],
+    va: usize,
+    emitted_a: &[bool; 4],
+    wb: &[u32; 4],
+    vb: usize,
+    emitted_b: &[bool; 4],
+    partial: bool,
+    out: &mut SopOutcome,
+) {
     debug_assert!((1..=4).contains(&va) && (1..=4).contains(&vb));
     let amax = wa[va - 1];
     let bmax = wb[vb - 1];
@@ -409,7 +441,8 @@ pub fn sop_set(
     // Emission: a sorted merge of the candidate lanes of both windows.
     // Candidates within each window are increasing, so a two-pointer merge
     // models the shuffle network.
-    let mut emit = Vec::with_capacity(8);
+    let emit = &mut out.emit;
+    emit.clear();
     match kind {
         SetOpKind::Intersect => {
             for i in 0..va {
@@ -493,13 +526,10 @@ pub fn sop_set(
         }
     }
 
-    SopOutcome {
-        consume_a,
-        consume_b,
-        emit,
-        emitted_a: out_ea,
-        emitted_b: out_eb,
-    }
+    out.consume_a = consume_a;
+    out.consume_b = consume_b;
+    out.emitted_a = out_ea;
+    out.emitted_b = out_eb;
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use dbx_cpu::Reg;
 ///
 /// All base addresses must be 16-byte aligned (one 128-bit beat); lengths
 /// are in elements.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SetLayout {
     /// Base address of set A.
     pub a_base: u32,
@@ -47,7 +47,7 @@ impl SetLayout {
 }
 
 /// Placement of the sort buffers (ping/pong) in data memory.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SortLayout {
     /// Base address of the input buffer.
     pub src: u32,

@@ -12,6 +12,8 @@
 //!   scalar baselines of the paper's Figures 2 and 3.
 //! * [`configs`] — the paper's six processor models.
 //! * [`runner`] — one-call APIs that place data, run, and verify.
+//! * [`progcache`] — process-wide memoization of assembled kernel
+//!   programs keyed by (model, kernel, layout).
 //! * [`stream`] — larger-than-local-store processing with the data
 //!   prefetcher (double buffering).
 //! * [`multicore`] — shared-nothing partitioned execution across many
@@ -25,6 +27,7 @@ pub mod datapath;
 pub mod kernels;
 pub mod multicore;
 pub mod ops;
+pub mod progcache;
 pub mod runner;
 pub mod sched;
 pub mod states;

@@ -238,6 +238,7 @@ fn run_core_shards(
     let observed = opts.observer.is_enabled();
     let fault_plan = &opts.fault_plan;
     let (protection, policy, watchdog) = (opts.protection, opts.policy, opts.watchdog);
+    let force_precise = opts.force_precise;
     run_indexed(opts.sched, parts.len(), move |idx| {
         let (ra, rb) = parts[idx].clone();
         let (observer, sink) = if observed {
@@ -253,6 +254,7 @@ fn run_core_shards(
             policy,
             watchdog,
             observer,
+            force_precise,
             sched: HostSched::Sequential,
         };
         run_partition_opts(model, kind, &a[ra], &b[rb], &core_opts).map(|r| {

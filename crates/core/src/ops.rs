@@ -28,7 +28,7 @@
 //! `SOP` with a `LD_P` in one cycle is rejected as a structural hazard —
 //! in hardware that combination is what blows up the critical path.
 
-use crate::datapath::{merge8, sop_set, sort4, SetOpKind};
+use crate::datapath::{merge8, sop_set_into, sort4, SetOpKind, SopOutcome};
 use crate::states::{DbStates, SENTINEL};
 use dbx_cpu::ext::{Extension, LsuUse, OpDescriptor, TieCtx};
 use dbx_cpu::{OpArgs, SimError};
@@ -191,6 +191,11 @@ pub struct DbExtension {
     cfg: DbExtConfig,
     /// The TIE states (public for inspection in tests and reports).
     pub st: DbStates,
+    /// Scratch outcome for the per-cycle `SOP` evaluation. Not
+    /// architectural state — it only exists so the emit buffer's capacity
+    /// is reused across cycles instead of reallocated (its contents are
+    /// dead between `SOP`s: `u_sop` swaps the emitted values out).
+    sop_scratch: SopOutcome,
 }
 
 impl DbExtension {
@@ -199,6 +204,13 @@ impl DbExtension {
         DbExtension {
             cfg,
             st: DbStates::with_load_buf_cap(cfg.load_buf_cap),
+            sop_scratch: SopOutcome {
+                consume_a: 0,
+                consume_b: 0,
+                emit: Vec::with_capacity(8),
+                emitted_a: [false; 4],
+                emitted_b: [false; 4],
+            },
         }
     }
 
@@ -226,9 +238,10 @@ impl DbExtension {
         if k == 0 {
             return Ok(());
         }
-        let vals = s.fifo.take(k);
+        let mut vals = [0u32; crate::states::STORE_FIFO_CAP];
+        let k = s.fifo.take_into(k, &mut vals);
         ctx.mem
-            .store_lanes(self.cfg.lsu_st, s.ptr_c, &vals, ctx.counters)?;
+            .store_lanes(self.cfg.lsu_st, s.ptr_c, &vals[..k], ctx.counters)?;
         s.ptr_c += 4 * k as u32;
         s.out_cnt += k as u32;
         Ok(())
@@ -237,8 +250,10 @@ impl DbExtension {
     fn u_st_s(&mut self) {
         let s = &mut self.st;
         if !s.result.is_empty() && s.fifo.free() >= s.result.len() {
-            let r = std::mem::take(&mut s.result);
-            s.fifo.push_slice(&r);
+            s.fifo.push_slice(&s.result);
+            // `clear` (not `take`) so the buffer's capacity survives for
+            // the next emit — the steady state allocates nothing.
+            s.result.clear();
         }
     }
 
@@ -254,7 +269,8 @@ impl DbExtension {
         if !s.a_window_ready() || !s.b_window_ready() {
             return; // bubble: supply has not caught up
         }
-        let out = sop_set(
+        let out = &mut self.sop_scratch;
+        sop_set_into(
             kind,
             &s.word_a.vals,
             s.word_a.cnt,
@@ -263,8 +279,11 @@ impl DbExtension {
             s.word_b.cnt,
             &s.word_b.emitted,
             self.cfg.partial_loading,
+            out,
         );
-        s.result = out.emit;
+        // `result` is empty here (checked above); the swap hands its spare
+        // capacity to the scratch buffer for the next SOP.
+        std::mem::swap(&mut s.result, &mut out.emit);
         s.consumed_a = out.consume_a;
         s.consumed_b = out.consume_b;
         s.word_a.emitted = out.emitted_a;
@@ -320,27 +339,29 @@ impl DbExtension {
             Choice::Wait => {}
             Choice::Drain => {
                 if s.merge_primed {
-                    s.result = s.word_a.vals.to_vec();
+                    s.result.clear();
+                    s.result.extend_from_slice(&s.word_a.vals);
                     s.word_a = Default::default();
                     s.merge_primed = false;
                 }
                 s.done = true;
             }
             Choice::A | Choice::B => {
-                let block_vec = if matches!(choice, Choice::A) {
-                    s.load_a.take(4)
-                } else {
-                    s.load_b.take(4)
-                };
                 let mut block = [SENTINEL; 4];
-                block.copy_from_slice(&block_vec);
+                let got = if matches!(choice, Choice::A) {
+                    s.load_a.take_into(4, &mut block)
+                } else {
+                    s.load_b.take_into(4, &mut block)
+                };
+                debug_assert_eq!(got, 4, "merge consumes whole blocks");
                 if !s.merge_primed {
                     s.word_a.vals = block;
                     s.word_a.cnt = 4;
                     s.merge_primed = true;
                 } else {
                     let m = merge8(s.word_a.vals, block);
-                    s.result = m[..4].to_vec();
+                    s.result.clear();
+                    s.result.extend_from_slice(&m[..4]);
                     s.word_a.vals.copy_from_slice(&m[4..]);
                 }
             }
@@ -381,8 +402,10 @@ impl DbExtension {
         // partial beat first and is aligned from then on.
         let to_beat = 4 - ((*ptr as usize % 16) / 4);
         let n = (((end - *ptr) / 4) as usize).min(to_beat);
-        let vals = ctx.mem.load_lanes(lsu, *ptr, n, ctx.counters)?;
-        buf.push_slice(&vals);
+        let mut vals = [0u32; 4];
+        ctx.mem
+            .load_lanes_into(lsu, *ptr, &mut vals[..n], ctx.counters)?;
+        buf.push_slice(&vals[..n]);
         *ptr += 4 * n as u32;
         Ok(())
     }
@@ -428,17 +451,24 @@ impl DbExtension {
         } else {
             (&mut s.word_a, &mut s.load_a)
         };
-        let mut vals: Vec<u32> = Vec::with_capacity(12);
+        // 4 window lanes + a full load buffer (its cap is bounded by the
+        // FIFO cap, 12) can exceed the FIFO capacity; the oversize case
+        // bails out below exactly as before.
+        let mut vals = [0u32; 4 + crate::states::STORE_FIFO_CAP];
+        let mut n = 0;
         for i in 0..w.cnt {
             if !w.emitted[i] {
-                vals.push(w.vals[i]);
+                vals[n] = w.vals[i];
+                n += 1;
             }
         }
-        vals.extend_from_slice(buf.as_slice());
-        if vals.len() > s.fifo.free() {
+        let tail = buf.as_slice();
+        vals[n..n + tail.len()].copy_from_slice(tail);
+        n += tail.len();
+        if n > s.fifo.free() {
             return; // kernel must flush the FIFO first
         }
-        s.fifo.push_slice(&vals);
+        s.fifo.push_slice(&vals[..n]);
         *w = Default::default();
         buf.clear();
     }
@@ -450,9 +480,10 @@ impl DbExtension {
         }
         let to_beat = 4 - ((s.ptr_c as usize % 16) / 4);
         let k = s.cpy.len().min(to_beat);
-        let vals = s.cpy.take(k);
+        let mut vals = [0u32; crate::states::STORE_FIFO_CAP];
+        let k = s.cpy.take_into(k, &mut vals);
         ctx.mem
-            .store_lanes(self.cfg.lsu_st, s.ptr_c, &vals, ctx.counters)?;
+            .store_lanes(self.cfg.lsu_st, s.ptr_c, &vals[..k], ctx.counters)?;
         s.ptr_c += 4 * k as u32;
         s.out_cnt += k as u32;
         Ok(())
@@ -480,38 +511,48 @@ impl DbExtension {
         }
         let to_beat = 4 - ((*ptr as usize % 16) / 4);
         let n = (((end - *ptr) / 4) as usize).min(to_beat);
-        let mut vals = ctx.mem.load_lanes(lsu, *ptr, n, ctx.counters)?;
+        let mut vals = [0u32; 4];
+        ctx.mem
+            .load_lanes_into(lsu, *ptr, &mut vals[..n], ctx.counters)?;
         if sorted {
             debug_assert_eq!(n, 4, "presort input must be a multiple of 4");
-            let mut block = [SENTINEL; 4];
-            block.copy_from_slice(&vals);
-            vals = sort4(block).to_vec();
+            vals = sort4(vals);
         }
-        s.cpy.push_slice(&vals);
+        s.cpy.push_slice(&vals[..n]);
         *ptr += 4 * n as u32;
         Ok(())
     }
 
-    fn micros_of(&self, opcode: u16) -> Vec<Micro> {
+    /// The micro-resources an op occupies, as a bitmask over [`Micro`]
+    /// (bit `m as u16` set). A mask instead of a list keeps the per-cycle
+    /// structural-hazard check off the allocator.
+    fn micro_mask(opcode: u16) -> u16 {
+        const fn bit(m: Micro) -> u16 {
+            1 << m as u16
+        }
         match opcode {
-            op::ST | op::ST_FLUSH => vec![Micro::St],
-            op::ST_S => vec![Micro::StS],
-            op::SOP_ISECT | op::SOP_UNION | op::SOP_DIFF | op::SOP_MERGE => vec![Micro::Sop],
-            op::LDP_A => vec![Micro::LdpA],
-            op::LDP_B => vec![Micro::LdpB],
-            op::LD_A => vec![Micro::LdA],
-            op::LD_B => vec![Micro::LdB],
-            op::LD_ANY | op::LD_MERGE => vec![Micro::LdA, Micro::LdB],
-            op::DRAIN_A | op::DRAIN_B => vec![Micro::Drain],
-            op::CPY_ST => vec![Micro::CpySt],
-            op::CPY_LD_A | op::CPY_LD_B | op::SORT4_LD => vec![Micro::CpyLd],
+            op::ST | op::ST_FLUSH => bit(Micro::St),
+            op::ST_S => bit(Micro::StS),
+            op::SOP_ISECT | op::SOP_UNION | op::SOP_DIFF | op::SOP_MERGE => bit(Micro::Sop),
+            op::LDP_A => bit(Micro::LdpA),
+            op::LDP_B => bit(Micro::LdpB),
+            op::LD_A => bit(Micro::LdA),
+            op::LD_B => bit(Micro::LdB),
+            op::LD_ANY | op::LD_MERGE => bit(Micro::LdA) | bit(Micro::LdB),
+            op::DRAIN_A | op::DRAIN_B => bit(Micro::Drain),
+            op::CPY_ST => bit(Micro::CpySt),
+            op::CPY_LD_A | op::CPY_LD_B | op::SORT4_LD => bit(Micro::CpyLd),
             op::STORE_SOP_ISECT | op::STORE_SOP_UNION | op::STORE_SOP_DIFF | op::STORE_MERGE => {
-                vec![Micro::St, Micro::Sop]
+                bit(Micro::St) | bit(Micro::Sop)
             }
             op::LD_LDP_SHUFFLE => {
-                vec![Micro::StS, Micro::LdpA, Micro::LdpB, Micro::LdA, Micro::LdB]
+                bit(Micro::StS)
+                    | bit(Micro::LdpA)
+                    | bit(Micro::LdpB)
+                    | bit(Micro::LdA)
+                    | bit(Micro::LdB)
             }
-            _ => vec![],
+            _ => 0,
         }
     }
 
@@ -865,36 +906,57 @@ impl Extension for DbExtension {
     }
 
     fn execute(&mut self, ops: &[(u16, OpArgs)], ctx: &mut TieCtx<'_>) -> Result<u32, SimError> {
+        // The overwhelmingly common case — a single extension op — needs
+        // neither the hazard scan nor the staging sort.
+        if let [(o, args)] = ops {
+            self.exec_one(*o, *args, ctx)?;
+            ctx.counters.count_ext_op(*o);
+            return Ok(0);
+        }
         // Structural-hazard check: no duplicated micro-resources, and SOP
         // never shares a cycle with LD_P (critical-path constraint).
-        if ops.len() > 1 {
-            let mut seen: Vec<Micro> = Vec::new();
-            let mut have_sop = false;
-            let mut have_ldp = false;
-            for (o, _) in ops {
-                for m in self.micros_of(*o) {
-                    if seen.contains(&m) {
-                        return Err(SimError::WriteConflict {
-                            state: "db micro-resource",
-                        });
-                    }
-                    have_sop |= m == Micro::Sop;
-                    have_ldp |= matches!(m, Micro::LdpA | Micro::LdpB);
-                    seen.push(m);
-                }
-            }
-            if have_sop && have_ldp {
+        let mut seen: u16 = 0;
+        for (o, _) in ops {
+            let m = Self::micro_mask(*o);
+            if seen & m != 0 {
                 return Err(SimError::WriteConflict {
-                    state: "word window (SOP with LD_P)",
+                    state: "db micro-resource",
                 });
             }
+            seen |= m;
         }
-        // Canonical dataflow order.
-        let mut ordered: Vec<(u16, OpArgs)> = ops.to_vec();
-        ordered.sort_by_key(|(o, _)| Self::stage_of(*o));
-        for (o, args) in ordered {
-            self.exec_one(o, args, ctx)?;
-            ctx.counters.count_ext_op(o);
+        const SOP: u16 = 1 << Micro::Sop as u16;
+        const LDP: u16 = (1 << Micro::LdpA as u16) | (1 << Micro::LdpB as u16);
+        if seen & SOP != 0 && seen & LDP != 0 {
+            return Err(SimError::WriteConflict {
+                state: "word window (SOP with LD_P)",
+            });
+        }
+        // Canonical dataflow order: a stable insertion sort on a stack
+        // buffer for real bundle widths, falling back to a heap sort for
+        // pathologically wide op groups.
+        if ops.len() <= 8 {
+            let mut ordered = [(0u16, OpArgs::default()); 8];
+            ordered[..ops.len()].copy_from_slice(ops);
+            let ordered = &mut ordered[..ops.len()];
+            for i in 1..ordered.len() {
+                let mut j = i;
+                while j > 0 && Self::stage_of(ordered[j - 1].0) > Self::stage_of(ordered[j].0) {
+                    ordered.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            for &(o, args) in ordered.iter() {
+                self.exec_one(o, args, ctx)?;
+                ctx.counters.count_ext_op(o);
+            }
+        } else {
+            let mut ordered: Vec<(u16, OpArgs)> = ops.to_vec();
+            ordered.sort_by_key(|(o, _)| Self::stage_of(*o));
+            for (o, args) in ordered {
+                self.exec_one(o, args, ctx)?;
+                ctx.counters.count_ext_op(o);
+            }
         }
         Ok(0)
     }

@@ -17,11 +17,13 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::configs::ProcModel;
 use crate::datapath::SetOpKind;
 use crate::kernels::{hwset, hwsort, scalar, SetLayout, SortLayout};
 use crate::ops::DbExtension;
+use crate::progcache;
 use crate::states::SENTINEL;
 use dbx_cpu::ext::Extension;
 use dbx_cpu::observe::emit_kernel_run;
@@ -122,6 +124,11 @@ pub struct RunOptions {
     /// spans) plus the run's event counters. The observer never touches
     /// the simulated machine, so enabling it cannot change cycle counts.
     pub observer: Observer,
+    /// Forces the simulator's precise per-step execution loop even when a
+    /// run is fast-path eligible. Results are bit-identical either way —
+    /// the differential equivalence suite uses this as its reference leg;
+    /// production callers leave it off.
+    pub force_precise: bool,
     /// How fan-out layers — [`crate::multicore`], the query engine, the
     /// bench sweeps — map independent shards onto host threads. The
     /// single-kernel runners in this module ignore it (one kernel is one
@@ -351,11 +358,29 @@ pub fn run_set_op_with(
     validate_set("A", a)?;
     validate_set("B", b)?;
     let layout = set_layout(model, a.len() as u32, b.len() as u32)?;
-    let program = match model.wiring() {
-        Some(wiring) => hwset::set_op_program(kind, &wiring, &layout, hwset::DEFAULT_UNROLL)?,
-        None => scalar::set_op_program(kind, &layout)?,
-    };
-    preflight_check(&program, model)?;
+    // Memoized assembly: the program depends only on (model, kind,
+    // layout), so bench sweeps and the retry loop below reuse one image.
+    let cached = progcache::get_or_assemble(
+        progcache::ProgKey::SetOp {
+            model,
+            kind,
+            layout,
+        },
+        || {
+            let program = match model.wiring() {
+                Some(wiring) => {
+                    hwset::set_op_program(kind, &wiring, &layout, hwset::DEFAULT_UNROLL)?
+                }
+                None => scalar::set_op_program(kind, &layout)?,
+            };
+            preflight_check(&program, model)?;
+            Ok(progcache::CachedProgram {
+                program: Arc::new(program),
+                in_dst: false,
+            })
+        },
+    )?;
+    let program = cached.program;
     let program_bytes = program.size_bytes();
 
     let mut attempt = 0u32;
@@ -368,7 +393,7 @@ pub fn run_set_op_with(
         if opts.observer.is_enabled() {
             p.enable_profiling();
         }
-        p.load_program(program.clone())?;
+        p.load_program_shared(Arc::clone(&program))?;
         p.mem.poke_words(layout.a_base, a)?;
         p.mem.poke_words(layout.b_base, b)?;
         if attempt == 0 {
@@ -377,6 +402,7 @@ pub fn run_set_op_with(
             }
         }
         p.set_watchdog(opts.watchdog);
+        p.set_force_precise(opts.force_precise);
         match p.run(MAX_CYCLES) {
             Ok(stats) => {
                 let out_len = if model.has_eis() {
@@ -424,6 +450,7 @@ pub fn run_set_op_with(
                     let fallback = RunOptions {
                         protection: opts.protection,
                         observer: opts.observer.clone(),
+                        force_precise: opts.force_precise,
                         ..RunOptions::default()
                     };
                     let mut run = run_set_op_with(scalar_fallback(model), kind, a, b, &fallback)?;
@@ -507,11 +534,25 @@ pub fn run_sort_with(
         )));
     }
 
-    let (program, in_dst) = match exec_model.wiring() {
-        Some(wiring) => hwsort::merge_sort_program(&wiring, &SortLayout { src, dst, n })?,
-        None => scalar::merge_sort_program(src, dst, n)?,
-    };
-    preflight_check(&program, exec_model)?;
+    let layout = SortLayout { src, dst, n };
+    let cached = progcache::get_or_assemble(
+        progcache::ProgKey::Sort {
+            model: exec_model,
+            layout,
+        },
+        || {
+            let (program, in_dst) = match exec_model.wiring() {
+                Some(wiring) => hwsort::merge_sort_program(&wiring, &layout)?,
+                None => scalar::merge_sort_program(src, dst, n)?,
+            };
+            preflight_check(&program, exec_model)?;
+            Ok(progcache::CachedProgram {
+                program: Arc::new(program),
+                in_dst,
+            })
+        },
+    )?;
+    let (program, in_dst) = (cached.program, cached.in_dst);
     let program_bytes = program.size_bytes();
 
     let mut attempt = 0u32;
@@ -522,7 +563,7 @@ pub fn run_sort_with(
         if opts.observer.is_enabled() {
             p.enable_profiling();
         }
-        p.load_program(program.clone())?;
+        p.load_program_shared(Arc::clone(&program))?;
         p.mem.poke_words(src, &padded)?;
         if attempt == 0 {
             if let Some(plan) = &opts.fault_plan {
@@ -530,6 +571,7 @@ pub fn run_sort_with(
             }
         }
         p.set_watchdog(opts.watchdog);
+        p.set_force_precise(opts.force_precise);
         match p.run(MAX_CYCLES) {
             Ok(stats) => {
                 let mut result = p
@@ -575,6 +617,7 @@ pub fn run_sort_with(
                     let fallback = RunOptions {
                         protection: opts.protection,
                         observer: opts.observer.clone(),
+                        force_precise: opts.force_precise,
                         ..RunOptions::default()
                     };
                     let mut run = run_sort_with(scalar_fallback(model), data, &fallback)?;
@@ -726,6 +769,37 @@ mod tests {
             ),
             "recovered fault records the parity trap"
         );
+    }
+
+    #[test]
+    fn retries_assemble_the_kernel_once() {
+        use dbx_faults::FaultTarget;
+        // Sizes unique to this test so its cache key is untouched by
+        // concurrently running tests.
+        let a = evens(257);
+        let b = thirds(193);
+        let model = ProcModel::Dba2LsuEis { partial: true };
+        let key = progcache::ProgKey::SetOp {
+            model,
+            kind: SetOpKind::Intersect,
+            layout: set_layout(model, a.len() as u32, b.len() as u32).unwrap(),
+        };
+        let opts = RunOptions {
+            protection: Some(ProtectionKind::Parity),
+            fault_plan: Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 17, 5)),
+            policy: RecoveryPolicy::Retry { max_retries: 2 },
+            ..Default::default()
+        };
+        let r = run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
+        assert!(r.retries >= 1, "the fault plan must actually trip a retry");
+        assert_eq!(
+            progcache::assemblies_for(&key),
+            1,
+            "a run with retries assembles its kernel exactly once"
+        );
+        // A second identical run is a pure cache hit.
+        run_set_op_with(model, SetOpKind::Intersect, &a, &b, &opts).unwrap();
+        assert_eq!(progcache::assemblies_for(&key), 1);
     }
 
     #[test]

@@ -42,16 +42,19 @@ impl ElemFifo {
     }
 
     /// Number of buffered elements.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// True when nothing is buffered.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// Free slots remaining.
+    #[inline]
     pub fn free(&self) -> usize {
         self.cap - self.len
     }
@@ -63,6 +66,7 @@ impl ElemFifo {
 
     /// Appends elements; panics if capacity would be exceeded (callers
     /// check `free()` first — overflow is a datapath bug, not a data case).
+    #[inline]
     pub fn push_slice(&mut self, vals: &[u32]) {
         assert!(vals.len() <= self.free(), "FIFO overflow: structural bug");
         self.buf[self.len..self.len + vals.len()].copy_from_slice(vals);
@@ -71,17 +75,30 @@ impl ElemFifo {
 
     /// Removes and returns up to `n` front elements.
     pub fn take(&mut self, n: usize) -> Vec<u32> {
+        let mut out = [0u32; STORE_FIFO_CAP];
+        let k = self.take_into(n, &mut out);
+        out[..k].to_vec()
+    }
+
+    /// Removes up to `n` front elements into `out` (which must hold
+    /// them); returns how many were moved. The allocation-free twin of
+    /// [`Self::take`] for the per-cycle datapath.
+    #[inline]
+    pub fn take_into(&mut self, n: usize, out: &mut [u32]) -> usize {
         let k = n.min(self.len);
-        let out = self.buf[..k].to_vec();
+        out[..k].copy_from_slice(&self.buf[..k]);
         self.buf.copy_within(k..self.len, 0);
         self.len -= k;
-        for s in &mut self.buf[self.len..] {
+        // Only the k slots vacated by the shift can hold stale values; slots
+        // past them were already sentinel-filled (only `[..len]` is readable).
+        for s in &mut self.buf[self.len..self.len + k] {
             *s = SENTINEL;
         }
-        out
+        k
     }
 
     /// Peeks the front element.
+    #[inline]
     pub fn front(&self) -> Option<u32> {
         (self.len > 0).then(|| self.buf[0])
     }
@@ -122,6 +139,7 @@ impl Default for Window {
 impl Window {
     /// Shifts out `consumed` front lanes (with their flags) and refills
     /// from `src` as far as possible.
+    #[inline]
     pub fn shift_refill(&mut self, consumed: usize, src: &mut ElemFifo) {
         debug_assert!(consumed <= self.cnt);
         let remain = self.cnt - consumed;
@@ -137,11 +155,10 @@ impl Window {
         self.cnt = remain;
         let want = 4 - self.cnt;
         if want > 0 && !src.is_empty() {
-            let got = src.take(want);
-            for (k, v) in got.iter().enumerate() {
-                self.vals[self.cnt + k] = *v;
-            }
-            self.cnt += got.len();
+            let mut got = [0u32; 4];
+            let k = src.take_into(want, &mut got);
+            self.vals[self.cnt..self.cnt + k].copy_from_slice(&got[..k]);
+            self.cnt += k;
         }
     }
 

@@ -1,0 +1,168 @@
+//! Differential equivalence suite for the fast-path execution engine.
+//!
+//! The simulator's fast path (pre-decoded basic blocks + specialized step
+//! loop) must be bit-identical to the precise per-step loop: same results,
+//! same simulated cycles, same event counters, same fault counters. These
+//! tests run every kernel twice — once on the default engine selection
+//! (fast when eligible) and once with [`RunOptions::force_precise`] — and
+//! compare the complete [`dbx_cpu::RunStats`] for equality, across every
+//! processor model, all three set operations plus merge-sort, and three
+//! input seeds.
+//!
+//! Runs that are *ineligible* for the fast path (observer attached, armed
+//! fault plan, protection enabled) are covered too: they must agree with
+//! the eligible fast run, proving the automatic fallback changes nothing
+//! but the engine.
+
+use dbx_core::runner::{run_set_op_with, run_sort_with, KernelRun, RunOptions};
+use dbx_core::{ProcModel, SetOpKind};
+use dbx_faults::{FaultPlan, FaultTarget};
+use dbx_observe::Observer;
+
+const SEEDS: [u64; 3] = [11, 1337, 90210];
+
+/// Deterministic xorshift — the suite must not depend on ambient RNG state.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A strictly increasing set of roughly `len` elements.
+fn sorted_set(seed: u64, salt: u64, len: usize) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+    let mut v = Vec::with_capacity(len);
+    let mut cur = 0u32;
+    for _ in 0..len {
+        cur = cur.wrapping_add(1 + (next(&mut state) % 7) as u32);
+        v.push(cur);
+    }
+    v
+}
+
+fn unsorted_data(seed: u64, len: usize) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0xD1B5_4A32_D192_ED03) | 1;
+    (0..len)
+        .map(|_| (next(&mut state) % 100_000) as u32)
+        .collect()
+}
+
+fn assert_identical(fast: &KernelRun, precise: &KernelRun, what: &str) {
+    assert_eq!(fast.result, precise.result, "{what}: result diverged");
+    assert_eq!(fast.cycles, precise.cycles, "{what}: cycle count diverged");
+    assert_eq!(fast.stats, precise.stats, "{what}: RunStats diverged");
+    assert_eq!(
+        fast.faults, precise.faults,
+        "{what}: fault counters diverged"
+    );
+    assert_eq!(fast.retries, precise.retries, "{what}: retries diverged");
+}
+
+#[test]
+fn set_ops_fast_and_precise_are_bit_identical() {
+    let kinds = [
+        SetOpKind::Intersect,
+        SetOpKind::Union,
+        SetOpKind::Difference,
+    ];
+    for model in ProcModel::all() {
+        for kind in kinds {
+            for seed in SEEDS {
+                let a = sorted_set(seed, 1, 400);
+                let b = sorted_set(seed, 2, 350);
+                let fast = run_set_op_with(model, kind, &a, &b, &RunOptions::default()).unwrap();
+                let precise = run_set_op_with(
+                    model,
+                    kind,
+                    &a,
+                    &b,
+                    &RunOptions {
+                        force_precise: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_identical(&fast, &precise, &format!("{model:?} {kind:?} seed {seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn sort_fast_and_precise_are_bit_identical() {
+    for model in ProcModel::all() {
+        for seed in SEEDS {
+            let data = unsorted_data(seed, 256);
+            let fast = run_sort_with(model, &data, &RunOptions::default()).unwrap();
+            let precise = run_sort_with(
+                model,
+                &data,
+                &RunOptions {
+                    force_precise: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_identical(&fast, &precise, &format!("{model:?} sort seed {seed}"));
+        }
+    }
+}
+
+/// An attached observer enables profiling, which makes the run ineligible
+/// for the fast path — the automatic precise fallback must agree with the
+/// unobserved fast run on everything the observer is allowed to see.
+#[test]
+fn observer_fallback_agrees_with_fast_run() {
+    let model = ProcModel::Dba2LsuEis { partial: true };
+    let a = sorted_set(1337, 1, 400);
+    let b = sorted_set(1337, 2, 350);
+    let fast =
+        run_set_op_with(model, SetOpKind::Intersect, &a, &b, &RunOptions::default()).unwrap();
+    let (observer, _sink) = Observer::memory();
+    let observed = run_set_op_with(
+        model,
+        SetOpKind::Intersect,
+        &a,
+        &b,
+        &RunOptions {
+            observer,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(fast.result, observed.result);
+    assert_eq!(
+        fast.cycles, observed.cycles,
+        "observer must not cost cycles"
+    );
+    assert_eq!(fast.stats, observed.stats);
+    assert!(
+        observed.profile.is_some(),
+        "observed run profiles (and therefore ran the precise loop)"
+    );
+}
+
+/// An armed fault plan forces the precise loop even if none of its events
+/// ever fire; such a run must be indistinguishable from the fast one.
+#[test]
+fn never_firing_fault_plan_agrees_with_fast_run() {
+    let model = ProcModel::Dba1LsuEis { partial: false };
+    let a = sorted_set(11, 1, 300);
+    let b = sorted_set(11, 2, 300);
+    let fast = run_set_op_with(model, SetOpKind::Union, &a, &b, &RunOptions::default()).unwrap();
+    // Scheduled far beyond the kernel's runtime: armed, never fires.
+    let plan = FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), u64::MAX, 0, 0);
+    let forced = run_set_op_with(
+        model,
+        SetOpKind::Union,
+        &a,
+        &b,
+        &RunOptions {
+            fault_plan: Some(plan),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_identical(&fast, &forced, "armed-but-idle fault plan");
+}

@@ -1,0 +1,300 @@
+//! Pre-decoded basic-block cache for the fast-path execution engine.
+//!
+//! The hot shape of every kernel in this repo is a zero-overhead hardware
+//! loop whose body is a short straight-line run of FLIX bundles. The
+//! precise interpreter pays per *step* for work that only depends on the
+//! *program*: an `Arc<Program>` clone, a slot-table fetch with PC
+//! re-validation, a `Vec<Reg>` allocation to evaluate the load-use
+//! interlock, and (for bundles) re-partitioning the slots into extension
+//! and base ops. This module hoists all of that to decode time.
+//!
+//! A [`FastBlock`] is the dense array of [`FastStep`]s starting at an
+//! entry PC and extending over the straight-line run up to (and
+//! including) the first control transfer or `HALT`. Hardware-loop bodies
+//! stay inside a block: the back-edge is not a decoded control transfer
+//! but a PC redirect applied after the step commits, which the executor
+//! detects by comparing the committed PC against the step's static
+//! fall-through address ([`FastStep::fall_through`]).
+//!
+//! The cache ([`FastEngine`]) is keyed by entry PC (one slot per
+//! instruction-word address, exactly like `Program`'s slot table), built
+//! lazily, and invalidated conservatively: loading any program drops the
+//! whole engine. Decoding never *reports* errors for instructions that
+//! may never execute — a walk simply stops at the first undecodable
+//! word, and entering a block at an invalid PC surfaces the same
+//! `BadPc` the precise fetch would have raised.
+//!
+//! Bit-identity with the precise path is the contract (see the
+//! differential suite in `tests/fast_path.rs` and the eligibility
+//! invariants in DESIGN.md): a step decoded here must execute exactly
+//! the arms of `step_inner`, in the same order, with the same counter
+//! and cycle effects.
+
+use crate::isa::{Instr, OpArgs, Reg};
+use crate::program::Program;
+use std::sync::Arc;
+
+/// Cap on decoded steps per block. Kernels are short; this only bounds
+/// pathological straight-line programs so a single decode stays cheap.
+const MAX_BLOCK_STEPS: usize = 4096;
+
+/// How a pre-decoded step executes.
+#[derive(Debug)]
+pub(crate) enum FastKind {
+    /// Execute through the shared instruction interpreter (`exec_instr`).
+    /// Also the conservative fallback for bundles the decoder does not
+    /// specialize (FLIX without the option, ineligible slots), so the
+    /// error paths stay byte-identical to the precise interpreter.
+    Instr(Instr),
+    /// A specialized FLIX bundle: extension ops issue first against the
+    /// pre-cycle register file, then the base-slot `ADDI`s commit —
+    /// the same order `step_inner` establishes.
+    Bundle {
+        /// `(opcode, args)` pairs for the extension group, in slot order.
+        ext_ops: Box<[(u16, OpArgs)]>,
+        /// `(dest, src, imm)` of each base-slot `ADDI`, in slot order.
+        addis: Box<[(Reg, Reg, i16)]>,
+    },
+}
+
+/// One pre-decoded instruction (or bundle) of a basic block.
+#[derive(Debug)]
+pub(crate) struct FastStep {
+    /// Address of the instruction (for traps and extension groups).
+    pub pc: u32,
+    /// Static fall-through address (`pc + size`). After the step commits,
+    /// a committed PC differing from this means a taken control transfer
+    /// or a hardware-loop back-edge — the executor re-enters the cache.
+    pub fall_through: u32,
+    /// Bit `i` set when the instruction reads `A[i]` — the pre-computed
+    /// operand set of `Instr::src_regs` for the load-use interlock.
+    pub src_mask: u16,
+    /// Dispatch payload.
+    pub kind: FastKind,
+}
+
+/// A straight-line run of pre-decoded steps starting at one entry PC.
+#[derive(Debug)]
+pub(crate) struct FastBlock {
+    /// The steps, in address order.
+    pub steps: Box<[FastStep]>,
+}
+
+/// The per-processor basic-block cache: one lazily-filled slot per
+/// instruction-word address of the loaded program.
+#[derive(Debug)]
+pub(crate) struct FastEngine {
+    blocks: Vec<Option<Arc<FastBlock>>>,
+    base: u32,
+}
+
+impl FastEngine {
+    /// Creates an empty cache for a program image of `size` bytes
+    /// starting at `base`.
+    pub fn new(base: u32, size: u32) -> FastEngine {
+        FastEngine {
+            blocks: vec![None; (size / 4) as usize],
+            base,
+        }
+    }
+
+    /// The block entered at `pc`, decoding it on first use. Fails with
+    /// the same `BadPc` the precise fetch raises when `pc` is not an
+    /// instruction boundary.
+    pub fn block(
+        &mut self,
+        program: &Program,
+        pc: u32,
+        has_flix: bool,
+    ) -> Result<Arc<FastBlock>, crate::error::SimError> {
+        let slot = pc.wrapping_sub(self.base) / 4;
+        match self.blocks.get(slot as usize) {
+            Some(Some(b)) if pc.is_multiple_of(4) => Ok(Arc::clone(b)),
+            Some(_) => {
+                // Validates the entry PC (alignment and boundary).
+                program.fetch(pc)?;
+                let block = Arc::new(decode_block(program, pc, has_flix));
+                self.blocks[slot as usize] = Some(Arc::clone(&block));
+                Ok(block)
+            }
+            None => {
+                // Out of the image — let the precise fetch shape the error.
+                program.fetch(pc).map(|_| unreachable!("pc outside image"))
+            }
+        }
+    }
+}
+
+/// Folds a source-register list into the interlock bitmask.
+fn mask_of(instr: &Instr) -> u16 {
+    instr
+        .src_regs()
+        .iter()
+        .fold(0u16, |m, r| m | (1 << (r.idx() & 15)))
+}
+
+/// Decodes the straight-line run starting at `pc`. `pc` must be a valid
+/// instruction boundary (the caller fetched it).
+fn decode_block(program: &Program, pc: u32, has_flix: bool) -> FastBlock {
+    let mut steps = Vec::new();
+    let mut at = pc;
+    while steps.len() < MAX_BLOCK_STEPS {
+        let Ok(instr) = program.fetch(at) else {
+            // Fell off the decoded image mid-walk; the entry for `at`
+            // will raise the precise error if execution ever gets here.
+            break;
+        };
+        let fall_through = at + instr.size();
+        let src_mask = mask_of(instr);
+        let ends_block = instr.is_control() || matches!(instr, Instr::Halt);
+        let kind = decode_kind(instr, has_flix);
+        steps.push(FastStep {
+            pc: at,
+            fall_through,
+            src_mask,
+            kind,
+        });
+        if ends_block {
+            break;
+        }
+        at = fall_through;
+    }
+    FastBlock {
+        steps: steps.into_boxed_slice(),
+    }
+}
+
+/// Chooses the dispatch payload for one instruction.
+fn decode_kind(instr: &Instr, has_flix: bool) -> FastKind {
+    if let Instr::Flix(slots) = instr {
+        // Specialize only bundles the precise path would execute without
+        // error: the FLIX option present and every slot eligible. Anything
+        // else falls back to the interpreter so OptionMissing /
+        // SlotIneligible traps keep their exact shape.
+        if has_flix {
+            let mut ext_ops = Vec::with_capacity(slots.len());
+            let mut addis = Vec::new();
+            for s in slots.iter() {
+                match s {
+                    Instr::Ext(e) => ext_ops.push((e.op, e.args)),
+                    Instr::Nop => {}
+                    Instr::Addi { r, s, imm } if s1_addi_eligible(*imm) => {
+                        addis.push((*r, *s, *imm))
+                    }
+                    _ => return FastKind::Instr(instr.clone()),
+                }
+            }
+            return FastKind::Bundle {
+                ext_ops: ext_ops.into_boxed_slice(),
+                addis: addis.into_boxed_slice(),
+            };
+        }
+    }
+    FastKind::Instr(instr.clone())
+}
+
+/// Slot-eligibility of an `ADDI` immediate (mirrors `Instr::slot_eligible`).
+fn s1_addi_eligible(imm: i16) -> bool {
+    (-128..128).contains(&imm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::regs::*;
+    use crate::program::ProgramBuilder;
+
+    fn mask(bits: &[usize]) -> u16 {
+        bits.iter().fold(0, |m, b| m | (1 << b))
+    }
+
+    #[test]
+    fn decode_splits_at_control_transfers_and_halt() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A2, 4); // block 0
+        b.label("loop");
+        b.addi(A2, A2, -1); // block 1 (branch target)
+        b.bnez(A2, "loop"); // ends block 1
+        b.halt(); // block 2
+        let p = b.build().unwrap();
+        let entry = p.entry();
+        let b0 = decode_block(&p, entry, true);
+        // The decoder walks through the branch (it only *ends* a block),
+        // so block 0 covers movi, addi, bnez.
+        assert_eq!(b0.steps.len(), 3);
+        assert!(matches!(
+            b0.steps[2].kind,
+            FastKind::Instr(Instr::Bnez { .. })
+        ));
+        let b1 = decode_block(&p, p.label_addr("loop").unwrap(), true);
+        assert_eq!(b1.steps.len(), 2);
+        let b2 = decode_block(&p, b1.steps[1].fall_through, true);
+        assert_eq!(b2.steps.len(), 1);
+        assert!(matches!(b2.steps[0].kind, FastKind::Instr(Instr::Halt)));
+    }
+
+    #[test]
+    fn src_masks_match_src_regs() {
+        let mut b = ProgramBuilder::new();
+        b.add(A3, A4, A5);
+        b.l32i(A2, A3, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let blk = decode_block(&p, p.entry(), true);
+        assert_eq!(blk.steps[0].src_mask, mask(&[4, 5]));
+        assert_eq!(blk.steps[1].src_mask, mask(&[3]));
+        assert_eq!(blk.steps[2].src_mask, 0);
+    }
+
+    #[test]
+    fn bundles_predecode_into_ext_then_addi() {
+        let mut b = ProgramBuilder::new();
+        b.flix([
+            Instr::Ext(crate::isa::ExtOp {
+                op: 7,
+                args: OpArgs::default(),
+            }),
+            Instr::Addi {
+                r: A2,
+                s: A2,
+                imm: 16,
+            },
+            Instr::Nop,
+        ]);
+        b.halt();
+        let p = b.build().unwrap();
+        let blk = decode_block(&p, p.entry(), true);
+        match &blk.steps[0].kind {
+            FastKind::Bundle { ext_ops, addis } => {
+                assert_eq!(ext_ops.len(), 1);
+                assert_eq!(ext_ops[0].0, 7);
+                assert_eq!(addis.as_ref(), &[(A2, A2, 16)]);
+            }
+            other => panic!("expected a specialized bundle, got {other:?}"),
+        }
+        // Fall-through skips the bundle's two words.
+        assert_eq!(blk.steps[0].fall_through, p.entry() + 8);
+        // Without the FLIX option the bundle stays an interpreter step so
+        // the OptionMissing trap is raised by the shared arm.
+        let cold = decode_block(&p, p.entry(), false);
+        assert!(matches!(
+            cold.steps[0].kind,
+            FastKind::Instr(Instr::Flix(_))
+        ));
+    }
+
+    #[test]
+    fn engine_caches_blocks_per_entry_pc() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A2, 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut eng = FastEngine::new(p.entry(), p.size_bytes());
+        let b1 = eng.block(&p, p.entry(), true).unwrap();
+        let b2 = eng.block(&p, p.entry(), true).unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2), "second entry must hit the cache");
+        // Bad entries surface the precise fetch error.
+        assert!(eng.block(&p, p.entry() + 1, true).is_err());
+        assert!(eng.block(&p, p.entry() + 64, true).is_err());
+    }
+}

@@ -86,6 +86,7 @@ impl MemorySystem {
     }
 
     /// Resets all per-cycle budgets. Called by the simulator each cycle.
+    #[inline]
     pub fn begin_cycle(&mut self) {
         self.lsu_used = [0; 2];
         for m in &mut self.dmems {
@@ -95,14 +96,26 @@ impl MemorySystem {
     }
 
     /// Advances the prefetcher by one cycle (concurrently with the core).
+    #[inline]
     pub fn tick_prefetcher(&mut self) -> Result<(), SimError> {
-        if let Some(dmac) = self.dmac.as_mut() {
-            let mut refs: Vec<&mut LocalMemory> = self.dmems.iter_mut().collect();
-            dmac.tick(&mut self.sysmem, &mut refs)?;
+        // An idle/halted (or absent) DMAC ticks to a no-op; keep that
+        // per-cycle check inline and the transfer machinery out of line.
+        match self.dmac.as_ref() {
+            Some(dmac) if !dmac.is_idle() => self.tick_prefetcher_active(),
+            _ => Ok(()),
         }
+    }
+
+    fn tick_prefetcher_active(&mut self) -> Result<(), SimError> {
+        let dmac = self.dmac.as_mut().expect("checked by tick_prefetcher");
+        // Marshalling the local-memory port list allocates; this only runs
+        // on cycles where the DMAC is actively streaming.
+        let mut refs: Vec<&mut LocalMemory> = self.dmems.iter_mut().collect();
+        dmac.tick(&mut self.sysmem, &mut refs)?;
         Ok(())
     }
 
+    #[inline]
     fn charge_lsu(&mut self, lsu: usize, width: Width) -> Result<(), SimError> {
         if lsu >= self.n_lsus {
             return Err(SimError::Mem(MemError::PortConflict {
@@ -133,6 +146,7 @@ impl MemorySystem {
     /// errors. (Routing on the full access extent would degrade an access
     /// straddling the end of a region into a generic `Unmapped`, hiding
     /// the real problem.)
+    #[inline]
     fn dmem_index(&self, addr: u32) -> Option<usize> {
         self.dmems.iter().position(|m| m.contains(addr, 1))
     }
@@ -147,10 +161,12 @@ impl MemorySystem {
 
     /// Drains the ECC decode stalls accrued since the last call (the core
     /// charges them as extra cycles for the current step).
+    #[inline]
     pub fn take_ecc_stall(&mut self) -> u32 {
         std::mem::take(&mut self.pending_ecc_stall)
     }
 
+    #[inline]
     fn charge_ecc_read(&mut self, ix: usize, counters: &mut EventCounters) {
         let extra = self.dmems[ix].protection().extra_read_cycles();
         if extra > 0 {
@@ -252,6 +268,21 @@ impl MemorySystem {
         n: usize,
         counters: &mut EventCounters,
     ) -> Result<Vec<u32>, SimError> {
+        let mut lanes = [0u32; 4];
+        self.load_lanes_into(lsu, addr, &mut lanes[..n], counters)?;
+        Ok(lanes[..n].to_vec())
+    }
+
+    /// Like [`Self::load_lanes`], but reads into a caller-provided buffer
+    /// (the lane count is `out.len()`) — the allocation-free form the
+    /// per-cycle extension datapath uses.
+    pub fn load_lanes_into(
+        &mut self,
+        lsu: usize,
+        addr: u32,
+        out: &mut [u32],
+        counters: &mut EventCounters,
+    ) -> Result<(), SimError> {
         self.charge_lsu(lsu, Width::W32)?;
         let ix = self
             .dmem_index(addr)
@@ -259,11 +290,11 @@ impl MemorySystem {
         if self.dmems.len() > 1 && ix != lsu {
             return Err(SimError::Mem(MemError::Unmapped { addr }));
         }
-        let (v, _) = self.dmems[ix].read_lanes(AccessPort::Core, addr, n)?;
+        self.dmems[ix].read_lanes_into(AccessPort::Core, addr, out)?;
         counters.loads_local += 1;
-        counters.bytes_loaded += 4 * n as u64;
+        counters.bytes_loaded += 4 * out.len() as u64;
         self.charge_ecc_read(ix, counters);
-        Ok(v)
+        Ok(())
     }
 
     /// Stores up to four 32-bit lanes into a local memory through `lsu`

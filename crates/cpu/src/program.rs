@@ -19,6 +19,12 @@ pub const DMEM1_BASE: u32 = 0x6800_0000;
 /// Base address of off-chip system memory.
 pub const SYSMEM_BASE: u32 = 0x8000_0000;
 
+/// Sentinel in [`Program`]'s slot table for word slots that are not an
+/// instruction boundary. A program can never have 2^32 - 1 instructions
+/// (the instruction memory is orders of magnitude smaller), so the value
+/// is unambiguous.
+const NO_SLOT: u32 = u32::MAX;
+
 /// A finished program: instructions with resolved absolute addresses.
 #[derive(Debug, Clone)]
 pub struct Program {
@@ -26,8 +32,12 @@ pub struct Program {
     code: Vec<Instr>,
     /// Byte address of each instruction (parallel to `code`).
     addrs: Vec<u32>,
-    /// Instruction index for each word slot (`(addr - IMEM_BASE) / 4`).
-    slot_index: Vec<Option<u32>>,
+    /// Instruction index for each word slot (`(addr - IMEM_BASE) / 4`);
+    /// [`NO_SLOT`] marks slots that are not an instruction boundary (the
+    /// second word of a wide instruction). A dense sentinel table instead
+    /// of `Vec<Option<u32>>`: half the footprint, and `fetch` tests one
+    /// integer instead of matching two nested discriminants.
+    slot_index: Vec<u32>,
     /// Label name → byte address.
     labels: HashMap<String, u32>,
     /// Total encoded size in bytes.
@@ -60,7 +70,7 @@ impl Program {
     pub fn fetch(&self, pc: u32) -> Result<&Instr, SimError> {
         let slot = pc.wrapping_sub(IMEM_BASE) / 4;
         match self.slot_index.get(slot as usize) {
-            Some(Some(ix)) if pc.is_multiple_of(4) => Ok(&self.code[*ix as usize]),
+            Some(&ix) if ix != NO_SLOT && pc.is_multiple_of(4) => Ok(&self.code[ix as usize]),
             _ => Err(SimError::BadPc { pc }),
         }
     }
@@ -466,9 +476,9 @@ impl ProgramBuilder {
 
         // Slot table for O(1) fetch.
         let slots = (size / 4) as usize;
-        let mut slot_index = vec![None; slots];
+        let mut slot_index = vec![NO_SLOT; slots];
         for (ix, a) in addrs.iter().enumerate() {
-            slot_index[((a - IMEM_BASE) / 4) as usize] = Some(ix as u32);
+            slot_index[((a - IMEM_BASE) / 4) as usize] = ix as u32;
         }
 
         Ok(Program {
@@ -541,6 +551,43 @@ mod tests {
             Err(SimError::BadPc { .. })
         ));
         assert!(p.fetch(IMEM_BASE + 8).is_ok());
+    }
+
+    #[test]
+    fn fetch_rejects_unaligned_and_out_of_range_pcs() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.flix([Instr::Nop, Instr::Nop]);
+        b.halt();
+        let p = b.build().unwrap();
+        // Every aligned instruction boundary fetches.
+        assert!(p.fetch(IMEM_BASE).is_ok());
+        assert!(p.fetch(IMEM_BASE + 4).is_ok());
+        assert!(p.fetch(IMEM_BASE + 12).is_ok());
+        // Unaligned PCs are rejected even where an instruction starts —
+        // including inside the bundle's first word and inside its second
+        // (non-boundary) word.
+        for off in [1, 2, 3, 5, 6, 7, 9, 10, 11, 13] {
+            assert!(
+                matches!(p.fetch(IMEM_BASE + off), Err(SimError::BadPc { .. })),
+                "offset {off} must not fetch"
+            );
+        }
+        // Mid-bundle word slot (aligned, but not a boundary).
+        assert!(matches!(
+            p.fetch(IMEM_BASE + 8),
+            Err(SimError::BadPc { .. })
+        ));
+        // Below the image base (wraps to a huge slot) and past the end.
+        assert!(matches!(
+            p.fetch(IMEM_BASE - 4),
+            Err(SimError::BadPc { .. })
+        ));
+        assert!(matches!(
+            p.fetch(IMEM_BASE + p.size_bytes()),
+            Err(SimError::BadPc { .. })
+        ));
+        assert!(matches!(p.fetch(0), Err(SimError::BadPc { .. })));
     }
 
     #[test]

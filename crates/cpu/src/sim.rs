@@ -17,6 +17,7 @@
 use crate::config::CpuConfig;
 use crate::error::{FaultCause, MachineFault, SimError};
 use crate::ext::{Extension, TieCtx};
+use crate::fastpath::{FastBlock, FastEngine, FastKind, FastStep};
 use crate::isa::{Instr, LsWidth, Reg};
 use crate::memsys::MemorySystem;
 use crate::predictor::Predictor;
@@ -26,7 +27,7 @@ use crate::queue::TieQueue;
 use crate::stats::{EventCounters, RunStats};
 use crate::trace::Trace;
 use dbx_faults::{FaultKind, FaultPlan, FaultTarget};
-use dbx_mem::{MemError, Width};
+use dbx_mem::{MemError, ProtectionKind, Width};
 use std::sync::Arc;
 
 /// Hardware-loop registers (LBEG/LEND/LCOUNT).
@@ -78,6 +79,12 @@ pub struct Processor {
     /// extension state, DMAC) — memory-side injections are counted by the
     /// local memories themselves.
     injected_direct: u64,
+    /// Lazily-built basic-block decode cache for the fast-path run loop;
+    /// dropped whenever a program is (re)loaded.
+    fast: Option<FastEngine>,
+    /// Pins [`Self::run`] to the precise step loop even when every
+    /// fast-path eligibility condition holds (differential testing knob).
+    force_precise: bool,
 }
 
 impl Processor {
@@ -105,7 +112,17 @@ impl Processor {
             fault_plan: None,
             watchdog: None,
             injected_direct: 0,
+            fast: None,
+            force_precise: false,
         })
+    }
+
+    /// Pins every subsequent [`Self::run`] to the precise step loop.
+    /// The fast path is bit-identical by contract — this knob exists so
+    /// the differential test suite (and a wary user) can *prove* it on
+    /// any workload by running both paths and comparing.
+    pub fn set_force_precise(&mut self, on: bool) {
+        self.force_precise = on;
     }
 
     /// Installs a deterministic fault-injection plan. Each event fires at
@@ -200,6 +217,14 @@ impl Processor {
     /// Loads a program: checks it fits instruction memory, writes the
     /// binary image into imem, and resets execution state.
     pub fn load_program(&mut self, p: Program) -> Result<(), SimError> {
+        self.load_program_shared(Arc::new(p))
+    }
+
+    /// Loads an already-shared program without cloning it — the memoized
+    /// kernel cache and retrying run drivers hand the same `Arc<Program>`
+    /// to many processor instances (or many attempts on one instance).
+    /// Identical to [`Self::load_program`] in every observable way.
+    pub fn load_program_shared(&mut self, p: Arc<Program>) -> Result<(), SimError> {
         let image = crate::encode::encode_program(&p)?;
         if image.len() > self.mem.imem.size() {
             return Err(SimError::BadProgram(format!(
@@ -218,7 +243,10 @@ impl Processor {
             )?;
         }
         self.pc = p.entry();
-        self.program = Some(Arc::new(p));
+        self.program = Some(p);
+        // Conservative invalidation: any (re)load drops every decoded
+        // block, even when the same program object is reloaded.
+        self.fast = None;
         self.reset_run_state();
         Ok(())
     }
@@ -372,7 +400,23 @@ impl Processor {
         let mut next_pc = pc + instr.size();
         let mut halted = false;
         self.counters.instrs += 1;
+        self.exec_instr(pc, instr, &mut cycles, &mut next_pc, &mut halted)?;
+        self.finish_step(pc, cycles, next_pc, halted)
+    }
 
+    /// Executes one decoded instruction: the shared interpreter arm used
+    /// by both the precise step loop and (for non-specialized steps) the
+    /// fast path. Everything around it — interlock, hardware-loop
+    /// back-edge, ECC stalls, prefetcher tick, trace/profile, commit — is
+    /// the caller's job.
+    fn exec_instr(
+        &mut self,
+        pc: u32,
+        instr: &Instr,
+        cycles: &mut u64,
+        next_pc: &mut u32,
+        halted: &mut bool,
+    ) -> Result<(), SimError> {
         macro_rules! alu {
             ($r:expr, $v:expr) => {{
                 let v = $v;
@@ -383,7 +427,7 @@ impl Processor {
 
         match instr {
             Instr::Nop => {}
-            Instr::Halt => halted = true,
+            Instr::Halt => *halted = true,
             Instr::Movi { r, imm } => alu!(*r, *imm as u32),
             Instr::Add { r, s, t } => alu!(*r, self.ar_rd(*s).wrapping_add(self.ar_rd(*t))),
             Instr::Addx4 { r, s, t } => {
@@ -413,7 +457,7 @@ impl Processor {
                 let v = self.ar_rd(*s).wrapping_mul(self.ar_rd(*t));
                 self.ar_wr(*r, v);
                 self.counters.mul_ops += 1;
-                cycles += 1; // 2-cycle multiplier
+                *cycles += 1; // 2-cycle multiplier
             }
             Instr::Quou { r, s, t } | Instr::Remu { r, s, t } => {
                 if !self.cfg.has_div {
@@ -431,7 +475,7 @@ impl Processor {
                 };
                 self.ar_wr(*r, v);
                 self.counters.div_ops += 1;
-                cycles += 12; // iterative divider
+                *cycles += 12; // iterative divider
             }
             Instr::Min { r, s, t } => {
                 alu!(
@@ -456,7 +500,7 @@ impl Processor {
                 };
                 let (v, extra) = self.mem.load(0, addr, w, &mut self.counters)?;
                 self.ar_wr(*r, v as u32);
-                cycles += extra as u64;
+                *cycles += extra as u64;
                 self.pending_load = Some(*r);
             }
             Instr::Store { width, t, s, off } => {
@@ -468,60 +512,60 @@ impl Processor {
                 };
                 let v = self.ar_rd(*t) as u128;
                 let extra = self.mem.store(0, addr, w, v, &mut self.counters)?;
-                cycles += extra as u64;
+                *cycles += extra as u64;
             }
             Instr::Branch { cond, s, t, target } => {
                 let taken = cond.eval(self.ar_rd(*s), self.ar_rd(*t));
-                cycles += self.branch_cost(pc, *target, taken) as u64;
+                *cycles += self.branch_cost(pc, *target, taken) as u64;
                 if taken {
-                    next_pc = *target;
+                    *next_pc = *target;
                 }
             }
             Instr::Beqz { s, target } => {
                 let taken = self.ar_rd(*s) == 0;
-                cycles += self.branch_cost(pc, *target, taken) as u64;
+                *cycles += self.branch_cost(pc, *target, taken) as u64;
                 if taken {
-                    next_pc = *target;
+                    *next_pc = *target;
                 }
             }
             Instr::Bnez { s, target } => {
                 let taken = self.ar_rd(*s) != 0;
-                cycles += self.branch_cost(pc, *target, taken) as u64;
+                *cycles += self.branch_cost(pc, *target, taken) as u64;
                 if taken {
-                    next_pc = *target;
+                    *next_pc = *target;
                 }
             }
             Instr::J { target } => {
                 self.counters.jumps += 1;
-                cycles += self.jump_cost() as u64;
-                next_pc = *target;
+                *cycles += self.jump_cost() as u64;
+                *next_pc = *target;
             }
             Instr::Jx { s } => {
                 self.counters.jumps += 1;
-                cycles += self.jump_cost() as u64;
-                next_pc = self.ar_rd(*s);
+                *cycles += self.jump_cost() as u64;
+                *next_pc = self.ar_rd(*s);
             }
             Instr::Call0 { target } => {
                 self.counters.jumps += 1;
-                cycles += self.jump_cost() as u64;
-                self.ar_wr(crate::isa::regs::A0, next_pc);
-                next_pc = *target;
+                *cycles += self.jump_cost() as u64;
+                self.ar_wr(crate::isa::regs::A0, *next_pc);
+                *next_pc = *target;
             }
             Instr::Ret => {
                 self.counters.jumps += 1;
-                cycles += self.jump_cost() as u64;
-                next_pc = self.ar_rd(crate::isa::regs::A0);
+                *cycles += self.jump_cost() as u64;
+                *next_pc = self.ar_rd(crate::isa::regs::A0);
             }
             Instr::Loop { s, end } => {
                 let count = self.ar_rd(*s).max(1);
                 self.hw_loop = Some(HwLoop {
-                    begin: next_pc,
+                    begin: *next_pc,
                     end: *end,
                     count,
                 });
             }
             Instr::Ext(op) => {
-                cycles += self.exec_ext_group(pc, &[(op.op, op.args)])? as u64;
+                *cycles += self.exec_ext_group(pc, &[(op.op, op.args)])? as u64;
             }
             Instr::Flix(slots) => {
                 if !self.cfg.has_flix {
@@ -542,7 +586,7 @@ impl Processor {
                 // ALU ops commit after (they never feed the ext ops within
                 // the same bundle).
                 if !ext_ops.is_empty() {
-                    cycles += self.exec_ext_group(pc, &ext_ops)? as u64;
+                    *cycles += self.exec_ext_group(pc, &ext_ops)? as u64;
                 }
                 for b in base_ops {
                     if let Instr::Addi { r, s, imm } = b {
@@ -553,7 +597,22 @@ impl Processor {
                 }
             }
         }
+        Ok(())
+    }
 
+    /// Commits one step: applies the hardware-loop back-edge, drains the
+    /// SECDED decode stalls, ticks the prefetcher, records trace/profile
+    /// samples, advances the cycle clock and the PC. Shared verbatim by
+    /// the precise and fast paths so their per-step timing is identical
+    /// by construction.
+    #[inline]
+    fn finish_step(
+        &mut self,
+        pc: u32,
+        mut cycles: u64,
+        mut next_pc: u32,
+        halted: bool,
+    ) -> Result<StepOutcome, SimError> {
         // Hardware-loop back-edge (zero overhead).
         if let Some(mut l) = self.hw_loop {
             if next_pc == l.end {
@@ -634,7 +693,38 @@ impl Processor {
     /// policies can treat a hung core as a survivable hardware event.
     /// Fault counters are harvested into [`Self::counters`] on every exit
     /// path, including faults.
+    ///
+    /// Eligibility is checked once, here: a run with no observer hooks
+    /// (trace/profile), no watchdog, no pending fault plan and no
+    /// protected local store executes on the fast path — pre-decoded
+    /// basic blocks through the same `exec_instr`/`finish_step` pair the
+    /// precise loop uses, so results, cycles, counters and faults are
+    /// bit-identical by construction (see DESIGN.md and
+    /// `tests/fast_path.rs`). Anything else, or [`Self::set_force_precise`],
+    /// falls back to the precise per-step loop.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        if self.fast_path_eligible() {
+            self.run_fast(max_cycles)
+        } else {
+            self.run_precise(max_cycles)
+        }
+    }
+
+    /// Whether this run can take the fast path. Every condition here is
+    /// an invariant of the specialized loop: no per-step fault injection,
+    /// no mid-run watchdog check, no trace/profile recording, and no
+    /// SECDED/parity protection state on the local stores.
+    fn fast_path_eligible(&self) -> bool {
+        !self.force_precise
+            && self.watchdog.is_none()
+            && self.trace.is_none()
+            && self.profile.is_none()
+            && self.fault_plan.as_ref().is_none_or(|p| p.is_empty())
+            && self.mem.dmem_protection() == ProtectionKind::None
+    }
+
+    /// The precise per-step run loop (the original engine, unchanged).
+    fn run_precise(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
         while self.cycles < max_cycles {
             if let Some(budget) = self.watchdog {
                 if self.cycles >= budget {
@@ -664,6 +754,129 @@ impl Processor {
         }
         self.harvest_fault_counters();
         Err(SimError::MaxCyclesExceeded { budget: max_cycles })
+    }
+
+    /// The block entered at the current PC, decoding (and caching) it on
+    /// first use.
+    fn fast_block_at(&mut self, pc: u32) -> Result<Arc<FastBlock>, SimError> {
+        // Disjoint field borrows: the program stays borrowed shared while
+        // the engine is borrowed mutably — no `Arc` clone per lookup.
+        let program = self.program.as_ref().ok_or(SimError::BadPc { pc })?;
+        let engine = self
+            .fast
+            .get_or_insert_with(|| FastEngine::new(program.entry(), program.size_bytes()));
+        engine.block(program, pc, self.cfg.has_flix)
+    }
+
+    /// The fast-path run loop: executes pre-decoded basic blocks with the
+    /// per-step program lookups hoisted out. Exit paths (halt, budget,
+    /// error promotion, counter harvest) mirror [`Self::run_precise`]
+    /// exactly; the per-step semantics are shared code (`exec_instr` +
+    /// `finish_step`).
+    fn run_fast(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        // One-entry block memo: a hardware loop (or any tight loop whose
+        // body is one block) re-enters the same block every iteration, so
+        // keeping the current block across outer iterations makes the
+        // hottest edge free of both the cache lookup and all `Arc`
+        // traffic; a control transfer elsewhere pays one lookup.
+        let mut cur: Option<(u32, Arc<FastBlock>)> = None;
+        'outer: loop {
+            if self.cycles >= max_cycles {
+                self.harvest_fault_counters();
+                return Err(SimError::MaxCyclesExceeded { budget: max_cycles });
+            }
+            if self.halted {
+                self.harvest_fault_counters();
+                return Ok(RunStats {
+                    cycles: self.cycles,
+                    halted: true,
+                    counters: self.counters.clone(),
+                });
+            }
+            if !matches!(&cur, Some((pc, _)) if *pc == self.pc) {
+                match self.fast_block_at(self.pc) {
+                    Ok(b) => cur = Some((self.pc, b)),
+                    Err(e) => {
+                        let e = self.promote_fault(self.pc, e);
+                        self.harvest_fault_counters();
+                        return Err(e);
+                    }
+                }
+            }
+            let (_, block) = cur.as_ref().expect("block memoized above");
+            for (i, step) in block.steps.iter().enumerate() {
+                // The budget gates every step; the outer loop already
+                // checked it for the block's first step.
+                if i > 0 && self.cycles >= max_cycles {
+                    self.harvest_fault_counters();
+                    return Err(SimError::MaxCyclesExceeded { budget: max_cycles });
+                }
+                match self.exec_fast_step(step) {
+                    Ok(StepOutcome::Continue) => {}
+                    Ok(StepOutcome::Halted) => {
+                        self.harvest_fault_counters();
+                        return Ok(RunStats {
+                            cycles: self.cycles,
+                            halted: true,
+                            counters: self.counters.clone(),
+                        });
+                    }
+                    Err(e) => {
+                        let e = self.promote_fault(step.pc, e);
+                        self.harvest_fault_counters();
+                        return Err(e);
+                    }
+                }
+                // A committed PC that is not the static fall-through means
+                // a taken branch/jump or a hardware-loop back-edge:
+                // re-enter through the block cache.
+                if self.pc != step.fall_through {
+                    continue 'outer;
+                }
+            }
+        }
+    }
+
+    /// Executes one pre-decoded step: the fast-path twin of
+    /// [`Self::step_inner`], with the fetch and operand-set computation
+    /// done at decode time. Specialized bundles inline the FLIX issue
+    /// order (extension group against pre-cycle ARs, then base `ADDI`s);
+    /// everything else goes through the shared interpreter arm.
+    fn exec_fast_step(&mut self, step: &FastStep) -> Result<StepOutcome, SimError> {
+        self.mem.begin_cycle();
+        let mut cycles: u64 = 1;
+
+        // Load-use interlock from the previous instruction.
+        if let Some(dep) = self.pending_load {
+            if step.src_mask >> (dep.idx() & 15) & 1 != 0 {
+                cycles += 1;
+                self.counters.stall_load_use += 1;
+                // The prefetcher keeps running during the stall.
+                self.mem.tick_prefetcher()?;
+            }
+        }
+        self.pending_load = None;
+
+        let mut next_pc = step.fall_through;
+        let mut halted = false;
+        self.counters.instrs += 1;
+        match &step.kind {
+            FastKind::Instr(instr) => {
+                self.exec_instr(step.pc, instr, &mut cycles, &mut next_pc, &mut halted)?;
+            }
+            FastKind::Bundle { ext_ops, addis } => {
+                self.counters.flix_bundles += 1;
+                if !ext_ops.is_empty() {
+                    cycles += self.exec_ext_group(step.pc, ext_ops)? as u64;
+                }
+                for &(r, s, imm) in addis.iter() {
+                    let v = self.ar_rd(s).wrapping_add(imm as i32 as u32);
+                    self.ar_wr(r, v);
+                    self.counters.alu_ops += 1;
+                }
+            }
+        }
+        self.finish_step(step.pc, cycles, next_pc, halted)
     }
 }
 

@@ -64,6 +64,7 @@ pub struct EventCounters {
 
 impl EventCounters {
     /// Bumps the per-op extension counter, growing the table as needed.
+    #[inline]
     pub fn count_ext_op(&mut self, op: u16) {
         let ix = op as usize;
         if self.ext_op_counts.len() <= ix {
@@ -94,9 +95,11 @@ impl EventCounters {
 
     /// The counters as stable `(name, value)` pairs for the observability
     /// registry — one naming scheme shared by `repro observe`,
-    /// `repro resilience`, and the Perfetto exporter.
-    pub fn named(&self) -> Vec<(&'static str, u64)> {
-        vec![
+    /// `repro resilience`, and the Perfetto exporter. Returns a fixed
+    /// array (no heap allocation) so per-run snapshotting stays off the
+    /// allocator in hot telemetry loops.
+    pub fn named(&self) -> [(&'static str, u64); 16] {
+        [
             ("instrs", self.instrs),
             ("flix_bundles", self.flix_bundles),
             ("ext_ops", self.ext_ops),
@@ -117,8 +120,10 @@ impl EventCounters {
     }
 }
 
-/// Outcome of a completed simulation run.
-#[derive(Debug, Clone)]
+/// Outcome of a completed simulation run. Equality compares every
+/// field — the fast-path differential suite relies on this to assert
+/// bit-identical stats between the precise and fast engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -205,6 +210,24 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), named.len());
+    }
+
+    #[test]
+    fn named_returns_a_fixed_array_without_allocating() {
+        let c = EventCounters {
+            instrs: 7,
+            faults: FaultCounters {
+                escaped: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // The annotation is the point: `named()` returns a stack array,
+        // so snapshotting counters allocates nothing.
+        let named: [(&'static str, u64); 16] = c.named();
+        let get = |k: &str| named.iter().find(|(n, _)| *n == k).map(|(_, v)| *v);
+        assert_eq!(get("instrs"), Some(7));
+        assert_eq!(get("faults.escaped"), Some(1));
     }
 
     #[test]

@@ -11,15 +11,18 @@
 //! * folded stacks (`figure;kernel;model@x cycles`) for flamegraph
 //!   tools (`--folded`).
 //!
-//! Every number derives from simulated cycles at the synthesis model's
-//! fMAX — host wall-clock never enters — so the snapshot is
-//! bit-identical for any `--threads` value and any machine.
+//! Every number in the snapshot body derives from simulated cycles at
+//! the synthesis model's fMAX, so it is bit-identical for any
+//! `--threads` value and any machine. `--host-time` additionally stamps
+//! the snapshot with host wall-clock *metadata* (ns per simulated cycle,
+//! sim Mcycles/s) — recorded outside the body, ignored by `--check`.
 
 use crate::report::{f1, TextTable};
-use dbx_bench::perf::{PerfError, PerfSnapshot, PointDiff};
+use dbx_bench::perf::{HostTiming, PerfError, PerfSnapshot, PointDiff};
 use dbx_bench::suite::{run_suite, SuiteConfig};
 use dbx_core::HostSched;
 use dbx_observe::FoldedStacks;
+use std::time::Instant;
 
 /// The full paper-figure suite result.
 #[derive(Debug)]
@@ -35,6 +38,20 @@ pub fn run(scale: f64, sched: HostSched) -> Bench {
     Bench {
         snapshot: run_suite(&SuiteConfig { scale, sched }),
     }
+}
+
+/// Like [`run`], but wraps the sweep in a host wall-clock measurement and
+/// stamps the snapshot with [`HostTiming`] metadata (`--host-time`). The
+/// snapshot *body* is bit-identical to an untimed run; only the trailing
+/// metadata block differs between machines.
+pub fn run_timed(scale: f64, sched: HostSched) -> Bench {
+    let start = Instant::now();
+    let mut snapshot = run_suite(&SuiteConfig { scale, sched });
+    let host_ns = start.elapsed().as_nanos() as u64;
+    let sim_cycles = snapshot.points.iter().map(|p| p.cycles).sum();
+    let threads = sched.effective_threads(snapshot.points.len()) as u64;
+    snapshot.host = Some(HostTiming::new(host_ns, sim_cycles, threads));
+    Bench { snapshot }
 }
 
 impl Bench {
@@ -71,6 +88,20 @@ impl Bench {
         out.push_str("\nHeadline ratios vs published x86 numbers:\n");
         for (name, value) in &self.snapshot.ratios {
             out.push_str(&format!("  {name:<28} {value:.3}\n"));
+        }
+        if let Some(h) = &self.snapshot.host {
+            out.push_str(&format!(
+                "\nHost timing ({} thread(s)):\n  \
+                 wall clock                   {:.1} ms\n  \
+                 simulated cycles             {}\n  \
+                 host ns / simulated cycle    {:.2}\n  \
+                 sim throughput               {:.1} Mcycles/s\n",
+                h.threads,
+                h.host_ns as f64 / 1.0e6,
+                h.sim_cycles,
+                h.ns_per_cycle,
+                h.sim_mcps,
+            ));
         }
         out
     }
@@ -145,6 +176,27 @@ mod tests {
         assert!(diffs.iter().all(|d| !d.regression && d.delta == 0.0));
         let total: u64 = b.snapshot.points.iter().map(|p| p.cycles).sum();
         assert_eq!(b.folded().total_cycles(), total);
+    }
+
+    #[test]
+    fn host_time_stamps_metadata_without_touching_the_body() {
+        let plain = run(0.02, HostSched::Sequential);
+        let timed = run_timed(0.02, HostSched::Sequential);
+        let h = timed.snapshot.host.as_ref().expect("host timing recorded");
+        assert!(h.host_ns > 0);
+        assert_eq!(
+            h.sim_cycles,
+            timed.snapshot.points.iter().map(|p| p.cycles).sum::<u64>()
+        );
+        assert_eq!(h.threads, 1);
+        assert!(timed.render().contains("Host timing"));
+        // The body (points, ratios, scale) is identical with and without
+        // timing, so --check sees no difference.
+        let mut body = timed.snapshot.clone();
+        body.host = None;
+        assert_eq!(body, plain.snapshot);
+        let diffs = timed.check(&plain.snapshot.to_json()).expect("diff");
+        assert!(diffs.iter().all(|d| !d.regression && d.delta == 0.0));
     }
 
     #[test]

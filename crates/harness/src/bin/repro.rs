@@ -36,6 +36,9 @@
 //!                              (default: DBX_HOST_THREADS, else sequential)
 //!          --json              print the perf snapshot JSON
 //!          --folded <path>     write folded stacks for flamegraph tools
+//!          --host-time         measure host wall-clock for the sweep and
+//!                              stamp ns-per-simulated-cycle metadata into
+//!                              the snapshot (ignored by --check)
 //!          --check <baseline>  diff against a committed BENCH_perf.json;
 //!                              exit 1 on any >3% cycle regression
 //! ```
@@ -175,7 +178,11 @@ fn run_bench(args: &[String], scale: f64) {
         .and_then(|v| v.parse().ok())
         .unwrap_or(scale);
     let sched = bench::sched_from_flag(flag_value(args, "--threads"));
-    let b = bench::run(scale, sched);
+    let b = if args.iter().any(|a| a == "--host-time") {
+        bench::run_timed(scale, sched)
+    } else {
+        bench::run(scale, sched)
+    };
 
     if let Some(path) = flag_value(args, "--folded") {
         std::fs::write(path, b.folded().render()).expect("write folded stacks");

@@ -108,6 +108,7 @@ impl LocalMemory {
     }
 
     /// True if an access of `len` bytes at `addr` falls inside this region.
+    #[inline]
     pub fn contains(&self, addr: u32, len: usize) -> bool {
         let a = addr as u64;
         let b = self.base as u64;
@@ -115,6 +116,7 @@ impl LocalMemory {
     }
 
     /// Resets the per-cycle port budgets. Call once per simulated cycle.
+    #[inline]
     pub fn begin_cycle(&mut self) {
         self.core_accesses_this_cycle = 0;
         self.pf_accesses_this_cycle = 0;
@@ -216,6 +218,7 @@ impl LocalMemory {
 
     /// Verifies the protected words covering `[off, off+len)` before a
     /// read, correcting / detecting / accounting as the scheme allows.
+    #[inline]
     fn verify(&mut self, off: usize, len: usize) -> Result<(), MemError> {
         if self.protection == ProtectionKind::None && self.tainted.is_empty() {
             return Ok(());
@@ -270,6 +273,7 @@ impl LocalMemory {
     /// and clears taint (a full overwrite replaces corrupt data; a partial
     /// write of a tainted word commits the corruption, which counts as an
     /// escape).
+    #[inline]
     fn recode(&mut self, off: usize, len: usize) {
         if self.protection == ProtectionKind::None
             && self.tainted.is_empty()
@@ -293,6 +297,7 @@ impl LocalMemory {
         }
     }
 
+    #[inline]
     fn check(&self, addr: u32, width: Width) -> Result<usize, MemError> {
         let len = width.bytes();
         if !(addr as usize).is_multiple_of(len) {
@@ -309,6 +314,7 @@ impl LocalMemory {
         Ok((addr - self.base) as usize)
     }
 
+    #[inline]
     fn charge_port(&mut self, port: AccessPort) -> Result<(), MemError> {
         match port {
             AccessPort::Core => {
@@ -409,6 +415,20 @@ impl LocalMemory {
         for _ in 0..beats {
             self.charge_port(port)?;
         }
+        let len = 4 * lanes.len();
+        if self.contains(addr, len) {
+            // Whole span in bounds: write contiguously, recode once —
+            // identical protection accounting to the per-lane path, one
+            // taint/parity scan instead of one per lane.
+            let off = (addr - self.base) as usize;
+            for (i, v) in lanes.iter().enumerate() {
+                let o = off + 4 * i;
+                self.data[o..o + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            self.recode(off, len);
+            self.bytes_moved += len as u64;
+            return Ok(beats);
+        }
         for (i, v) in lanes.iter().enumerate() {
             self.write_unmetered(addr + 4 * i as u32, Width::W32, *v as u128)?;
         }
@@ -424,11 +444,27 @@ impl LocalMemory {
         n: usize,
     ) -> Result<(Vec<u32>, u32), MemError> {
         assert!(n <= 4, "at most one 128-bit beat worth of lanes");
+        let mut lanes = [0u32; 4];
+        let beats = self.read_lanes_into(port, addr, &mut lanes[..n])?;
+        Ok((lanes[..n].to_vec(), beats))
+    }
+
+    /// Like [`Self::read_lanes`], but reads into a caller-provided buffer
+    /// (the lane count is `out.len()`) and returns only the beat count —
+    /// the allocation-free form the per-cycle datapath uses.
+    pub fn read_lanes_into(
+        &mut self,
+        port: AccessPort,
+        addr: u32,
+        out: &mut [u32],
+    ) -> Result<u32, MemError> {
+        let n = out.len();
+        assert!(n <= 4, "at most one 128-bit beat worth of lanes");
         if !addr.is_multiple_of(4) {
             return Err(MemError::Misaligned { addr, align: 4 });
         }
         if n == 0 {
-            return Ok((Vec::new(), 0));
+            return Ok(0);
         }
         let first_beat = addr / 16;
         let last_beat = (addr + 4 * n as u32 - 4) / 16;
@@ -436,11 +472,24 @@ impl LocalMemory {
         for _ in 0..beats {
             self.charge_port(port)?;
         }
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            out.push(self.read_unmetered(addr + 4 * i as u32, Width::W32)? as u32);
+        let len = 4 * n;
+        if self.contains(addr, len) {
+            // Whole span in bounds: verify once, read contiguously —
+            // identical protection accounting to the per-lane path, one
+            // bounds/taint scan instead of `n`.
+            let off = (addr - self.base) as usize;
+            self.verify(off, len)?;
+            for (i, lane) in out.iter_mut().enumerate() {
+                let o = off + 4 * i;
+                *lane = u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap());
+            }
+            self.bytes_moved += len as u64;
+            return Ok(beats);
         }
-        Ok((out, beats))
+        for (i, lane) in out.iter_mut().enumerate() {
+            *lane = self.read_unmetered(addr + 4 * i as u32, Width::W32)? as u32;
+        }
+        Ok(beats)
     }
 
     /// Copies a `u32` slice into memory starting at `addr` (setup helper).

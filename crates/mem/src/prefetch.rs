@@ -247,6 +247,7 @@ impl Dmac {
     }
 
     /// True when the FSM has halted or was never started.
+    #[inline]
     pub fn is_idle(&self) -> bool {
         matches!(self.state, DmacState::Idle | DmacState::Halted)
     }

@@ -200,10 +200,11 @@ impl QueryEngine {
         let track = self.options.observer.track();
         let pending_plan = plan.take();
         let fault_plan = &pending_plan;
-        let (protection, policy, watchdog) = (
+        let (protection, policy, watchdog, force_precise) = (
             self.options.protection,
             self.options.policy,
             self.options.watchdog,
+            self.options.force_precise,
         );
         let model = self.model;
         let shards = run_indexed(self.options.sched, pairs.len(), move |idx| {
@@ -221,6 +222,7 @@ impl QueryEngine {
                 watchdog,
                 observer,
                 sched: HostSched::Sequential,
+                force_precise,
             };
             run_partition_with(model, SetOpKind::Union, a, b, &op_opts).map(|r| {
                 drop(op_opts); // release the worker's observer handle
