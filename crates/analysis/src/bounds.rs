@@ -20,7 +20,7 @@ use crate::{Diagnostic, RuleId, Severity};
 
 /// Abstract register value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Val {
+pub(crate) enum Val {
     Unknown,
     Const(u32),
 }
@@ -34,17 +34,20 @@ impl Val {
     }
 }
 
-type Regs = [Val; 16];
+pub(crate) type Regs = [Val; 16];
 
-pub(crate) fn check(view: &View<'_>, cfg: &CpuConfig, diags: &mut Vec<Diagnostic>) {
+/// Per-instruction constant-propagated register states at instruction
+/// entry (`None` = never visited). Shared by the bounds checker and the
+/// DSE weight model (hardware-loop trip counts).
+pub(crate) fn const_states(view: &View<'_>) -> Vec<Option<Regs>> {
     let n = view.instrs.len();
+    let mut in_state: Vec<Option<Regs>> = vec![None; n];
     let entry = match view.index_of.get(&view.prog.entry()) {
         Some(&e) => e,
-        None => return,
+        None => return in_state,
     };
     // The harness may seed registers before running, so entry values are
     // unknown rather than the architectural reset zeros.
-    let mut in_state: Vec<Option<Regs>> = vec![None; n];
     in_state[entry] = Some([Val::Unknown; 16]);
     let mut work = vec![entry];
     while let Some(ix) = work.pop() {
@@ -67,6 +70,12 @@ pub(crate) fn check(view: &View<'_>, cfg: &CpuConfig, diags: &mut Vec<Diagnostic
             }
         }
     }
+    in_state
+}
+
+pub(crate) fn check(view: &View<'_>, cfg: &CpuConfig, diags: &mut Vec<Diagnostic>) {
+    let n = view.instrs.len();
+    let in_state = const_states(view);
 
     for (ix, state) in in_state.iter().enumerate().take(n) {
         let Some(inn) = *state else { continue };

@@ -15,6 +15,45 @@ pub(crate) fn check(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
     loop_regions(view, diags);
     loop_crossings(view, diags);
     unreachable(view, diags);
+    unreachable_blocks(view, diags);
+}
+
+/// Basic-block leader flags: entry, explicit branch targets, and the
+/// instruction after any control transfer or `Halt`. Shared by the
+/// unreachable-block rule and the DSE walker's block decomposition.
+pub(crate) fn block_leaders(view: &View<'_>) -> Vec<bool> {
+    let n = view.instrs.len();
+    let mut leader = vec![false; n];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for (ix, i) in view.instrs.iter().enumerate() {
+        let target = match **i {
+            Instr::Branch { target, .. }
+            | Instr::Beqz { target, .. }
+            | Instr::Bnez { target, .. }
+            | Instr::J { target }
+            | Instr::Call0 { target } => Some(target),
+            Instr::Loop { end, .. } => Some(end),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if let Some(&tix) = view.index_of.get(&t) {
+                leader[tix] = true;
+            }
+        }
+        let cuts = i.is_control() || matches!(**i, Instr::Halt | Instr::Loop { .. });
+        if cuts && ix + 1 < n {
+            leader[ix + 1] = true;
+        }
+    }
+    // Hardware-loop back edges re-enter at the body start.
+    for l in &view.loops {
+        if let Some(&bix) = view.index_of.get(&l.begin_pc) {
+            leader[bix] = true;
+        }
+    }
+    leader
 }
 
 fn loop_regions(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
@@ -141,5 +180,42 @@ fn unreachable(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
             ));
         }
         prev_unreachable = u;
+    }
+}
+
+fn unreachable_blocks(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    // One diagnostic per unreachable *basic block*, anchored at its
+    // leader. Finer-grained than the per-run CFG04 warning: a dead run
+    // may span several blocks (say a branch target nothing jumps to,
+    // directly behind dead straight-line code), and each is its own
+    // deletion candidate.
+    let n = view.instrs.len();
+    let leader = block_leaders(view);
+    let mut ix = 0;
+    while ix < n {
+        if !leader[ix] {
+            ix += 1;
+            continue;
+        }
+        let mut end = ix + 1;
+        while end < n && !leader[end] {
+            end += 1;
+        }
+        if (ix..end).all(|k| !view.reachable[k]) {
+            let last = view.addrs[end - 1] + view.instrs[end - 1].size();
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                view.addrs[ix],
+                RuleId::UnreachableBlock,
+                format!(
+                    "basic block {:#010x}..{:#010x} ({} instruction{}) is unreachable from the entry point",
+                    view.addrs[ix],
+                    last,
+                    end - ix,
+                    if end - ix == 1 { "" } else { "s" }
+                ),
+            ));
+        }
+        ix = end;
     }
 }

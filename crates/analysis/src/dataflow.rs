@@ -11,6 +11,12 @@
 //!   register as live — the harness inspects the register file
 //!   post-mortem (scalar kernels return their result pointer in `a6`),
 //!   and indirect control flow defeats the analysis.
+//! * backward *state liveness* (DF10): a WUR-class parameter store
+//!   (an extension op whose only effect is writing one private state)
+//!   that no path reads before the kernel exits is a dead configuration
+//!   write. Unlike registers, extension states are *not* treated as live
+//!   at exits: the architected way to observe one post-mortem is an
+//!   explicit RUR-class read, which this analysis sees.
 
 use crate::view::View;
 use crate::{Diagnostic, RuleId, Severity};
@@ -20,6 +26,7 @@ const ALL_REGS: u16 = u16::MAX;
 pub(crate) fn check(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
     init_analysis(view, diags);
     liveness_analysis(view, diags);
+    state_liveness_analysis(view, diags);
 }
 
 fn init_analysis(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
@@ -148,4 +155,50 @@ fn live_out(view: &View<'_>, live_in: &[u16], ix: usize) -> u16 {
         return ALL_REGS;
     }
     view.succs[ix].iter().fold(0u16, |acc, &s| acc | live_in[s])
+}
+
+fn state_liveness_analysis(view: &View<'_>, diags: &mut Vec<Diagnostic>) {
+    if view.states.is_empty() {
+        return;
+    }
+    let n = view.instrs.len();
+    // Same backward fixpoint as register liveness, over the state bits.
+    // States are dead at exits (see module docs).
+    let mut live_in = vec![0u64; n];
+    let state_out = |live_in: &[u64], ix: usize| -> u64 {
+        view.succs[ix].iter().fold(0u64, |acc, &s| acc | live_in[s])
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for ix in (0..n).rev() {
+            let out = state_out(&live_in, ix);
+            let eff = view.effects[ix];
+            let inn = eff.state_uses | (out & !eff.state_defs);
+            if inn != live_in[ix] {
+                live_in[ix] = inn;
+                changed = true;
+            }
+        }
+    }
+    for ix in 0..n {
+        if !view.reachable[ix] {
+            continue;
+        }
+        let eff = view.effects[ix];
+        let mut dead = eff.state_defs_pure & !state_out(&live_in, ix);
+        while dead != 0 {
+            let b = dead.trailing_zeros() as usize;
+            dead &= dead - 1;
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                view.addrs[ix],
+                RuleId::StateDeadWrite,
+                format!(
+                    "extension state '{}' is written here but never read before the kernel exits",
+                    view.states[b]
+                ),
+            ));
+        }
+    }
 }

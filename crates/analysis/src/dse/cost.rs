@@ -1,0 +1,219 @@
+//! Execution-weight models for candidate savings.
+//!
+//! Savings are cycle counts, so every basic block needs an estimated
+//! execution count. Two models:
+//!
+//! * **Static** (the default — fully deterministic, no simulation):
+//!   every block starts at weight 1; a block inside a hardware-loop
+//!   region is multiplied by the loop's trip count when constant
+//!   propagation (shared with the bounds checker) can prove the count
+//!   register's value at the `Loop` header, or by a default trip
+//!   otherwise; blocks inside branch-built loops (a backward branch or
+//!   jump) are multiplied by the default trip per distinct loop header,
+//!   so nested loops compound.
+//! * **Profile**: executions per block leader address, taken from a
+//!   profiler snapshot of a real run. Grounded but input-dependent.
+//!
+//! The static model is intentionally crude — it only has to *rank*
+//! candidates the way the paper's authors ranked kernels by inspection:
+//! innermost-loop dataflow dominates.
+
+use std::collections::BTreeMap;
+
+use crate::bounds::{const_states, Val};
+use crate::view::View;
+use dbx_cpu::isa::Instr;
+
+use super::DseConfig;
+
+/// How block execution counts are estimated.
+#[derive(Debug, Clone)]
+pub enum WeightModel {
+    /// Static loop-nest heuristic (deterministic, the default).
+    Static,
+    /// Measured executions per block-leader address; blocks missing from
+    /// the map weigh 1.
+    Profile(BTreeMap<u32, u64>),
+}
+
+/// Per-instruction execution weight (each instruction carries the weight
+/// of its enclosing block). `leaders` is the CFG pass's leader map.
+pub fn block_weights(
+    view: &View<'_>,
+    leaders: &[bool],
+    model: &WeightModel,
+    cfg: &DseConfig,
+) -> Vec<u64> {
+    let n = view.instrs.len();
+    let mut weights = vec![1u64; n];
+    match model {
+        WeightModel::Profile(execs) => {
+            let mut ix = 0;
+            while ix < n {
+                let mut end = ix + 1;
+                while end < n && !leaders[end] {
+                    end += 1;
+                }
+                // Take the max over the block in case the snapshot only
+                // recorded interior pcs (e.g. after an interrupted run).
+                let w = (ix..end)
+                    .filter_map(|k| execs.get(&view.addrs[k]).copied())
+                    .max()
+                    .unwrap_or(1)
+                    .max(1);
+                for wk in weights.iter_mut().take(end).skip(ix) {
+                    *wk = w;
+                }
+                ix = end;
+            }
+        }
+        WeightModel::Static => {
+            // Hardware loops: constant-folded trip count when provable.
+            let consts = const_states(view);
+            for l in &view.loops {
+                if !l.well_formed {
+                    continue;
+                }
+                let trip = match view.instrs[l.header] {
+                    Instr::Loop { s, .. } => match consts[l.header] {
+                        Some(regs) => match regs[s.0 as usize] {
+                            Val::Const(c) => (c as u64).max(1),
+                            Val::Unknown => cfg.default_trip,
+                        },
+                        None => cfg.default_trip,
+                    },
+                    _ => cfg.default_trip,
+                };
+                for (k, wk) in weights.iter_mut().enumerate() {
+                    if l.contains(view.addrs[k]) {
+                        *wk = wk.saturating_mul(trip);
+                    }
+                }
+            }
+            // Branch-built loops: group backward edges by target (one
+            // header can have several `continue`-style back edges) and
+            // scale the spanned range once per header.
+            let hw_begins: Vec<u32> = view
+                .loops
+                .iter()
+                .filter(|l| l.well_formed)
+                .map(|l| l.begin_pc)
+                .collect();
+            let mut span_of: BTreeMap<usize, usize> = BTreeMap::new();
+            for ix in 0..n {
+                for &s in &view.succs[ix] {
+                    if s <= ix && !hw_begins.contains(&view.addrs[s]) {
+                        let e = span_of.entry(s).or_insert(ix);
+                        *e = (*e).max(ix);
+                    }
+                }
+            }
+            for (&head, &tail) in &span_of {
+                for wk in weights.iter_mut().take(tail + 1).skip(head) {
+                    *wk = wk.saturating_mul(cfg.default_trip);
+                }
+            }
+        }
+    }
+    weights
+}
+
+/// Weighted static cycle count of the whole program — the denominator of
+/// the Pareto search's speedup axis. Unreachable code contributes
+/// nothing.
+pub fn static_base_cycles(view: &View<'_>, weights: &[u64]) -> u64 {
+    view.instrs
+        .iter()
+        .enumerate()
+        .filter(|(ix, _)| view.reachable[*ix])
+        .map(|(ix, i)| (i.latency() as u64).saturating_mul(weights[ix]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbx_cpu::isa::regs::*;
+    use dbx_cpu::ProgramBuilder;
+
+    fn cfg() -> DseConfig {
+        DseConfig {
+            max_nodes: 6,
+            max_inputs: 4,
+            max_outputs: 3,
+            max_mem_ops: 2,
+            flix: true,
+            default_trip: 16,
+        }
+    }
+
+    #[test]
+    fn constant_hardware_loop_trip_counts_are_folded() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A1, 10)
+            .hw_loop(A1, "done")
+            .addi(A2, A2, 1)
+            .label("done")
+            .halt();
+        let p = b.build().unwrap();
+        let view = View::build(&p, None);
+        let leaders = crate::cfg::block_leaders(&view);
+        let w = block_weights(&view, &leaders, &WeightModel::Static, &cfg());
+        let body_ix = view.index_of[&view.loops[0].begin_pc];
+        assert_eq!(w[body_ix], 10);
+        assert_eq!(w[0], 1); // prologue unscaled
+    }
+
+    #[test]
+    fn branch_loops_scale_by_the_default_trip_once_per_header() {
+        // Two back edges to the same header must not compound.
+        let mut b = ProgramBuilder::new();
+        b.movi(A1, 0)
+            .label("loop")
+            .addi(A1, A1, 1)
+            .beq(A1, A2, "loop")
+            .bne(A1, A3, "loop")
+            .halt();
+        let p = b.build().unwrap();
+        let view = View::build(&p, None);
+        let leaders = crate::cfg::block_leaders(&view);
+        let c = cfg();
+        let w = block_weights(&view, &leaders, &WeightModel::Static, &c);
+        let body_ix = view.index_of[&p.label_addr("loop").unwrap()];
+        assert_eq!(w[body_ix], c.default_trip);
+    }
+
+    #[test]
+    fn profile_weights_override_the_heuristic() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A1, 0)
+            .label("loop")
+            .addi(A1, A1, 1)
+            .beq(A1, A2, "loop")
+            .halt();
+        let p = b.build().unwrap();
+        let view = View::build(&p, None);
+        let leaders = crate::cfg::block_leaders(&view);
+        let mut execs = BTreeMap::new();
+        execs.insert(p.label_addr("loop").unwrap(), 12345u64);
+        let w = block_weights(&view, &leaders, &WeightModel::Profile(execs), &cfg());
+        let body_ix = view.index_of[&p.label_addr("loop").unwrap()];
+        assert_eq!(w[body_ix], 12345);
+    }
+
+    #[test]
+    fn base_cycles_weigh_latency_by_trip_count() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A1, 4)
+            .hw_loop(A1, "done")
+            .mull(A2, A2, A3) // 2 cycles x 4 trips
+            .label("done")
+            .halt();
+        let p = b.build().unwrap();
+        let view = View::build(&p, None);
+        let leaders = crate::cfg::block_leaders(&view);
+        let w = block_weights(&view, &leaders, &WeightModel::Static, &cfg());
+        // movi(1) + loop(1) + mull(2*4) + halt(1)
+        assert_eq!(static_base_cycles(&view, &w), 11);
+    }
+}

@@ -1,0 +1,413 @@
+//! Per-basic-block dataflow graphs over a program view.
+//!
+//! Every basic block (leaders computed by the CFG pass) becomes one or
+//! more *windows* of at most 64 dataflow nodes, so node sets fit in a
+//! `u64` bitmask during enumeration. Nodes are the block's non-control
+//! instructions plus — if the block ends in a conditional branch — a
+//! terminal *predicate* node modelling the comparison; unconditional
+//! control (`J`, `Jx`, `Call0`, `Ret`, `Halt`, `Loop`) and `Nop` carry
+//! no dataflow and are dropped. FLIX bundles expand into one node per
+//! non-`Nop` slot with read-old/write-new semantics: slot operands
+//! resolve against the definitions *before* the bundle, never against a
+//! sibling slot.
+//!
+//! Edges are intra-window def→use chains over the sixteen address
+//! registers and (for extension ops) the extension-private states.
+//! Values flowing in from outside the window appear as external
+//! [`Src::Reg`]/[`Src::State`] operands.
+
+use dbx_cpu::ext::{Extension, LsuUse};
+use dbx_cpu::isa::{ExtOp, Instr, OpClass};
+
+use crate::view::{effects_of, View};
+
+/// Maximum nodes per window (node sets are `u64` bitmasks).
+pub const WINDOW_CAP: usize = 64;
+
+/// One operand source of a dataflow node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Src {
+    /// Produced by another node of the same window.
+    Node(usize),
+    /// An address register whose reaching definition is outside the
+    /// window (block live-in or a prior window of the same block).
+    Reg(u8),
+    /// An extension state (bit index into [`View::states`]) defined
+    /// outside the window.
+    State(u8),
+}
+
+/// One dataflow node: a non-control instruction, a FLIX slot, or the
+/// block-terminating conditional branch (as a predicate).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Stream index of the carrying instruction in the [`View`].
+    pub ix: usize,
+    /// Byte address of the carrying instruction.
+    pub pc: u32,
+    /// FLIX slot position when the node is one slot of a bundle.
+    pub slot: Option<u8>,
+    /// Assembly mnemonic (stable across occurrences; used for the
+    /// canonical candidate signature).
+    pub mnemonic: &'static str,
+    /// Functional-unit class.
+    pub class: OpClass,
+    /// Issue-to-result latency in cycles.
+    pub latency: u32,
+    /// Whether the node drives a load–store unit.
+    pub is_mem: bool,
+    /// Whether the node is the block-terminating conditional branch.
+    pub is_predicate: bool,
+    /// Whether the op may legally sit in a FLIX slot (bundle-template
+    /// enumeration only considers these).
+    pub slot_ok: bool,
+    /// Address registers the node defines.
+    pub defs: u16,
+    /// Extension states the node defines (bits into [`View::states`]).
+    pub state_defs: u64,
+    /// In-window producers (bitmask over node indices).
+    pub deps: u64,
+    /// Ordered operand sources (register operands in encoding order,
+    /// then state operands in ascending bit order).
+    pub srcs: Vec<Src>,
+}
+
+/// One enumeration window: up to [`WINDOW_CAP`] nodes of a single basic
+/// block. Candidates never cross a window boundary.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Stream index of the block leader (weights are per block).
+    pub leader_ix: usize,
+    /// Address of the block leader.
+    pub start_pc: u32,
+    /// The nodes, in stream order.
+    pub nodes: Vec<Node>,
+}
+
+/// The dataflow graph of a whole program: one window list, in block
+/// order. Unreachable blocks are excluded — dead code must not seed
+/// instruction candidates.
+#[derive(Debug, Clone)]
+pub struct Dfg {
+    /// All enumeration windows.
+    pub windows: Vec<Window>,
+}
+
+/// Builds the per-block dataflow windows for `view`. `leaders` is the
+/// basic-block leader map from the CFG pass.
+pub fn build(view: &View<'_>, ext: Option<&dyn Extension>, leaders: &[bool]) -> Dfg {
+    let n = view.instrs.len();
+    let mut windows = Vec::new();
+    let mut ix = 0;
+    while ix < n {
+        let mut end = ix + 1;
+        while end < n && !leaders[end] {
+            end += 1;
+        }
+        if view.reachable[ix] {
+            build_block(view, ext, ix, end, &mut windows);
+        }
+        ix = end;
+    }
+    Dfg { windows }
+}
+
+struct BlockCtx {
+    nodes: Vec<Node>,
+    /// reg → producing node index within the current window.
+    last_def: [Option<usize>; 16],
+    /// state bit → producing node index within the current window.
+    last_state_def: [Option<usize>; 64],
+}
+
+impl BlockCtx {
+    fn reg_src(&self, r: u8) -> Src {
+        match self.last_def[r as usize & 15] {
+            Some(p) => Src::Node(p),
+            None => Src::Reg(r & 15),
+        }
+    }
+
+    fn state_src(&self, bit: u8) -> Src {
+        match self.last_state_def[bit as usize & 63] {
+            Some(p) => Src::Node(p),
+            None => Src::State(bit & 63),
+        }
+    }
+
+    fn push(&mut self, mut node: Node) {
+        node.deps = node
+            .srcs
+            .iter()
+            .filter_map(|s| match s {
+                Src::Node(p) => Some(1u64 << p),
+                _ => None,
+            })
+            .fold(0, |m, b| m | b);
+        let me = self.nodes.len();
+        let mut defs = node.defs;
+        while defs != 0 {
+            let r = defs.trailing_zeros() as usize;
+            defs &= defs - 1;
+            self.last_def[r] = Some(me);
+        }
+        let mut sdefs = node.state_defs;
+        while sdefs != 0 {
+            let b = sdefs.trailing_zeros() as usize;
+            sdefs &= sdefs - 1;
+            self.last_state_def[b] = Some(me);
+        }
+        self.nodes.push(node);
+    }
+}
+
+fn build_block(
+    view: &View<'_>,
+    ext: Option<&dyn Extension>,
+    start: usize,
+    end: usize,
+    windows: &mut Vec<Window>,
+) {
+    let mut ctx = BlockCtx {
+        nodes: Vec::new(),
+        last_def: [None; 16],
+        last_state_def: [None; 64],
+    };
+    let flush = |ctx: &mut BlockCtx, windows: &mut Vec<Window>| {
+        if !ctx.nodes.is_empty() {
+            windows.push(Window {
+                leader_ix: start,
+                start_pc: view.addrs[start],
+                nodes: std::mem::take(&mut ctx.nodes),
+            });
+        }
+        // A window split severs def chains: later reads become external.
+        ctx.last_def = [None; 16];
+        ctx.last_state_def = [None; 64];
+    };
+    for ix in start..end {
+        let i = view.instrs[ix];
+        let pc = view.addrs[ix];
+        // FLIX bundles can expand to three nodes; split early enough.
+        if ctx.nodes.len() + 3 > WINDOW_CAP {
+            flush(&mut ctx, windows);
+        }
+        match i {
+            Instr::Nop
+            | Instr::J { .. }
+            | Instr::Jx { .. }
+            | Instr::Call0 { .. }
+            | Instr::Ret
+            | Instr::Halt
+            | Instr::Loop { .. } => {}
+            Instr::Branch { s, t, .. } => {
+                let srcs = vec![ctx.reg_src(s.0), ctx.reg_src(t.0)];
+                ctx.push(predicate_node(ix, pc, i, srcs));
+            }
+            Instr::Beqz { s, .. } | Instr::Bnez { s, .. } => {
+                let srcs = vec![ctx.reg_src(s.0)];
+                ctx.push(predicate_node(ix, pc, i, srcs));
+            }
+            Instr::Flix(slots) => {
+                // Read-old/write-new: resolve every slot's operands
+                // against the pre-bundle state, then commit all defs.
+                let mut staged = Vec::new();
+                for (si, slot) in slots.iter().enumerate() {
+                    if matches!(slot, Instr::Nop) {
+                        continue;
+                    }
+                    let mut node = plain_node(ix, pc, slot, ext, view, &ctx);
+                    node.slot = Some(si as u8);
+                    staged.push(node);
+                }
+                for node in staged {
+                    // Defs of earlier slots must not feed later slots;
+                    // srcs were resolved before any push, so only the
+                    // commit order matters — push applies defs after
+                    // computing deps from the staged srcs.
+                    let frozen = ctx.nodes.len();
+                    ctx.push(node);
+                    debug_assert!(ctx.nodes[frozen].deps < (1u64 << frozen.max(1)));
+                }
+            }
+            _ => {
+                let node = plain_node(ix, pc, i, ext, view, &ctx);
+                ctx.push(node);
+            }
+        }
+        if ctx.nodes.len() >= WINDOW_CAP {
+            flush(&mut ctx, windows);
+        }
+    }
+    flush(&mut ctx, windows);
+}
+
+fn predicate_node(ix: usize, pc: u32, i: &Instr, srcs: Vec<Src>) -> Node {
+    Node {
+        ix,
+        pc,
+        slot: None,
+        mnemonic: i.mnemonic(),
+        class: i.op_class(),
+        latency: i.latency(),
+        is_mem: false,
+        is_predicate: true,
+        slot_ok: false,
+        defs: 0,
+        state_defs: 0,
+        deps: 0,
+        srcs,
+    }
+}
+
+fn plain_node(
+    ix: usize,
+    pc: u32,
+    i: &Instr,
+    ext: Option<&dyn Extension>,
+    view: &View<'_>,
+    ctx: &BlockCtx,
+) -> Node {
+    let mut srcs = Vec::new();
+    let (defs, state_defs, is_mem, slot_ok);
+    match i {
+        Instr::Ext(ExtOp { op, .. }) => {
+            // Operand roles come from the descriptor; `effects_of` has
+            // already folded them into register/state bitmasks.
+            let eff = effects_of(i, ext, &view.states);
+            let mut uses = eff.reg_uses;
+            while uses != 0 {
+                let r = uses.trailing_zeros() as u8;
+                uses &= uses - 1;
+                srcs.push(ctx.reg_src(r));
+            }
+            let mut suses = eff.state_uses;
+            while suses != 0 {
+                let b = suses.trailing_zeros() as u8;
+                suses &= suses - 1;
+                srcs.push(ctx.state_src(b));
+            }
+            defs = eff.reg_defs;
+            state_defs = eff.state_defs;
+            let d = ext.and_then(|x| x.op_descriptor(*op).ok());
+            is_mem = d
+                .as_ref()
+                .map(|d| !matches!(d.lsu, LsuUse::None))
+                .unwrap_or(false);
+            slot_ok = d.map(|d| d.slot_ok).unwrap_or(false);
+        }
+        _ => {
+            for r in i.src_regs() {
+                srcs.push(ctx.reg_src(r.0));
+            }
+            defs = i.dest_reg().map(|r| 1u16 << r.0).unwrap_or(0);
+            state_defs = 0;
+            is_mem = matches!(i.op_class(), OpClass::Load | OpClass::Store);
+            // Base-ISA FLIX slots carry Addi (and Nop); everything else
+            // needs an extension format.
+            slot_ok = matches!(i, Instr::Addi { .. });
+        }
+    }
+    Node {
+        ix,
+        pc,
+        slot: None,
+        mnemonic: i.mnemonic(),
+        class: i.op_class(),
+        latency: i.latency(),
+        is_mem,
+        is_predicate: false,
+        slot_ok,
+        defs,
+        state_defs,
+        deps: 0,
+        srcs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbx_cpu::isa::regs::*;
+    use dbx_cpu::ProgramBuilder;
+
+    fn dfg_of(p: &dbx_cpu::program::Program) -> Dfg {
+        let view = View::build(p, None);
+        let leaders = crate::cfg::block_leaders(&view);
+        build(&view, None, &leaders)
+    }
+
+    #[test]
+    fn straight_line_block_chains_def_use_edges() {
+        let mut b = ProgramBuilder::new();
+        b.movi(A1, 4).addi(A2, A1, 1).add(A3, A1, A2).halt();
+        let p = b.build().unwrap();
+        let d = dfg_of(&p);
+        assert_eq!(d.windows.len(), 1);
+        let w = &d.windows[0];
+        assert_eq!(w.nodes.len(), 3); // halt dropped
+        assert_eq!(w.nodes[1].srcs, vec![Src::Node(0)]);
+        assert_eq!(w.nodes[2].srcs, vec![Src::Node(0), Src::Node(1)]);
+        assert_eq!(w.nodes[2].deps, 0b011);
+    }
+
+    #[test]
+    fn conditional_branch_becomes_a_terminal_predicate_node() {
+        let mut b = ProgramBuilder::new();
+        b.l32i(A4, A2, 0)
+            .l32i(A5, A3, 0)
+            .beq(A4, A5, "hit")
+            .halt()
+            .label("hit")
+            .halt();
+        let p = b.build().unwrap();
+        let d = dfg_of(&p);
+        let w = &d.windows[0];
+        assert_eq!(w.nodes.len(), 3);
+        let pred = &w.nodes[2];
+        assert!(pred.is_predicate);
+        assert_eq!(pred.mnemonic, "beq");
+        assert_eq!(pred.srcs, vec![Src::Node(0), Src::Node(1)]);
+        assert!(w.nodes[0].is_mem && w.nodes[1].is_mem);
+    }
+
+    #[test]
+    fn flix_slots_read_old_values() {
+        // Bundle { addi a2,a2,4 | addi a3,a2,8 }: the second slot must
+        // see the *pre-bundle* a2, so it gets an external Reg source,
+        // not an edge from the sibling slot.
+        let mut b = ProgramBuilder::new();
+        b.flix(vec![
+            Instr::Addi {
+                r: A2,
+                s: A2,
+                imm: 4,
+            },
+            Instr::Addi {
+                r: A3,
+                s: A2,
+                imm: 8,
+            },
+        ])
+        .halt();
+        let p = b.build().unwrap();
+        let d = dfg_of(&p);
+        let w = &d.windows[0];
+        assert_eq!(w.nodes.len(), 2);
+        assert_eq!(w.nodes[0].slot, Some(0));
+        assert_eq!(w.nodes[1].slot, Some(1));
+        assert_eq!(w.nodes[1].srcs, vec![Src::Reg(2)]);
+        assert_eq!(w.nodes[1].deps, 0);
+    }
+
+    #[test]
+    fn unreachable_blocks_produce_no_windows() {
+        let mut b = ProgramBuilder::new();
+        b.j("end").add(A3, A1, A2).label("end").halt();
+        let p = b.build().unwrap();
+        let d = dfg_of(&p);
+        // The dead `add` block contributes nothing; `j`/`halt` blocks
+        // have no dataflow nodes either.
+        assert!(d.windows.is_empty());
+    }
+}

@@ -1,0 +1,566 @@
+//! Convex, IO-bounded subgraph enumeration over dataflow windows.
+//!
+//! Candidates follow the classic custom-instruction mining constraints
+//! (MaxMISO-style): a candidate is a *convex* set of nodes (no dataflow
+//! path leaving the set and re-entering it — the fused instruction must
+//! be issuable as one atomic op), bounded by the register-file read and
+//! write ports of the target core, by the number of load–store units a
+//! single instruction may drive, and by a node-count cap that tracks
+//! what a realistic TIE semantic can absorb. Subgraphs are grown from
+//! each seed node along *adjacency* — def-use edges plus shared-operand
+//! siblings, so a store and the pointer bump that feeds the next
+//! iteration (an `ST`/`ST_S` shape with no direct edge) still form one
+//! candidate.
+//!
+//! Structurally identical occurrences are merged under a canonical
+//! signature: nodes in stream order, operands rewritten to `%k`
+//! (internal producer) or `inK` (external input, numbered by first
+//! appearance). The signature is host-independent and byte-stable, so
+//! snapshots diff cleanly in CI.
+//!
+//! FLIX *bundle templates* are enumerated separately: sets of two or
+//! three mutually independent slot-eligible ops with disjoint
+//! destinations. They model new static issue bundles rather than fused
+//! datapath ops, and are priced differently downstream.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use dbx_cpu::isa::OpClass;
+
+use super::dfg::{Node, Src, Window};
+use super::DseConfig;
+
+/// Guard against pathological windows: enumeration stops growing once
+/// this many distinct node sets have been visited in one window.
+const VISIT_CAP: usize = 200_000;
+
+/// What a mined candidate structurally resembles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CandidateClass {
+    /// Two or more stream-head loads feeding a comparison — the shape of
+    /// the paper's hand-designed `SOP` set-operation instruction.
+    SopLike,
+    /// A store fused with result/pointer bookkeeping and no load — the
+    /// shape of the paper's `ST`/`ST_S` store instructions.
+    StSLike,
+    /// A FLIX bundle template: independent ops issued in one cycle.
+    Bundle,
+    /// Anything else with positive savings — a candidate the hand design
+    /// did not cover.
+    Novel,
+}
+
+impl CandidateClass {
+    /// Stable lower-case tag for reports and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CandidateClass::SopLike => "sop-like",
+            CandidateClass::StSLike => "st-s-like",
+            CandidateClass::Bundle => "flix-bundle",
+            CandidateClass::Novel => "novel",
+        }
+    }
+}
+
+/// One concrete occurrence of a candidate in a program.
+#[derive(Debug, Clone)]
+pub struct Occurrence {
+    /// Address of the enclosing basic block's leader.
+    pub block_pc: u32,
+    /// Addresses of the covered instructions, ascending.
+    pub pcs: Vec<u32>,
+    /// Estimated executions of the enclosing block.
+    pub weight: u64,
+}
+
+/// One mined candidate instruction (or bundle template), aggregated over
+/// all structurally identical occurrences.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Canonical structural signature (also the dedup key).
+    pub signature: String,
+    /// Structural classification.
+    pub class: CandidateClass,
+    /// Fused node count.
+    pub node_count: usize,
+    /// Distinct external operands (register-file read ports needed).
+    pub inputs: usize,
+    /// Distinct externally observable results (write ports needed).
+    pub outputs: usize,
+    /// Load–store units the fused op drives.
+    pub mem_ops: usize,
+    /// Sum of the fused nodes' scalar latencies.
+    pub latency_sum: u32,
+    /// Longest internal dependence chain, in nodes.
+    pub depth: u32,
+    /// Mnemonics in canonical (stream) order.
+    pub mnemonics: Vec<&'static str>,
+    /// Functional-unit classes in canonical order.
+    pub classes: Vec<OpClass>,
+    /// All occurrences found so far.
+    pub occurrences: Vec<Occurrence>,
+    /// Total estimated cycles saved: `(latency_sum - 1) × weight`,
+    /// summed over occurrences (the fused op retires in one cycle).
+    pub cycles_saved: u64,
+}
+
+/// Enumerates fused-instruction candidates in one window and merges them
+/// into `out` by signature. `weight` is the enclosing block's estimated
+/// execution count.
+pub fn enumerate_window(
+    w: &Window,
+    weight: u64,
+    cfg: &DseConfig,
+    out: &mut BTreeMap<String, Candidate>,
+) {
+    let n = w.nodes.len();
+    if n < 2 {
+        return;
+    }
+    debug_assert!(n <= 64);
+    let topo = Topology::build(&w.nodes);
+    let mut seen: HashSet<u64> = HashSet::new();
+    for seed in 0..n {
+        grow(1u64 << seed, w, weight, cfg, &topo, &mut seen, out);
+    }
+}
+
+/// Enumerates FLIX bundle templates (independent co-issuable ops) in one
+/// window. Only meaningful on cores with the FLIX option.
+pub fn enumerate_bundles(
+    w: &Window,
+    weight: u64,
+    cfg: &DseConfig,
+    out: &mut BTreeMap<String, Candidate>,
+) {
+    let nodes = &w.nodes;
+    let topo = Topology::build(nodes);
+    let eligible: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].slot_ok).collect();
+    let independent = |a: usize, b: usize| {
+        topo.reach[a] & (1u64 << b) == 0
+            && topo.reach[b] & (1u64 << a) == 0
+            && nodes[a].defs & nodes[b].defs == 0
+    };
+    let mut emit = |set: &[usize]| {
+        let mask = set.iter().fold(0u64, |m, &i| m | (1u64 << i));
+        emit_candidate(mask, w, weight, CandidateClass::Bundle, out);
+    };
+    for (ai, &a) in eligible.iter().enumerate() {
+        for (bi, &b) in eligible.iter().enumerate().skip(ai + 1) {
+            if !independent(a, b) {
+                continue;
+            }
+            emit(&[a, b]);
+            for &c in eligible.iter().skip(bi + 1) {
+                if independent(a, c) && independent(b, c) {
+                    emit(&[a, b, c]);
+                }
+            }
+        }
+    }
+    let _ = cfg;
+}
+
+/// Dataflow reachability within one window.
+struct Topology {
+    /// Transitive descendants of each node.
+    reach: Vec<u64>,
+    /// Transitive ancestors of each node.
+    anc: Vec<u64>,
+    /// Neighbours: def-use edges (both directions) plus shared-operand
+    /// siblings.
+    adj: Vec<u64>,
+}
+
+impl Topology {
+    fn build(nodes: &[Node]) -> Topology {
+        let n = nodes.len();
+        let mut children = vec![0u64; n];
+        for (i, node) in nodes.iter().enumerate() {
+            let mut deps = node.deps;
+            while deps != 0 {
+                let p = deps.trailing_zeros() as usize;
+                deps &= deps - 1;
+                children[p] |= 1u64 << i;
+            }
+        }
+        // Edges point forward in stream order, so one reverse (forward)
+        // sweep closes descendants (ancestors).
+        let mut reach = vec![0u64; n];
+        for i in (0..n).rev() {
+            let mut r = children[i];
+            let mut cs = children[i];
+            while cs != 0 {
+                let c = cs.trailing_zeros() as usize;
+                cs &= cs - 1;
+                r |= reach[c];
+            }
+            reach[i] = r;
+        }
+        let mut anc = vec![0u64; n];
+        for (i, node) in nodes.iter().enumerate() {
+            let mut a = node.deps;
+            let mut ps = node.deps;
+            while ps != 0 {
+                let p = ps.trailing_zeros() as usize;
+                ps &= ps - 1;
+                a |= anc[p];
+            }
+            anc[i] = a;
+        }
+        let mut adj = vec![0u64; n];
+        for (i, node) in nodes.iter().enumerate() {
+            let mut deps = node.deps;
+            while deps != 0 {
+                let p = deps.trailing_zeros() as usize;
+                deps &= deps - 1;
+                adj[i] |= 1u64 << p;
+                adj[p] |= 1u64 << i;
+            }
+            // Shared-operand siblings: a store and the bump of its base
+            // pointer read the same value without any edge between them.
+            for (j, other) in nodes.iter().enumerate().skip(i + 1) {
+                if node.srcs.iter().any(|s| other.srcs.contains(s)) {
+                    adj[i] |= 1u64 << j;
+                    adj[j] |= 1u64 << i;
+                }
+            }
+        }
+        Topology { reach, anc, adj }
+    }
+
+    /// A set is convex iff no outside node sits on a path between two
+    /// members (has both an ancestor and a descendant inside the set).
+    fn convex(&self, mask: u64) -> bool {
+        let n = self.reach.len();
+        for w in 0..n {
+            let bit = 1u64 << w;
+            if mask & bit != 0 {
+                continue;
+            }
+            if self.anc[w] & mask != 0 && self.reach[w] & mask != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    mask: u64,
+    w: &Window,
+    weight: u64,
+    cfg: &DseConfig,
+    topo: &Topology,
+    seen: &mut HashSet<u64>,
+    out: &mut BTreeMap<String, Candidate>,
+) {
+    if seen.len() >= VISIT_CAP || !seen.insert(mask) {
+        return;
+    }
+    let count = mask.count_ones() as usize;
+    if count >= 2 && admissible(mask, w, cfg, topo) {
+        emit_candidate(mask, w, weight, classify(mask, &w.nodes), out);
+    }
+    if count >= cfg.max_nodes {
+        return;
+    }
+    // Frontier: neighbours of any member, not yet in the set.
+    let mut frontier = 0u64;
+    let mut ms = mask;
+    while ms != 0 {
+        let i = ms.trailing_zeros() as usize;
+        ms &= ms - 1;
+        frontier |= topo.adj[i];
+    }
+    frontier &= !mask;
+    while frontier != 0 {
+        let nb = frontier.trailing_zeros() as usize;
+        frontier &= frontier - 1;
+        grow(mask | (1u64 << nb), w, weight, cfg, topo, seen, out);
+    }
+}
+
+fn admissible(mask: u64, w: &Window, cfg: &DseConfig, topo: &Topology) -> bool {
+    let nodes = &w.nodes;
+    let mem_ops = for_each_member(mask).filter(|&i| nodes[i].is_mem).count();
+    if mem_ops > cfg.max_mem_ops {
+        return false;
+    }
+    // A predicate can only terminate the fused op (it has no consumers
+    // inside the block, so membership alone is enough), and at most one
+    // branch decision fits in one instruction.
+    let predicates = for_each_member(mask)
+        .filter(|&i| nodes[i].is_predicate)
+        .count();
+    if predicates > 1 {
+        return false;
+    }
+    if !topo.convex(mask) {
+        return false;
+    }
+    let (inputs, outputs) = io_counts(mask, nodes, predicates);
+    inputs <= cfg.max_inputs && outputs <= cfg.max_outputs
+}
+
+fn for_each_member(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64).filter(move |i| mask & (1u64 << i) != 0)
+}
+
+/// Distinct external operands and externally observable results.
+fn io_counts(mask: u64, nodes: &[Node], predicates: usize) -> (usize, usize) {
+    let mut ins: BTreeSet<Src> = BTreeSet::new();
+    for i in for_each_member(mask) {
+        for s in &nodes[i].srcs {
+            match s {
+                Src::Node(p) if mask & (1u64 << p) != 0 => {}
+                _ => {
+                    ins.insert(*s);
+                }
+            }
+        }
+    }
+    // A register result is observable when some outside node in the
+    // window consumes it, or when the member is the window's final
+    // definition of that register (conservatively live-out).
+    let mut outs = 0usize;
+    for i in for_each_member(mask) {
+        let node = &nodes[i];
+        if node.defs == 0 && node.state_defs == 0 {
+            continue;
+        }
+        let consumed_outside = nodes
+            .iter()
+            .enumerate()
+            .any(|(j, other)| mask & (1u64 << j) == 0 && other.srcs.contains(&Src::Node(i)));
+        let is_final_def = !nodes
+            .iter()
+            .skip(i + 1)
+            .any(|other| other.defs & node.defs != 0);
+        if consumed_outside || is_final_def {
+            outs += node.defs.count_ones() as usize + node.state_defs.count_ones() as usize;
+        }
+    }
+    (ins.len(), outs + predicates)
+}
+
+fn classify(mask: u64, nodes: &[Node]) -> CandidateClass {
+    let loads = for_each_member(mask)
+        .filter(|&i| nodes[i].class == OpClass::Load)
+        .count();
+    let stores = for_each_member(mask)
+        .filter(|&i| nodes[i].class == OpClass::Store)
+        .count();
+    let compares = for_each_member(mask)
+        .filter(|&i| nodes[i].is_predicate || nodes[i].class == OpClass::MinMax)
+        .count();
+    let bookkeeping = for_each_member(mask)
+        .filter(|&i| matches!(nodes[i].class, OpClass::Alu | OpClass::Const))
+        .count();
+    if loads >= 2 && compares >= 1 {
+        CandidateClass::SopLike
+    } else if stores >= 1 && loads == 0 && bookkeeping >= 1 {
+        CandidateClass::StSLike
+    } else {
+        CandidateClass::Novel
+    }
+}
+
+fn emit_candidate(
+    mask: u64,
+    w: &Window,
+    weight: u64,
+    class: CandidateClass,
+    out: &mut BTreeMap<String, Candidate>,
+) {
+    let nodes = &w.nodes;
+    let members: Vec<usize> = for_each_member(mask).collect();
+    // Canonical order is stream order — a valid topological order, since
+    // intra-window edges always point forward.
+    let pos_of = |i: usize| members.iter().position(|&m| m == i).unwrap();
+    let mut extern_ids: BTreeMap<Src, usize> = BTreeMap::new();
+    let mut parts = Vec::with_capacity(members.len());
+    for &i in &members {
+        let ops: Vec<String> = nodes[i]
+            .srcs
+            .iter()
+            .map(|s| match s {
+                Src::Node(p) if mask & (1u64 << *p) != 0 => format!("%{}", pos_of(*p)),
+                other => {
+                    let next = extern_ids.len();
+                    let id = *extern_ids.entry(*other).or_insert(next);
+                    format!("in{id}")
+                }
+            })
+            .collect();
+        parts.push(format!("{}({})", nodes[i].mnemonic, ops.join(",")));
+    }
+    let body = parts.join(";");
+    let signature = if class == CandidateClass::Bundle {
+        format!("flix{{{body}}}")
+    } else {
+        body
+    };
+
+    let predicates = members.iter().filter(|&&i| nodes[i].is_predicate).count();
+    let (inputs, outputs) = io_counts(mask, nodes, predicates);
+    let latency_sum: u32 = members.iter().map(|&i| nodes[i].latency).sum();
+    let mut depth_of = vec![0u32; members.len()];
+    for (k, &i) in members.iter().enumerate() {
+        let mut best = 0;
+        let mut deps = nodes[i].deps & mask;
+        while deps != 0 {
+            let p = deps.trailing_zeros() as usize;
+            deps &= deps - 1;
+            best = best.max(depth_of[pos_of(p)]);
+        }
+        depth_of[k] = best + 1;
+    }
+    let depth = depth_of.iter().copied().max().unwrap_or(0);
+    let saved_per_exec = (latency_sum.saturating_sub(1)) as u64;
+
+    let occ = Occurrence {
+        block_pc: w.start_pc,
+        pcs: members.iter().map(|&i| nodes[i].pc).collect(),
+        weight,
+    };
+    let entry = out.entry(signature.clone()).or_insert_with(|| Candidate {
+        signature,
+        class,
+        node_count: members.len(),
+        inputs,
+        outputs,
+        mem_ops: members.iter().filter(|&&i| nodes[i].is_mem).count(),
+        latency_sum,
+        depth,
+        mnemonics: members.iter().map(|&i| nodes[i].mnemonic).collect(),
+        classes: members.iter().map(|&i| nodes[i].class).collect(),
+        occurrences: Vec::new(),
+        cycles_saved: 0,
+    });
+    // Identical signatures in different contexts can differ in external
+    // liveness; keep the widest port demand so pricing is conservative.
+    entry.inputs = entry.inputs.max(inputs);
+    entry.outputs = entry.outputs.max(outputs);
+    entry.occurrences.push(occ);
+    entry.cycles_saved += saved_per_exec * weight;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::dfg;
+    use crate::View;
+    use dbx_cpu::isa::regs::*;
+    use dbx_cpu::ProgramBuilder;
+
+    fn mine_one(p: &dbx_cpu::program::Program, cfg: &DseConfig) -> BTreeMap<String, Candidate> {
+        let view = View::build(p, None);
+        let leaders = crate::cfg::block_leaders(&view);
+        let d = dfg::build(&view, None, &leaders);
+        let mut out = BTreeMap::new();
+        for w in &d.windows {
+            enumerate_window(w, 1, cfg, &mut out);
+            if cfg.flix {
+                enumerate_bundles(w, 1, cfg, &mut out);
+            }
+        }
+        out
+    }
+
+    fn wide_cfg() -> DseConfig {
+        DseConfig {
+            max_nodes: 6,
+            max_inputs: 4,
+            max_outputs: 3,
+            max_mem_ops: 2,
+            flix: true,
+            default_trip: 16,
+        }
+    }
+
+    #[test]
+    fn two_loads_and_a_compare_mine_as_sop_like() {
+        let mut b = ProgramBuilder::new();
+        b.l32i(A7, A2, 0)
+            .l32i(A8, A3, 0)
+            .beq(A7, A8, "hit")
+            .halt()
+            .label("hit")
+            .halt();
+        let p = b.build().unwrap();
+        let out = mine_one(&p, &wide_cfg());
+        let sop = out
+            .values()
+            .find(|c| c.class == CandidateClass::SopLike && c.node_count == 3)
+            .expect("load/load/compare candidate");
+        assert_eq!(sop.signature, "l32i(in0);l32i(in1);beq(%0,%1)");
+        assert_eq!(sop.inputs, 2);
+        assert_eq!(sop.mem_ops, 2);
+        assert_eq!(sop.cycles_saved, 2); // 3 cycles fused into 1
+    }
+
+    #[test]
+    fn store_plus_bump_mines_as_st_s_like() {
+        // The value comes from a previous block, so the store and bump
+        // connect only through their shared base pointer a6.
+        let mut b = ProgramBuilder::new();
+        b.s32i(A7, A6, 0).addi(A6, A6, 4).halt();
+        let p = b.build().unwrap();
+        let out = mine_one(&p, &wide_cfg());
+        let st = out
+            .values()
+            .find(|c| c.class == CandidateClass::StSLike)
+            .expect("store+bump candidate");
+        assert_eq!(st.signature, "s32i(in0,in1);addi(in1)");
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.outputs, 1);
+    }
+
+    #[test]
+    fn independent_addi_trio_mines_as_a_bundle_template() {
+        let mut b = ProgramBuilder::new();
+        b.addi(A6, A6, 4).addi(A2, A2, 4).addi(A3, A3, 4).halt();
+        let p = b.build().unwrap();
+        let out = mine_one(&p, &wide_cfg());
+        let trio = out
+            .values()
+            .find(|c| c.class == CandidateClass::Bundle && c.node_count == 3)
+            .expect("three-slot bundle template");
+        assert_eq!(trio.signature, "flix{addi(in0);addi(in1);addi(in2)}");
+        assert_eq!(trio.cycles_saved, 2);
+    }
+
+    #[test]
+    fn non_convex_sets_are_rejected() {
+        // a1 -> a2 -> a3 chain: {first, third} without the middle is not
+        // convex and must not be emitted.
+        let mut b = ProgramBuilder::new();
+        b.addi(A2, A1, 1).addi(A3, A2, 1).addi(A4, A3, 1).halt();
+        let p = b.build().unwrap();
+        let out = mine_one(&p, &wide_cfg());
+        assert!(!out.values().any(|c| c.signature == "addi(in0);addi(in1)"
+            && c.node_count == 2
+            && c.mnemonics == vec!["addi", "addi"]
+            && c.occurrences
+                .iter()
+                .any(|o| o.pcs.len() == 2 && o.pcs[1] - o.pcs[0] == 8)));
+    }
+
+    #[test]
+    fn port_limits_prune_wide_candidates() {
+        let tight = DseConfig {
+            max_inputs: 1,
+            ..wide_cfg()
+        };
+        let mut b = ProgramBuilder::new();
+        b.l32i(A7, A2, 0).l32i(A8, A3, 0).add(A9, A7, A8).halt();
+        let p = b.build().unwrap();
+        let out = mine_one(&p, &tight);
+        // Every fused candidate would need two external pointers.
+        assert!(out
+            .values()
+            .all(|c| c.class == CandidateClass::Bundle || c.inputs <= 1));
+    }
+}

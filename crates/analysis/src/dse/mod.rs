@@ -1,0 +1,217 @@
+//! Automatic ISA-extension mining: dataflow-subgraph design-space
+//! exploration over kernel programs.
+//!
+//! The paper's EIS instructions (`SOP`, `ST_S`, `LD`, …) were designed
+//! by hand: the authors stared at the scalar set-primitive kernels,
+//! spotted the recurring load/compare/store/bump dataflow shapes, and
+//! froze them into TIE semantics. This module automates the *spotting*
+//! step as a static analysis:
+//!
+//! 1. [`dfg`] — build per-basic-block dataflow graphs from a
+//!    [`Program`], reusing the lint pass's CFG and effect machinery;
+//! 2. [`cost`] — weigh blocks by estimated execution count (hardware
+//!    loop trip counts via constant propagation, or a profiler
+//!    snapshot);
+//! 3. [`enumerate`] — enumerate convex, IO-bounded subgraphs as fused
+//!    instruction candidates and FLIX bundle templates, deduplicated by
+//!    a canonical structural signature;
+//! 4. [`pareto`] — once candidates are priced (area/fMAX via
+//!    `dbx-synth`), keep the non-dominated subsets.
+//!
+//! Everything is deterministic: no hashing-order iteration reaches the
+//! output, no floating-point accumulation depends on thread count, and
+//! identical inputs produce byte-identical candidate lists.
+
+pub mod cost;
+pub mod dfg;
+pub mod enumerate;
+pub mod pareto;
+
+use std::collections::BTreeMap;
+
+use dbx_cpu::config::CpuConfig;
+use dbx_cpu::ext::Extension;
+use dbx_cpu::program::Program;
+
+use crate::view::View;
+
+pub use cost::WeightModel;
+pub use dfg::{Dfg, Node, Src, Window};
+pub use enumerate::{Candidate, CandidateClass, Occurrence};
+pub use pareto::pareto_indices;
+
+/// Enumeration limits, derived from what one fused instruction can
+/// physically reach on the target core.
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Maximum fused nodes per candidate.
+    pub max_nodes: usize,
+    /// Register-file read ports one instruction may consume.
+    pub max_inputs: usize,
+    /// Register-file write ports (plus one branch decision).
+    pub max_outputs: usize,
+    /// Load–store units one instruction may drive in a cycle.
+    pub max_mem_ops: usize,
+    /// Whether to enumerate FLIX bundle templates.
+    pub flix: bool,
+    /// Trip count assumed for loops whose bound is not provable.
+    pub default_trip: u64,
+}
+
+impl DseConfig {
+    /// Limits implied by a core configuration: FLIX cores expose the
+    /// wide-format register ports (up to 4 reads / 3 writes across
+    /// slots), plain cores only the base 2-read/1-write port set; memory
+    /// ops are capped by the LSU count.
+    pub fn from_cpu(cfg: &CpuConfig) -> DseConfig {
+        let (max_inputs, max_outputs) = if cfg.has_flix { (4, 3) } else { (2, 1) };
+        DseConfig {
+            max_nodes: 6,
+            max_inputs,
+            max_outputs,
+            max_mem_ops: cfg.n_lsus.max(1),
+            flix: cfg.has_flix,
+            default_trip: 16,
+        }
+    }
+}
+
+/// The result of mining one or more programs.
+#[derive(Debug, Clone)]
+pub struct Mined {
+    /// Candidates sorted by descending savings, signature-deduplicated.
+    pub candidates: Vec<Candidate>,
+    /// Weighted static cycles of the mined programs (speedup
+    /// denominator).
+    pub base_cycles: u64,
+}
+
+/// Builds the per-block dataflow windows of `prog` without mining
+/// anything — the raw graph, for inspection and cross-checking against
+/// the def-use analysis.
+pub fn dfg_of(prog: &Program, ext: Option<&dyn Extension>) -> Dfg {
+    let view = View::build(prog, ext);
+    let leaders = crate::cfg::block_leaders(&view);
+    dfg::build(&view, ext, &leaders)
+}
+
+/// Mines one program for candidate extensions.
+pub fn mine(
+    prog: &Program,
+    ext: Option<&dyn Extension>,
+    dse: &DseConfig,
+    model: &WeightModel,
+) -> Mined {
+    let view = View::build(prog, ext);
+    let leaders = crate::cfg::block_leaders(&view);
+    let weights = cost::block_weights(&view, &leaders, model, dse);
+    let graph = dfg::build(&view, ext, &leaders);
+    let mut map: BTreeMap<String, Candidate> = BTreeMap::new();
+    for w in &graph.windows {
+        let wt = weights[w.leader_ix];
+        enumerate::enumerate_window(w, wt, dse, &mut map);
+        if dse.flix {
+            enumerate::enumerate_bundles(w, wt, dse, &mut map);
+        }
+    }
+    Mined {
+        candidates: sorted(map),
+        base_cycles: cost::static_base_cycles(&view, &weights),
+    }
+}
+
+/// Merges mining results from several programs (the paper mines the
+/// whole scalar kernel suite, not one kernel): occurrences of
+/// structurally identical candidates accumulate, base cycles add up.
+pub fn merge(parts: impl IntoIterator<Item = Mined>) -> Mined {
+    let mut map: BTreeMap<String, Candidate> = BTreeMap::new();
+    let mut base_cycles = 0u64;
+    for part in parts {
+        base_cycles = base_cycles.saturating_add(part.base_cycles);
+        for c in part.candidates {
+            match map.get_mut(&c.signature) {
+                None => {
+                    map.insert(c.signature.clone(), c);
+                }
+                Some(e) => {
+                    e.inputs = e.inputs.max(c.inputs);
+                    e.outputs = e.outputs.max(c.outputs);
+                    e.occurrences.extend(c.occurrences);
+                    e.cycles_saved += c.cycles_saved;
+                }
+            }
+        }
+    }
+    Mined {
+        candidates: sorted(map),
+        base_cycles,
+    }
+}
+
+fn sorted(map: BTreeMap<String, Candidate>) -> Vec<Candidate> {
+    let mut v: Vec<Candidate> = map.into_values().collect();
+    v.sort_by(|a, b| {
+        b.cycles_saved
+            .cmp(&a.cycles_saved)
+            .then_with(|| a.signature.cmp(&b.signature))
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbx_cpu::isa::regs::*;
+    use dbx_cpu::ProgramBuilder;
+
+    #[test]
+    fn from_cpu_derives_port_limits() {
+        let flix = DseConfig::from_cpu(&CpuConfig::local_store_core(2, 64));
+        assert_eq!((flix.max_inputs, flix.max_outputs), (4, 3));
+        assert_eq!(flix.max_mem_ops, 2);
+        assert!(flix.flix);
+        let mini = DseConfig::from_cpu(&CpuConfig::small_cached_controller());
+        assert_eq!((mini.max_inputs, mini.max_outputs), (2, 1));
+        assert!(!mini.flix);
+    }
+
+    #[test]
+    fn mining_is_deterministic_and_merge_accumulates() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.movi(A6, 0x6000_0000)
+                .label("loop")
+                .l32i(A7, A2, 0)
+                .l32i(A8, A3, 0)
+                .beq(A7, A8, "loop")
+                .halt();
+            b.build().unwrap()
+        };
+        let p = build();
+        let dse = DseConfig::from_cpu(&CpuConfig::local_store_core(2, 64));
+        let a = mine(&p, None, &dse, &WeightModel::Static);
+        let b = mine(&p, None, &dse, &WeightModel::Static);
+        let sig = |m: &Mined| -> Vec<(String, u64)> {
+            m.candidates
+                .iter()
+                .map(|c| (c.signature.clone(), c.cycles_saved))
+                .collect()
+        };
+        assert_eq!(sig(&a), sig(&b));
+        assert!(a.base_cycles > 0);
+
+        let merged = merge(vec![a.clone(), b]);
+        assert_eq!(merged.base_cycles, 2 * a.base_cycles);
+        let top = &merged.candidates[0];
+        assert_eq!(top.cycles_saved, 2 * a.candidates[0].cycles_saved);
+    }
+
+    #[test]
+    fn empty_program_mines_nothing() {
+        let p = ProgramBuilder::new().build().unwrap();
+        let dse = DseConfig::from_cpu(&CpuConfig::local_store_core(2, 64));
+        let m = mine(&p, None, &dse, &WeightModel::Static);
+        assert!(m.candidates.is_empty());
+        assert_eq!(m.base_cycles, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Generic multi-objective Pareto dominance over plain numbers.
+//!
+//! The DSE search ranks extension subsets on three axes at once —
+//! speedup (maximize), area (minimize), fMAX (maximize) — but nothing
+//! here is specific to those axes: a row is a vector of objective
+//! values, and per-axis polarity comes in as a `maximize` flag array.
+
+/// Indices of the non-dominated rows, in input order.
+///
+/// Row `a` dominates row `b` when `a` is at least as good on every axis
+/// and strictly better on at least one. Rows with equal values on every
+/// axis do not dominate each other, so duplicates all survive.
+///
+/// # Panics
+///
+/// Panics when a row's length differs from `maximize.len()`.
+pub fn pareto_indices(rows: &[Vec<f64>], maximize: &[bool]) -> Vec<usize> {
+    for r in rows {
+        assert_eq!(
+            r.len(),
+            maximize.len(),
+            "objective row arity mismatches the polarity array"
+        );
+    }
+    let dominates = |a: &[f64], b: &[f64]| {
+        let mut strictly = false;
+        for (k, &max) in maximize.iter().enumerate() {
+            let (x, y) = if max { (a[k], b[k]) } else { (b[k], a[k]) };
+            if x < y {
+                return false;
+            }
+            if x > y {
+                strictly = true;
+            }
+        }
+        strictly
+    };
+    (0..rows.len())
+        .filter(|&i| !rows.iter().any(|other| dominates(other, &rows[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let rows = vec![
+            vec![2.0, 10.0], // speedup 2 at area 10
+            vec![1.5, 12.0], // worse on both -> dominated
+            vec![3.0, 20.0], // better speedup, worse area -> survives
+            vec![1.0, 1.0],  // cheapest -> survives
+        ];
+        let f = pareto_indices(&rows, &[true, false]);
+        assert_eq!(f, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn ties_survive_together() {
+        let rows = vec![vec![1.0, 5.0], vec![1.0, 5.0]];
+        assert_eq!(pareto_indices(&rows, &[true, false]), vec![0, 1]);
+    }
+
+    #[test]
+    fn three_axis_dominance_requires_all_axes() {
+        let rows = vec![
+            vec![2.0, 10.0, 400.0],
+            vec![2.0, 10.0, 390.0], // dominated: equal, equal, worse fmax
+            vec![2.0, 9.0, 390.0],  // survives: cheaper area
+        ];
+        let f = pareto_indices(&rows, &[true, false, true]);
+        assert_eq!(f, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        pareto_indices(&[vec![1.0]], &[true, false]);
+    }
+}

@@ -43,6 +43,8 @@ mod bounds;
 mod bundle;
 mod cfg;
 mod dataflow;
+pub mod dse;
+pub mod sarif;
 mod view;
 
 pub use view::{Effects, LoopRegion, View};
@@ -108,9 +110,39 @@ pub enum RuleId {
     OobAccess,
     /// A constant address in a region this core cannot reach.
     UnmappedAccess,
+    /// A whole basic block unreachable from the entry point.
+    UnreachableBlock,
+    /// A pure extension-state write (WUR-class parameter store) that no
+    /// path reads before the kernel exits.
+    StateDeadWrite,
 }
 
 impl RuleId {
+    /// Every rule, in code order — the SARIF rule table and the
+    /// exhaustiveness tests iterate this.
+    pub const ALL: [RuleId; 20] = [
+        RuleId::LoopBranchIn,
+        RuleId::LoopBranchOut,
+        RuleId::LoopMalformed,
+        RuleId::Unreachable,
+        RuleId::UnreachableBlock,
+        RuleId::UseBeforeInit,
+        RuleId::DeadWrite,
+        RuleId::StateUseBeforeInit,
+        RuleId::StateDeadWrite,
+        RuleId::LsuConflict,
+        RuleId::LsuOutOfRange,
+        RuleId::RegWriteConflict,
+        RuleId::StateWriteConflict,
+        RuleId::SlotIneligible,
+        RuleId::FlixUnsupported,
+        RuleId::DivUnavailable,
+        RuleId::NoExtension,
+        RuleId::UnknownExtOp,
+        RuleId::OobAccess,
+        RuleId::UnmappedAccess,
+    ];
+
     /// Short stable code, e.g. `CFG01`, for tooling and tests.
     pub fn code(self) -> &'static str {
         match self {
@@ -118,9 +150,11 @@ impl RuleId {
             RuleId::LoopBranchOut => "CFG02",
             RuleId::LoopMalformed => "CFG03",
             RuleId::Unreachable => "CFG04",
+            RuleId::UnreachableBlock => "CFG07",
             RuleId::UseBeforeInit => "DF01",
             RuleId::DeadWrite => "DF02",
             RuleId::StateUseBeforeInit => "DF03",
+            RuleId::StateDeadWrite => "DF10",
             RuleId::LsuConflict => "BND01",
             RuleId::LsuOutOfRange => "BND02",
             RuleId::RegWriteConflict => "BND03",
@@ -132,6 +166,32 @@ impl RuleId {
             RuleId::UnknownExtOp => "OPT03",
             RuleId::OobAccess => "MEM01",
             RuleId::UnmappedAccess => "MEM02",
+        }
+    }
+
+    /// One-line rule description for tool output (SARIF `shortDescription`).
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::LoopBranchIn => "branch into a hardware-loop body without arming the loop",
+            RuleId::LoopBranchOut => "control transfer escapes an armed hardware-loop body",
+            RuleId::LoopMalformed => "malformed hardware-loop region",
+            RuleId::Unreachable => "instruction unreachable from the entry point",
+            RuleId::UnreachableBlock => "basic block unreachable from the entry point",
+            RuleId::UseBeforeInit => "address register read before any write reaches it",
+            RuleId::DeadWrite => "address register write never read on any path",
+            RuleId::StateUseBeforeInit => "extension state read before any initialization",
+            RuleId::StateDeadWrite => "extension-state write never read before kernel exit",
+            RuleId::LsuConflict => "two FLIX slots claim the same load-store unit",
+            RuleId::LsuOutOfRange => "op wired to an LSU the configuration does not have",
+            RuleId::RegWriteConflict => "two FLIX slots write the same address register",
+            RuleId::StateWriteConflict => "two FLIX slots write the same extension state",
+            RuleId::SlotIneligible => "instruction not eligible for its FLIX slot",
+            RuleId::FlixUnsupported => "FLIX bundle on a core without the FLIX option",
+            RuleId::DivUnavailable => "divide on a core without the divider option",
+            RuleId::NoExtension => "extension op with no extension attached",
+            RuleId::UnknownExtOp => "opcode the attached extension does not define",
+            RuleId::OobAccess => "constant address past the end of a local store",
+            RuleId::UnmappedAccess => "constant address in a region this core cannot reach",
         }
     }
 }
@@ -240,30 +300,17 @@ mod tests {
 
     #[test]
     fn every_rule_has_a_unique_code() {
-        let rules = [
-            RuleId::LoopBranchIn,
-            RuleId::LoopBranchOut,
-            RuleId::LoopMalformed,
-            RuleId::Unreachable,
-            RuleId::UseBeforeInit,
-            RuleId::DeadWrite,
-            RuleId::StateUseBeforeInit,
-            RuleId::LsuConflict,
-            RuleId::LsuOutOfRange,
-            RuleId::RegWriteConflict,
-            RuleId::StateWriteConflict,
-            RuleId::SlotIneligible,
-            RuleId::FlixUnsupported,
-            RuleId::DivUnavailable,
-            RuleId::NoExtension,
-            RuleId::UnknownExtOp,
-            RuleId::OobAccess,
-            RuleId::UnmappedAccess,
-        ];
-        let mut codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
+        let mut codes: Vec<&str> = RuleId::ALL.iter().map(|r| r.code()).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), rules.len());
+        assert_eq!(codes.len(), RuleId::ALL.len());
+        // Descriptions are present and distinct too — the SARIF rule
+        // table would otherwise emit duplicate metadata.
+        let mut descs: Vec<&str> = RuleId::ALL.iter().map(|r| r.description()).collect();
+        assert!(descs.iter().all(|d| !d.is_empty()));
+        descs.sort_unstable();
+        descs.dedup();
+        assert_eq!(descs.len(), RuleId::ALL.len());
     }
 
     #[test]

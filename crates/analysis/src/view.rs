@@ -48,6 +48,12 @@ pub struct Effects {
     pub state_uses: u64,
     /// Bitmask of extension states written.
     pub state_defs: u64,
+    /// Subset of `state_defs` written by *pure parameter stores* — WUR-class
+    /// ops whose only architectural effect is writing that one state (no
+    /// state reads, no AR write, no LSU). Only these are candidates for
+    /// dead-state-write reporting: a fused stream op leaving its window
+    /// state unread on the last iteration is idiomatic, not dead code.
+    pub state_defs_pure: u64,
 }
 
 /// The analyzed program plus everything the individual passes share.
@@ -232,7 +238,11 @@ impl<'p> View<'p> {
     }
 }
 
-fn effects_of(i: &Instr, ext: Option<&dyn Extension>, states: &[&'static str]) -> Effects {
+pub(crate) fn effects_of(
+    i: &Instr,
+    ext: Option<&dyn Extension>,
+    states: &[&'static str],
+) -> Effects {
     let bit = |names: &[&str]| -> u64 {
         names
             .iter()
@@ -254,6 +264,13 @@ fn effects_of(i: &Instr, ext: Option<&dyn Extension>, states: &[&'static str]) -
                 }
                 e.state_uses = bit(d.states_read);
                 e.state_defs = bit(d.states_written);
+                if d.states_written.len() == 1
+                    && d.states_read.is_empty()
+                    && !d.writes_ar
+                    && matches!(d.lsu, dbx_cpu::ext::LsuUse::None)
+                {
+                    e.state_defs_pure = e.state_defs;
+                }
             }
             e
         }
@@ -268,7 +285,12 @@ fn effects_of(i: &Instr, ext: Option<&dyn Extension>, states: &[&'static str]) -
                 e.reg_defs_pure |= se.reg_defs_pure;
                 e.state_uses |= se.state_uses;
                 e.state_defs |= se.state_defs;
+                e.state_defs_pure |= se.state_defs_pure;
             }
+            // A slot reading a state another slot purely wrote still means
+            // the bundle as a whole consumes it — keep pure bits only for
+            // states no slot reads.
+            e.state_defs_pure &= !e.state_uses;
             e
         }
         _ => {

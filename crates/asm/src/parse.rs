@@ -56,11 +56,14 @@ impl<'e> Assembler<'e> {
 
     /// Assembles a source text into a program.
     ///
-    /// Supports the `.equ NAME value` directive: `NAME` then substitutes
-    /// for an immediate anywhere after its definition.
+    /// Supports two directives: `.equ NAME value` (`NAME` then substitutes
+    /// for an immediate anywhere after its definition) and `.org ADDR`
+    /// (places the program at a word-aligned base address other than the
+    /// default `IMEM_BASE`; must precede all labels and instructions).
     pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
         let mut b = ProgramBuilder::new();
         let mut consts: HashMap<String, i64> = HashMap::new();
+        let mut emitted_any = false;
         for (ix, raw) in source.lines().enumerate() {
             let line_no = ix + 1;
             // `;` starts a comment, except inside a FLIX bundle's braces
@@ -94,9 +97,41 @@ impl<'e> Assembler<'e> {
                     line: line_no,
                     msg: e.to_string(),
                 })?;
+                emitted_any = true;
                 rest = tail[1..].trim();
             }
             if rest.is_empty() {
+                continue;
+            }
+            if let Some(body) = rest.strip_prefix(".org") {
+                let addr = body
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| parse_imm(v, &consts));
+                let addr = match addr {
+                    Some(a) if (0..=u32::MAX as i64).contains(&a) => a as u32,
+                    _ => {
+                        return Err(AsmError::Line {
+                            line: line_no,
+                            msg: "malformed .org directive (expected: .org ADDR)".to_string(),
+                        })
+                    }
+                };
+                if emitted_any {
+                    return Err(AsmError::Line {
+                        line: line_no,
+                        msg: ".org must precede all labels and instructions".to_string(),
+                    });
+                }
+                if !addr.is_multiple_of(4) || addr < dbx_cpu::IMEM_BASE {
+                    return Err(AsmError::Line {
+                        line: line_no,
+                        msg: format!(
+                            ".org {addr:#010x} must be word-aligned and inside instruction memory"
+                        ),
+                    });
+                }
+                b = ProgramBuilder::with_base(addr);
                 continue;
             }
             if let Some(body) = rest.strip_prefix(".equ") {
@@ -116,6 +151,7 @@ impl<'e> Assembler<'e> {
                 }
             }
             let instr = self.parse_instr(rest, line_no, &mut b, &consts)?;
+            emitted_any = true;
             if let Some(i) = instr {
                 b.inst(i);
             }
@@ -476,6 +512,35 @@ mod tests {
         assert_eq!(proc.ar[2], 0x6000_0000);
         assert_eq!(proc.ar[3], 8);
         assert_eq!(proc.ar[4], (-8i32) as u32);
+    }
+
+    #[test]
+    fn org_directive_rebases_the_program() {
+        let src = r"
+            .org 0x40000100
+            start:
+                movi a2, 1
+                bnez a2, start
+                halt
+        ";
+        let p = assemble(src, None).unwrap();
+        assert_eq!(p.entry(), 0x4000_0100);
+        assert_eq!(p.label_addr("start"), Some(0x4000_0100));
+        // Disassembly labels agree with the rebased PCs.
+        let text = disassemble(&p, None);
+        assert!(text.contains("start"), "{text}");
+        let p2 = Assembler::new().assemble(&text);
+        assert!(p2.is_ok() || text.contains(".org"), "{text}");
+    }
+
+    #[test]
+    fn org_after_code_or_misaligned_is_an_error() {
+        let e = assemble("nop\n.org 0x40000100\n", None).unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
+        let e = assemble(".org 0x40000102\nnop\n", None).unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
+        let e = assemble(".org\nnop\n", None).unwrap_err();
+        assert!(matches!(e, AsmError::Line { .. }), "{e}");
     }
 
     #[test]

@@ -902,6 +902,7 @@ impl Extension for DbExtension {
             states_written,
             states_read,
             slot_ok: true,
+            latency: 1,
         })
     }
 

@@ -440,7 +440,7 @@ pub fn decode_instr(w0: u32, w1: Option<u32>, pc: u32) -> Result<Instr, SimError
 pub fn encode_program(p: &Program) -> Result<Vec<u8>, SimError> {
     let mut out = Vec::with_capacity(p.size_bytes() as usize);
     for (addr, i) in p.iter() {
-        debug_assert_eq!(addr, IMEM_BASE + out.len() as u32);
+        debug_assert_eq!(addr, p.entry() + out.len() as u32);
         let e = encode_instr(i, addr)?;
         out.extend_from_slice(&e.w0.to_le_bytes());
         if let Some(w1) = e.w1 {

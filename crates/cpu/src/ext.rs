@@ -55,6 +55,10 @@ pub struct OpDescriptor {
     pub states_read: &'static [&'static str],
     /// Whether the op may be placed in a FLIX slot.
     pub slot_ok: bool,
+    /// Issue-to-result latency in cycles (TIE ops are single-cycle by
+    /// construction; multi-cycle ops would declare it here). The DSE
+    /// subgraph miner uses this to weigh candidate fusions.
+    pub latency: u32,
 }
 
 /// Execution context handed to extension ops: the architectural state an
@@ -148,6 +152,7 @@ impl Extension for AccumulatorExt {
                 states_written: &["acc"],
                 states_read: &["acc"],
                 slot_ok: true,
+                latency: 1,
             },
             Self::RD => OpDescriptor {
                 name: "acc.rd",
@@ -157,6 +162,7 @@ impl Extension for AccumulatorExt {
                 states_written: &[],
                 states_read: &["acc"],
                 slot_ok: true,
+                latency: 1,
             },
             Self::LD32 => OpDescriptor {
                 name: "acc.ld32",
@@ -166,6 +172,7 @@ impl Extension for AccumulatorExt {
                 states_written: &["acc"],
                 states_read: &["acc"],
                 slot_ok: true,
+                latency: 1,
             },
             _ => return Err(SimError::UnknownExtOp { op }),
         })

@@ -453,6 +453,43 @@ pub fn movi_is_wide(imm: i32) -> bool {
     !(-(1 << 21)..(1 << 21)).contains(&imm)
 }
 
+/// Coarse functional class of an instruction — the granularity at which
+/// the DSE subgraph miner classifies candidate fused instructions and the
+/// synthesis model prices their datapath resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Immediate materialization (`movi`).
+    Const,
+    /// Single-level ALU op (add/sub/logic/addi/addx4/extui).
+    Alu,
+    /// Barrel shift.
+    Shift,
+    /// Compare-select (min/max families).
+    MinMax,
+    /// Multiplier.
+    Mul,
+    /// Iterative divider.
+    Div,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional compare-and-branch (carries a predicate output).
+    Branch,
+    /// Unconditional transfer (J/JX/CALL0/RET).
+    Jump,
+    /// Hardware-loop header.
+    Loop,
+    /// No operation.
+    Nop,
+    /// Simulation stop.
+    Halt,
+    /// Extension (TIE) op.
+    Ext,
+    /// FLIX bundle container.
+    Flix,
+}
+
 impl Instr {
     /// Encoded size in bytes: 8 for a FLIX bundle or a wide `MOVI`
     /// (instruction word + literal word), 4 otherwise.
@@ -475,6 +512,97 @@ impl Instr {
             Instr::Nop | Instr::Ext(_) => true,
             Instr::Addi { imm, .. } => (-128..128).contains(imm),
             _ => false,
+        }
+    }
+
+    /// Functional class of the instruction (see [`OpClass`]).
+    pub fn op_class(&self) -> OpClass {
+        match self {
+            Instr::Movi { .. } => OpClass::Const,
+            Instr::Add { .. }
+            | Instr::Addx4 { .. }
+            | Instr::Addi { .. }
+            | Instr::Sub { .. }
+            | Instr::And { .. }
+            | Instr::Or { .. }
+            | Instr::Xor { .. }
+            | Instr::Extui { .. } => OpClass::Alu,
+            Instr::Slli { .. } | Instr::Srli { .. } | Instr::Srai { .. } => OpClass::Shift,
+            Instr::Min { .. } | Instr::Max { .. } | Instr::Minu { .. } | Instr::Maxu { .. } => {
+                OpClass::MinMax
+            }
+            Instr::Mull { .. } => OpClass::Mul,
+            Instr::Quou { .. } | Instr::Remu { .. } => OpClass::Div,
+            Instr::Load { .. } => OpClass::Load,
+            Instr::Store { .. } => OpClass::Store,
+            Instr::Branch { .. } | Instr::Beqz { .. } | Instr::Bnez { .. } => OpClass::Branch,
+            Instr::J { .. } | Instr::Jx { .. } | Instr::Call0 { .. } | Instr::Ret => OpClass::Jump,
+            Instr::Loop { .. } => OpClass::Loop,
+            Instr::Nop => OpClass::Nop,
+            Instr::Halt => OpClass::Halt,
+            Instr::Ext(_) => OpClass::Ext,
+            Instr::Flix(_) => OpClass::Flix,
+        }
+    }
+
+    /// Assembly mnemonic (the stable short name the DSE report and the
+    /// candidate signatures use; the disassembler renders full operand
+    /// text separately).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Movi { .. } => "movi",
+            Instr::Add { .. } => "add",
+            Instr::Addx4 { .. } => "addx4",
+            Instr::Addi { .. } => "addi",
+            Instr::Sub { .. } => "sub",
+            Instr::And { .. } => "and",
+            Instr::Or { .. } => "or",
+            Instr::Xor { .. } => "xor",
+            Instr::Slli { .. } => "slli",
+            Instr::Srli { .. } => "srli",
+            Instr::Srai { .. } => "srai",
+            Instr::Extui { .. } => "extui",
+            Instr::Mull { .. } => "mull",
+            Instr::Quou { .. } => "quou",
+            Instr::Remu { .. } => "remu",
+            Instr::Min { .. } => "min",
+            Instr::Max { .. } => "max",
+            Instr::Minu { .. } => "minu",
+            Instr::Maxu { .. } => "maxu",
+            Instr::Load { width, .. } => match width {
+                LsWidth::B8 => "l8ui",
+                LsWidth::H16 => "l16ui",
+                LsWidth::W32 => "l32i",
+            },
+            Instr::Store { width, .. } => match width {
+                LsWidth::B8 => "s8i",
+                LsWidth::H16 => "s16i",
+                LsWidth::W32 => "s32i",
+            },
+            Instr::Branch { cond, .. } => cond.mnemonic(),
+            Instr::Beqz { .. } => "beqz",
+            Instr::Bnez { .. } => "bnez",
+            Instr::J { .. } => "j",
+            Instr::Jx { .. } => "jx",
+            Instr::Call0 { .. } => "call0",
+            Instr::Ret => "ret",
+            Instr::Loop { .. } => "loop",
+            Instr::Nop => "nop",
+            Instr::Halt => "halt",
+            Instr::Ext(_) => "ext",
+            Instr::Flix(_) => "flix",
+        }
+    }
+
+    /// Issue-to-result latency in cycles on the base datapath, matching
+    /// the simulator's cost model: the multiplier takes a second cycle,
+    /// the iterative divider thirteen, everything else single-cycle
+    /// (memory and control add *dynamic* stalls the static model ignores).
+    pub fn latency(&self) -> u32 {
+        match self.op_class() {
+            OpClass::Mul => 2,
+            OpClass::Div => 13,
+            _ => 1,
         }
     }
 
@@ -651,5 +779,49 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn reg_range_checked() {
         Reg::new(16);
+    }
+
+    #[test]
+    fn op_class_and_latency_follow_the_cost_model() {
+        let add = Instr::Add {
+            r: A2,
+            s: A3,
+            t: A4,
+        };
+        assert_eq!(add.op_class(), OpClass::Alu);
+        assert_eq!(add.latency(), 1);
+        assert_eq!(add.mnemonic(), "add");
+        let mul = Instr::Mull {
+            r: A2,
+            s: A3,
+            t: A4,
+        };
+        assert_eq!(mul.op_class(), OpClass::Mul);
+        assert_eq!(mul.latency(), 2);
+        let div = Instr::Quou {
+            r: A2,
+            s: A3,
+            t: A4,
+        };
+        assert_eq!(div.op_class(), OpClass::Div);
+        assert_eq!(div.latency(), 13);
+        let br = Instr::Branch {
+            cond: BranchCond::Ltu,
+            s: A2,
+            t: A3,
+            target: 0,
+        };
+        assert_eq!(br.op_class(), OpClass::Branch);
+        assert_eq!(br.mnemonic(), "bltu");
+        assert_eq!(
+            Instr::Load {
+                width: LsWidth::W32,
+                r: A2,
+                s: A3,
+                off: 0
+            }
+            .mnemonic(),
+            "l32i"
+        );
     }
 }

@@ -1,10 +1,18 @@
 //! Program representation and the label-resolving program builder.
 //!
 //! A [`Program`] is a laid-out sequence of decoded instructions with byte
-//! addresses starting at [`IMEM_BASE`]. The simulator fetches decoded
+//! addresses starting at a base address — [`IMEM_BASE`] unless the builder
+//! placed it elsewhere in instruction memory with
+//! [`ProgramBuilder::with_base`]. The simulator fetches decoded
 //! instructions directly (a decode cache, in hardware terms); the binary
 //! image produced by [`crate::encode`] is what occupies instruction memory
 //! and what the assembler/disassembler operate on.
+//!
+//! Every address a program reports — [`Program::addr_of`], labels,
+//! diagnostics from the static analyzer — is an absolute byte PC. The only
+//! `(pc - base) / 4` arithmetic lives here (the fetch slot table) and in
+//! the fast-path engine's block cache, both parameterized on the same
+//! [`Program::entry`] value.
 
 use crate::error::SimError;
 use crate::isa::{BranchCond, ExtOp, Instr, LsWidth, Reg};
@@ -32,7 +40,7 @@ pub struct Program {
     code: Vec<Instr>,
     /// Byte address of each instruction (parallel to `code`).
     addrs: Vec<u32>,
-    /// Instruction index for each word slot (`(addr - IMEM_BASE) / 4`);
+    /// Instruction index for each word slot (`(addr - base) / 4`);
     /// [`NO_SLOT`] marks slots that are not an instruction boundary (the
     /// second word of a wide instruction). A dense sentinel table instead
     /// of `Vec<Option<u32>>`: half the footprint, and `fetch` tests one
@@ -42,12 +50,14 @@ pub struct Program {
     labels: HashMap<String, u32>,
     /// Total encoded size in bytes.
     size: u32,
+    /// Base byte address of the first instruction.
+    base: u32,
 }
 
 impl Program {
     /// Entry point (address of the first instruction).
     pub fn entry(&self) -> u32 {
-        IMEM_BASE
+        self.base
     }
 
     /// Total encoded size in bytes.
@@ -68,7 +78,7 @@ impl Program {
     /// Fetches the instruction at `pc`.
     #[inline]
     pub fn fetch(&self, pc: u32) -> Result<&Instr, SimError> {
-        let slot = pc.wrapping_sub(IMEM_BASE) / 4;
+        let slot = pc.wrapping_sub(self.base) / 4;
         match self.slot_index.get(slot as usize) {
             Some(&ix) if ix != NO_SLOT && pc.is_multiple_of(4) => Ok(&self.code[ix as usize]),
             _ => Err(SimError::BadPc { pc }),
@@ -140,17 +150,48 @@ struct Fixup {
 /// let prog = b.build().unwrap();
 /// assert_eq!(prog.len(), 6);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ProgramBuilder {
     code: Vec<Instr>,
     labels: HashMap<String, usize>, // label -> instruction index
     fixups: Vec<Fixup>,
+    base: u32,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        ProgramBuilder {
+            code: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            base: IMEM_BASE,
+        }
+    }
 }
 
 impl ProgramBuilder {
-    /// Creates an empty builder.
+    /// Creates an empty builder laying out at [`IMEM_BASE`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty builder laying out at `base` (a word-aligned
+    /// address inside instruction memory) — the `.org` of classic
+    /// assemblers. All emitted addresses, labels, and diagnostics stay
+    /// absolute byte PCs relative to this base.
+    ///
+    /// # Panics
+    /// Panics when `base` is not 4-byte aligned or lies below
+    /// [`IMEM_BASE`]; both are always builder-side bugs.
+    pub fn with_base(base: u32) -> Self {
+        assert!(
+            base.is_multiple_of(4) && base >= IMEM_BASE,
+            "program base {base:#010x} must be word-aligned and inside instruction memory"
+        );
+        ProgramBuilder {
+            base,
+            ..Self::default()
+        }
     }
 
     /// Number of instructions emitted so far.
@@ -396,7 +437,7 @@ impl ProgramBuilder {
     pub fn build(mut self) -> Result<Program, SimError> {
         // Layout pass: assign a byte address to every instruction.
         let mut addrs = Vec::with_capacity(self.code.len());
-        let mut pc = IMEM_BASE;
+        let mut pc = self.base;
         for i in &self.code {
             if let Instr::Flix(slots) = i {
                 if slots.len() > 3 {
@@ -416,7 +457,7 @@ impl ProgramBuilder {
             addrs.push(pc);
             pc += i.size();
         }
-        let size = pc - IMEM_BASE;
+        let size = pc - self.base;
 
         // Resolve label addresses.
         let label_addr: HashMap<String, u32> = self
@@ -478,7 +519,7 @@ impl ProgramBuilder {
         let slots = (size / 4) as usize;
         let mut slot_index = vec![NO_SLOT; slots];
         for (ix, a) in addrs.iter().enumerate() {
-            slot_index[((a - IMEM_BASE) / 4) as usize] = ix as u32;
+            slot_index[((a - self.base) / 4) as usize] = ix as u32;
         }
 
         Ok(Program {
@@ -487,6 +528,7 @@ impl ProgramBuilder {
             slot_index,
             labels: label_addr,
             size,
+            base: self.base,
         })
     }
 }
@@ -629,6 +671,36 @@ mod tests {
         let p = b.build().unwrap();
         assert_eq!(p.region_of(IMEM_BASE), Some("init"));
         assert_eq!(p.region_of(IMEM_BASE + 8), Some("core"));
+    }
+
+    #[test]
+    fn with_base_lays_out_and_fetches_at_the_shifted_address() {
+        let base = IMEM_BASE + 0x100;
+        let mut b = ProgramBuilder::with_base(base);
+        b.label("start");
+        b.movi(A2, 3);
+        b.label("loop");
+        b.addi(A2, A2, -1);
+        b.bnez(A2, "loop");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.entry(), base);
+        assert_eq!(p.addr_of(0), base);
+        assert_eq!(p.label_addr("loop"), Some(base + 4));
+        assert!(p.fetch(base + 8).is_ok());
+        // PCs below the base — including the old default entry — reject.
+        assert!(matches!(p.fetch(IMEM_BASE), Err(SimError::BadPc { .. })));
+        assert!(matches!(p.fetch(base - 4), Err(SimError::BadPc { .. })));
+        match p.fetch(base + 8).unwrap() {
+            Instr::Bnez { target, .. } => assert_eq!(*target, base + 4),
+            other => panic!("expected BNEZ, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn misaligned_base_panics() {
+        ProgramBuilder::with_base(IMEM_BASE + 2);
     }
 
     #[test]

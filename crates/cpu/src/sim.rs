@@ -226,10 +226,14 @@ impl Processor {
     /// Identical to [`Self::load_program`] in every observable way.
     pub fn load_program_shared(&mut self, p: Arc<Program>) -> Result<(), SimError> {
         let image = crate::encode::encode_program(&p)?;
-        if image.len() > self.mem.imem.size() {
+        // The image occupies [entry, entry + len) of imem; a non-default
+        // base (ProgramBuilder::with_base) shifts the footprint.
+        let offset = p.entry().wrapping_sub(crate::program::IMEM_BASE) as usize;
+        if offset + image.len() > self.mem.imem.size() {
             return Err(SimError::BadProgram(format!(
-                "program image of {} bytes exceeds the {} KiB instruction memory",
+                "program image of {} bytes at {:#010x} exceeds the {} KiB instruction memory",
                 image.len(),
+                p.entry(),
                 self.cfg.imem_kb
             )));
         }

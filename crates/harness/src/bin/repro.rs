@@ -16,6 +16,8 @@
 //! repro isa         instruction-set reference (generated from descriptors)
 //! repro observe     observability matrix: hotspots, Perfetto, benchmark snapshot
 //! repro bench       paper-figure perf suite: sweeps, ratios, BENCH_perf.json
+//! repro dse         automatic ISA-extension mining (DFG enumeration +
+//!                   synth-priced Pareto search over the scalar kernels)
 //! repro all         everything above
 //!
 //! options: --quick   scale workloads down ~10x for a fast pass
@@ -41,10 +43,17 @@
 //!                              the snapshot (ignored by --check)
 //!          --check <baseline>  diff against a committed BENCH_perf.json;
 //!                              exit 1 on any >3% cycle regression
+//!
+//! dse options:
+//!          --json              print the deterministic mining snapshot
+//!          --check <baseline>  gate against a committed DSE_baseline.json;
+//!                              exit 1 when a rediscovered SOP/ST_S/bundle
+//!                              shape disappears or the frontier's best
+//!                              speedup regresses >3%
 //! ```
 
 use dbx_harness::{
-    bench, energy, fig13, isa_ref, observe, pipeline, resilience, scaling, stream_exp, table2,
+    bench, dse, energy, fig13, isa_ref, observe, pipeline, resilience, scaling, stream_exp, table2,
     table3, table4, table5, table6, width_exp,
 };
 
@@ -89,10 +98,11 @@ fn main() {
         "isa" => println!("{}", isa_ref::render()),
         "observe" => run_observe(&args, scale),
         "bench" => run_bench(&args, scale),
+        "dse" => run_dse(&args),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe bench all"
+                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe bench dse all"
             );
             std::process::exit(2);
         }
@@ -114,6 +124,7 @@ fn main() {
             "width",
             "observe",
             "bench",
+            "dse",
         ] {
             run_one(name);
             println!();
@@ -164,6 +175,33 @@ fn run_observe(args: &[String], scale: f64) {
                     std::process::exit(1);
                 }
                 eprintln!("no cycle regressions against {path}");
+            }
+            Err(e) => {
+                eprintln!("baseline comparison failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_dse(args: &[String]) {
+    let d = dse::run();
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", d.snapshot());
+    } else {
+        println!("{}", d.render());
+    }
+    if let Some(path) = flag_value(args, "--check") {
+        let baseline = std::fs::read_to_string(path).expect("read DSE baseline");
+        match d.check(&baseline) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!("DSE gate passes against {path}");
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("DSE gate: {f}");
+                }
+                std::process::exit(1);
             }
             Err(e) => {
                 eprintln!("baseline comparison failed: {e}");

@@ -15,6 +15,7 @@
 //! | [`resilience`] | Local-store protection (parity/SECDED) cost and a seeded fault campaign |
 //! | [`observe`] | Unified tracing/metrics: hotspot tables, Perfetto timeline, folded stacks, benchmark snapshot |
 //! | [`bench`] | Section 6's figure sweeps as the regression-gated `BENCH_perf.json` suite |
+//! | [`dse`] | Automatic ISA-extension mining: DFG enumeration + synth-priced Pareto search |
 //! | [`width_exp`] | Section 2.2 — vector-width area/bandwidth tradeoff |
 //! | [`pipeline`] | Section 4 — cycles/iteration vs unroll factor, theoretical peak |
 //!
@@ -24,6 +25,7 @@
 //! throughputs are carried alongside for comparison.
 
 pub mod bench;
+pub mod dse;
 pub mod energy;
 pub mod fig13;
 pub mod isa_ref;

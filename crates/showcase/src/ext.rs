@@ -96,6 +96,7 @@ impl Extension for ChecksumExt {
             states_written,
             states_read,
             slot_ok: true,
+            latency: 1,
         })
     }
 

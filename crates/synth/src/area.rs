@@ -55,12 +55,12 @@ impl AreaReport {
 
 /// GE per comparator bit of the all-to-all array (comparator cell plus the
 /// retire/boundary logic and result routing amortised over the array).
-const GE_PER_A2A_CMP_BIT: f64 = 79.3;
+pub(crate) const GE_PER_A2A_CMP_BIT: f64 = 79.3;
 /// GE per comparator bit of the sorting/merge networks (min/max only —
 /// cheaper than the eq+lt cells of the all-to-all array).
 const GE_PER_NET_CMP_BIT: f64 = 46.9;
 /// GE per TIE state bit (flip-flop plus read/write access muxing).
-const GE_PER_STATE_BIT: f64 = 28.0;
+pub(crate) const GE_PER_STATE_BIT: f64 = 28.0;
 /// GE per 32-bit output lane of an emit/shuffle network, per input it can
 /// select from.
 const GE_PER_EMIT_LANE_INPUT: f64 = 1540.0;

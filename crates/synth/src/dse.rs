@@ -1,0 +1,250 @@
+//! Synthesis pricing for mined extension candidates.
+//!
+//! `dbx-analysis::dse` mines fused-instruction candidates as abstract
+//! dataflow shapes; this module answers "what would each one cost in
+//! silicon" with the same calibrated structural model that reproduces
+//! the paper's Tables 2–4 for the hand-designed EIS:
+//!
+//! * **Area** — per-node datapath gates (comparators at the calibrated
+//!   element-comparator cost, adders, shifters, LSU stream hookups) plus
+//!   operand/result muxing and a decode term. A FLIX bundle template
+//!   prices as format decode plus per-slot issue logic only: its slots
+//!   reuse existing functional units.
+//! * **fMAX** — a fused op's combinational chain sits in one pipeline
+//!   stage, so its depth adds equivalent gate delays on top of the
+//!   host configuration's critical path, exactly how the hand EIS adds
+//!   its result-bypass mux ([`EIS_GATES`](crate::timing) ≈ a depth-1
+//!   fusion). The candidate's feasible frequency is the path through
+//!   whichever is longer, base pipeline or fused chain.
+//! * **Power** — dynamic power of the added gates at the degraded fMAX
+//!   plus leakage, using the node's fitted per-kGE coefficients.
+
+use dbx_analysis::dse::{Candidate, CandidateClass};
+use dbx_core::ProcModel;
+use dbx_cpu::isa::OpClass;
+
+use crate::area::{GE_PER_A2A_CMP_BIT, GE_PER_STATE_BIT};
+use crate::tech::Tech;
+use crate::timing::{critical_path_gates, EIS_GATES, EXTRA_LSU_EIS_GATES};
+
+/// Datapath word width everything below is priced for.
+const WORD_BITS: f64 = 32.0;
+/// Gate equivalents per adder/logic-unit bit (ripple-bypass hybrid).
+const GE_PER_ALU_BIT: f64 = 10.0;
+/// Gate equivalents per barrel-shifter bit (5 mux levels).
+const GE_PER_SHIFT_BIT: f64 = 18.0;
+/// Gate equivalents for a pipelined 32x32 multiplier slice.
+const GE_MUL: f64 = 3400.0;
+/// Gate equivalents to hook one more op into an LSU's request mux and
+/// alignment network (the stream port of the paper's LD/ST ops).
+const GE_LSU_HOOKUP: f64 = 880.0;
+/// Gate equivalents per operand read-port mux lane.
+const GE_PER_INPUT: f64 = 96.0;
+/// Gate equivalents per result write-back mux lane.
+const GE_PER_OUTPUT: f64 = 130.0;
+/// Instruction-decode gates per new opcode.
+const GE_DECODE: f64 = 150.0;
+/// Decode + issue gates for one new FLIX format.
+const GE_FLIX_FORMAT: f64 = 420.0;
+/// Per-slot issue/steering gates of a FLIX format.
+const GE_FLIX_SLOT: f64 = 160.0;
+/// Equivalent gate delays one fused dataflow level adds to the stage.
+const PATH_GATES_PER_LEVEL: f64 = 0.35;
+
+/// Synthesis price of one candidate on a given host configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidatePrice {
+    /// Added logic area in gate equivalents.
+    pub area_ge: f64,
+    /// Equivalent gate delays added to the critical path.
+    pub path_gates_extra: f64,
+    /// Feasible core frequency with the candidate instantiated, MHz.
+    pub fmax_mhz: f64,
+    /// Dynamic + leakage power of the added logic at that frequency, mW.
+    pub power_mw: f64,
+}
+
+/// Aggregate price of a candidate subset (one proposed extension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetPrice {
+    /// Total added area in gate equivalents.
+    pub area_ge: f64,
+    /// Feasible frequency: the slowest member gates the whole core.
+    pub fmax_mhz: f64,
+    /// Total added power at the set's feasible frequency, mW.
+    pub power_mw: f64,
+}
+
+fn node_area_ge(class: OpClass, is_predicate_like: bool) -> f64 {
+    if is_predicate_like {
+        // A fused branch decision is a full-word comparator, priced at
+        // the calibrated element-comparator cost.
+        return GE_PER_A2A_CMP_BIT * WORD_BITS;
+    }
+    match class {
+        OpClass::MinMax => GE_PER_A2A_CMP_BIT * WORD_BITS,
+        OpClass::Branch => GE_PER_A2A_CMP_BIT * WORD_BITS,
+        OpClass::Alu | OpClass::Const => GE_PER_ALU_BIT * WORD_BITS,
+        OpClass::Shift => GE_PER_SHIFT_BIT * WORD_BITS,
+        OpClass::Mul | OpClass::Div => GE_MUL,
+        OpClass::Load | OpClass::Store => GE_LSU_HOOKUP,
+        // Extension ops re-fused into bigger ops: price like an ALU
+        // stage plus their private state bits.
+        OpClass::Ext => GE_PER_ALU_BIT * WORD_BITS + GE_PER_STATE_BIT * WORD_BITS,
+        OpClass::Flix | OpClass::Jump | OpClass::Loop | OpClass::Nop | OpClass::Halt => 0.0,
+    }
+}
+
+/// Prices one candidate as an addition to `model` at `tech`.
+pub fn price_candidate(model: ProcModel, tech: &Tech, c: &Candidate) -> CandidatePrice {
+    let (area_ge, path_extra) = if c.class == CandidateClass::Bundle {
+        // A bundle template adds no functional units — only a format
+        // decoder and slot steering. Parallel issue does not lengthen
+        // the stage.
+        (GE_FLIX_FORMAT + GE_FLIX_SLOT * c.node_count as f64, 0.0)
+    } else {
+        let datapath: f64 = c
+            .classes
+            .iter()
+            .zip(c.mnemonics.iter())
+            .map(|(cl, m)| node_area_ge(*cl, m.starts_with('b')))
+            .sum();
+        let muxing = GE_PER_INPUT * c.inputs as f64 * WORD_BITS / 8.0
+            + GE_PER_OUTPUT * c.outputs as f64 * WORD_BITS / 8.0;
+        // The fused chain spans `depth` dataflow levels in one stage; a
+        // depth-1 op costs what the hand EIS's bypass mux costs, each
+        // further level stretches the stage. Driving both LSUs in one
+        // cycle adds the stream-arbitration increment.
+        let mut path = EIS_GATES + PATH_GATES_PER_LEVEL * (c.depth.saturating_sub(1)) as f64;
+        if c.mem_ops > 1 {
+            path += EXTRA_LSU_EIS_GATES;
+        }
+        (datapath + muxing + GE_DECODE, path)
+    };
+    let total_path = critical_path_gates(model) + path_extra;
+    let fmax = 1.0e6 / (total_path * tech.gate_delay_ps);
+    let power =
+        area_ge / 1000.0 * tech.dyn_mw_per_kge_mhz * fmax + area_ge / 1000.0 * tech.leak_mw_per_kge;
+    CandidatePrice {
+        area_ge,
+        path_gates_extra: path_extra,
+        fmax_mhz: fmax,
+        power_mw: power,
+    }
+}
+
+/// Prices a subset of candidates as one proposed extension: areas and
+/// powers add, the slowest member's path bounds the core frequency.
+pub fn price_set(model: ProcModel, tech: &Tech, members: &[&Candidate]) -> SetPrice {
+    let prices: Vec<CandidatePrice> = members
+        .iter()
+        .map(|c| price_candidate(model, tech, c))
+        .collect();
+    let area_ge: f64 = prices.iter().map(|p| p.area_ge).sum();
+    let worst_extra = prices
+        .iter()
+        .map(|p| p.path_gates_extra)
+        .fold(0.0, f64::max);
+    let fmax = 1.0e6 / ((critical_path_gates(model) + worst_extra) * tech.gate_delay_ps);
+    let power_mw =
+        area_ge / 1000.0 * tech.dyn_mw_per_kge_mhz * fmax + area_ge / 1000.0 * tech.leak_mw_per_kge;
+    SetPrice {
+        area_ge,
+        fmax_mhz: fmax,
+        power_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbx_analysis::dse::{mine, DseConfig, WeightModel};
+    use dbx_cpu::config::CpuConfig;
+    use dbx_cpu::isa::regs::*;
+    use dbx_cpu::ProgramBuilder;
+
+    fn mined_candidates() -> Vec<Candidate> {
+        let mut b = ProgramBuilder::new();
+        b.l32i(A7, A2, 0)
+            .l32i(A8, A3, 0)
+            .beq(A7, A8, "out")
+            .addi(A2, A2, 4)
+            .addi(A3, A3, 4)
+            .label("out")
+            .halt();
+        let p = b.build().unwrap();
+        let dse = DseConfig::from_cpu(&CpuConfig::local_store_core(2, 64));
+        mine(&p, None, &dse, &WeightModel::Static).candidates
+    }
+
+    #[test]
+    fn deeper_candidates_cost_frequency() {
+        let t = Tech::tsmc65lp();
+        let cands = mined_candidates();
+        let base = crate::timing::fmax_mhz(ProcModel::Dba2Lsu, &t);
+        for c in cands.iter().filter(|c| c.class != CandidateClass::Bundle) {
+            let p = price_candidate(ProcModel::Dba2Lsu, &t, c);
+            assert!(p.fmax_mhz < base, "{} should degrade fmax", c.signature);
+            assert!(p.area_ge > 0.0 && p.power_mw > 0.0);
+        }
+    }
+
+    #[test]
+    fn bundle_templates_are_frequency_neutral_and_cheap() {
+        let t = Tech::tsmc65lp();
+        let cands = mined_candidates();
+        let bundle = cands
+            .iter()
+            .find(|c| c.class == CandidateClass::Bundle)
+            .expect("addi pair bundles");
+        let p = price_candidate(ProcModel::Dba2Lsu, &t, bundle);
+        assert_eq!(p.path_gates_extra, 0.0);
+        let fused_min = cands
+            .iter()
+            .filter(|c| c.class != CandidateClass::Bundle)
+            .map(|c| price_candidate(ProcModel::Dba2Lsu, &t, c).area_ge)
+            .fold(f64::INFINITY, f64::min);
+        assert!(p.area_ge < fused_min);
+    }
+
+    #[test]
+    fn set_price_is_gated_by_the_slowest_member() {
+        let t = Tech::tsmc65lp();
+        let cands = mined_candidates();
+        let refs: Vec<&Candidate> = cands.iter().collect();
+        let set = price_set(ProcModel::Dba2Lsu, &t, &refs);
+        let slowest = refs
+            .iter()
+            .map(|c| price_candidate(ProcModel::Dba2Lsu, &t, c).fmax_mhz)
+            .fold(f64::INFINITY, f64::min);
+        assert!((set.fmax_mhz - slowest).abs() < 1e-9);
+        let sum: f64 = refs
+            .iter()
+            .map(|c| price_candidate(ProcModel::Dba2Lsu, &t, c).area_ge)
+            .sum();
+        assert!((set.area_ge - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mined_sop_shape_prices_in_the_hand_eis_ballpark() {
+        // The paper's whole EIS (every fused op + states + emit logic)
+        // is tens of kGE; one mined load/load/compare fusion must land
+        // well inside that — a few kGE — or the model is off scale.
+        let t = Tech::tsmc65lp();
+        let cands = mined_candidates();
+        let sop = cands
+            .iter()
+            .find(|c| c.class == CandidateClass::SopLike)
+            .expect("sop-like candidate");
+        let p = price_candidate(ProcModel::Dba2Lsu, &t, sop);
+        assert!(
+            p.area_ge > 1_000.0 && p.area_ge < 20_000.0,
+            "sop-like area {} GE out of ballpark",
+            p.area_ge
+        );
+        // Frequency stays within ~8% of the host core, like the hand
+        // design's 442 -> 410 MHz worst case.
+        let base = crate::timing::fmax_mhz(ProcModel::Dba2Lsu, &t);
+        assert!(p.fmax_mhz > base * 0.90);
+    }
+}

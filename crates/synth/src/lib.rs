@@ -23,6 +23,7 @@
 //! Tables 3 and 4.
 
 pub mod area;
+pub mod dse;
 pub mod power;
 pub mod report;
 pub mod tech;
@@ -30,6 +31,7 @@ pub mod timing;
 pub mod width;
 
 pub use area::{area_report, area_report_with, table4_breakdown, AreaReport, Component};
+pub use dse::{price_candidate, price_set, CandidatePrice, SetPrice};
 pub use power::{power_from_activity, power_report, power_report_with, PowerReport};
 pub use report::{synthesis_row, SynthesisRow};
 pub use tech::Tech;

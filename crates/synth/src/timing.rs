@@ -13,15 +13,15 @@ use dbx_core::ProcModel;
 
 /// Base pipeline critical path of the Xtensa-class core, in equivalent
 /// gate delays (442 MHz at 65 ps/gate).
-const BASE_PATH_GATES: f64 = 34.8;
+pub(crate) const BASE_PATH_GATES: f64 = 34.8;
 /// Added by widening data/instruction buses to 128/64 bits.
-const WIDE_BUS_GATES: f64 = 0.58;
+pub(crate) const WIDE_BUS_GATES: f64 = 0.58;
 /// Added by the EIS: the SOP result mux sits on the write-back bypass.
-const EIS_GATES: f64 = 0.92;
+pub(crate) const EIS_GATES: f64 = 0.92;
 /// Added per extra LSU with the EIS attached (stream arbitration).
-const EXTRA_LSU_EIS_GATES: f64 = 1.2;
+pub(crate) const EXTRA_LSU_EIS_GATES: f64 = 1.2;
 /// Added per extra LSU without the EIS.
-const EXTRA_LSU_GATES: f64 = 0.49;
+pub(crate) const EXTRA_LSU_GATES: f64 = 0.49;
 
 /// Critical path of a configuration in equivalent gate delays.
 pub fn critical_path_gates(model: ProcModel) -> f64 {

@@ -10,10 +10,15 @@
 //!
 //! Exit status is non-zero when any error-severity diagnostic fires, or,
 //! with `--strict`, when any diagnostic fires at all.
+//!
+//! `--format text|json|sarif` selects the report shape: the default
+//! human-readable text, a compact per-unit JSON digest, or a SARIF 2.1.0
+//! document for code-scanning consumers. JSON and SARIF go to stdout;
+//! the summary line moves to stderr so the document stays parseable.
 
 use std::process::ExitCode;
 
-use dbasip::analysis::{analyze, Diagnostic, Severity};
+use dbasip::analysis::{analyze, sarif, Diagnostic, Severity};
 use dbasip::asm::Assembler;
 use dbasip::cpu::ext::Extension;
 use dbasip::cpu::{Program, DMEM0_BASE, DMEM1_BASE, SYSMEM_BASE};
@@ -21,19 +26,30 @@ use dbasip::dbisa::configs::ProcModel;
 use dbasip::dbisa::datapath::SetOpKind;
 use dbasip::dbisa::kernels::{hwset, hwsort, scalar, SetLayout, SortLayout};
 use dbasip::dbisa::ops::DbExtension;
+use dbasip::observe::json::Json;
+
+/// Report shape selected with `--format`.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     strict: bool,
     kernels: bool,
     model: ProcModel,
+    format: Format,
     files: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dbx-lint [--strict] --kernels\n       \
-         dbx-lint [--strict] [--model MODEL] FILE.s ...\n\n\
-         MODEL: mini108 | dba1 | dba2 | dba1eis | dba2eis (default: dba2eis)"
+        "usage: dbx-lint [--strict] [--format FMT] --kernels\n       \
+         dbx-lint [--strict] [--format FMT] [--model MODEL] FILE.s ...\n\n\
+         MODEL: mini108 | dba1 | dba2 | dba1eis | dba2eis (default: dba2eis)\n\
+         FMT:   text | json | sarif (default: text)"
     );
     std::process::exit(2);
 }
@@ -54,6 +70,7 @@ fn parse_args() -> Options {
         strict: false,
         kernels: false,
         model: ProcModel::Dba2LsuEis { partial: true },
+        format: Format::Text,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -64,6 +81,12 @@ fn parse_args() -> Options {
             "--model" => match args.next().as_deref().and_then(parse_model) {
                 Some(m) => opts.model = m,
                 None => usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => opts.files.push(f.to_string()),
@@ -76,14 +99,16 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Lints one program on one model; returns (errors, warnings) counts.
-fn lint(label: &str, program: &Program, model: ProcModel) -> (usize, usize) {
+/// Per-unit findings: one entry per linted kernel or file.
+type Units = Vec<(String, Vec<Diagnostic>)>;
+
+/// Lints one program on one model into the unit list.
+fn lint(label: &str, program: &Program, model: ProcModel, units: &mut Units) {
     let cfg = model.cpu_config();
     let ext = model.wiring().map(DbExtension::new);
     let ext_ref = ext.as_ref().map(|e| e as &dyn Extension);
     let diags = analyze(program, ext_ref, &cfg);
-    report(label, &diags);
-    count(&diags)
+    units.push((label.to_string(), diags));
 }
 
 fn report(label: &str, diags: &[Diagnostic]) {
@@ -105,6 +130,51 @@ fn count(diags: &[Diagnostic]) -> (usize, usize) {
     (errors, diags.len() - errors)
 }
 
+/// Compact machine-readable digest: per-unit diagnostic arrays plus
+/// totals, in the same insertion-ordered writer SARIF export uses.
+fn to_json(units: &Units) -> Json {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let rows: Vec<Json> = units
+        .iter()
+        .map(|(label, diags)| {
+            let (e, w) = count(diags);
+            errors += e;
+            warnings += w;
+            let ds: Vec<Json> = diags
+                .iter()
+                .map(|d| {
+                    Json::obj([
+                        (
+                            "severity",
+                            Json::Str(
+                                match d.severity {
+                                    Severity::Warning => "warning",
+                                    Severity::Error => "error",
+                                }
+                                .to_string(),
+                            ),
+                        ),
+                        ("rule", Json::Str(d.rule.code().to_string())),
+                        ("pc", Json::Num(d.pc as f64)),
+                        ("message", Json::Str(d.message.clone())),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("unit", Json::Str(label.clone())),
+                ("diagnostics", Json::Arr(ds)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("tool", Json::Str("dbx-lint".to_string())),
+        ("units", Json::Arr(rows)),
+        ("errors", Json::Num(errors as f64)),
+        ("warnings", Json::Num(warnings as f64)),
+    ])
+}
+
 /// Mirrors the runner's per-model data placement for a representative
 /// problem size, so kernels are linted exactly as they execute.
 fn sample_set_layout(model: ProcModel) -> SetLayout {
@@ -123,9 +193,8 @@ fn sample_set_layout(model: ProcModel) -> SetLayout {
     }
 }
 
-fn lint_kernels() -> (usize, usize) {
-    let mut errors = 0;
-    let mut warnings = 0;
+fn lint_kernels(units: &mut Units) -> usize {
+    let mut build_errors = 0;
     let kinds = [
         SetOpKind::Intersect,
         SetOpKind::Union,
@@ -140,14 +209,10 @@ fn lint_kernels() -> (usize, usize) {
             };
             let label = format!("{} {:?} [{}]", model.name(), kind, model.partial_label());
             match program {
-                Ok(p) => {
-                    let (e, w) = lint(&label, &p, model);
-                    errors += e;
-                    warnings += w;
-                }
+                Ok(p) => lint(&label, &p, model, units),
                 Err(e) => {
-                    println!("{label}: failed to build: {e}");
-                    errors += 1;
+                    eprintln!("{label}: failed to build: {e}");
+                    build_errors += 1;
                 }
             }
         }
@@ -173,31 +238,26 @@ fn lint_kernels() -> (usize, usize) {
         };
         let label = format!("{} sort [{}]", model.name(), model.partial_label());
         match program {
-            Ok(p) => {
-                let (e, w) = lint(&label, &p, sort_model);
-                errors += e;
-                warnings += w;
-            }
+            Ok(p) => lint(&label, &p, sort_model, units),
             Err(e) => {
-                println!("{label}: failed to build: {e}");
-                errors += 1;
+                eprintln!("{label}: failed to build: {e}");
+                build_errors += 1;
             }
         }
     }
-    (errors, warnings)
+    build_errors
 }
 
-fn lint_files(opts: &Options) -> (usize, usize) {
-    let mut errors = 0;
-    let mut warnings = 0;
+fn lint_files(opts: &Options, units: &mut Units) -> usize {
+    let mut build_errors = 0;
     let ext = opts.model.wiring().map(DbExtension::new);
     let ext_ref = ext.as_ref().map(|e| e as &dyn Extension);
     for f in &opts.files {
         let src = match std::fs::read_to_string(f) {
             Ok(s) => s,
             Err(e) => {
-                println!("{f}: cannot read: {e}");
-                errors += 1;
+                eprintln!("{f}: cannot read: {e}");
+                build_errors += 1;
                 continue;
             }
         };
@@ -206,28 +266,46 @@ fn lint_files(opts: &Options) -> (usize, usize) {
             None => Assembler::new(),
         };
         match asm.assemble(&src) {
-            Ok(p) => {
-                let (e, w) = lint(f, &p, opts.model);
-                errors += e;
-                warnings += w;
-            }
+            Ok(p) => lint(f, &p, opts.model, units),
             Err(e) => {
-                println!("{f}: {e}");
-                errors += 1;
+                eprintln!("{f}: {e}");
+                build_errors += 1;
             }
         }
     }
-    (errors, warnings)
+    build_errors
 }
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let (errors, warnings) = if opts.kernels {
-        lint_kernels()
+    let mut units = Units::new();
+    let mut errors = if opts.kernels {
+        lint_kernels(&mut units)
     } else {
-        lint_files(&opts)
+        lint_files(&opts, &mut units)
     };
-    println!("{errors} error(s), {warnings} warning(s)");
+    let mut warnings = 0;
+    for (_, diags) in &units {
+        let (e, w) = count(diags);
+        errors += e;
+        warnings += w;
+    }
+    match opts.format {
+        Format::Text => {
+            for (label, diags) in &units {
+                report(label, diags);
+            }
+            println!("{errors} error(s), {warnings} warning(s)");
+        }
+        Format::Json => {
+            println!("{}", to_json(&units));
+            eprintln!("{errors} error(s), {warnings} warning(s)");
+        }
+        Format::Sarif => {
+            println!("{}", sarif::to_sarif(&units));
+            eprintln!("{errors} error(s), {warnings} warning(s)");
+        }
+    }
     if errors > 0 || (opts.strict && warnings > 0) {
         ExitCode::FAILURE
     } else {

@@ -1,0 +1,202 @@
+//! Integration tests of the ISA-extension mining pipeline: the paper's
+//! hand-designed shapes must fall out of the scalar kernels, the
+//! snapshot must be byte-deterministic, and the DFG builder must agree
+//! with an independent def-use shadow model on arbitrary programs.
+
+use dbasip::analysis::dse::{dfg_of, mine, CandidateClass, DseConfig, Src, WeightModel};
+use dbasip::cpu::config::CpuConfig;
+use dbasip::cpu::isa::{Instr, LsWidth, Reg};
+use dbasip::cpu::ProgramBuilder;
+use dbasip::harness::dse as harness_dse;
+use proptest::prelude::*;
+
+const A2: Reg = Reg(2);
+const A3: Reg = Reg(3);
+
+/// The FLIX-capable enumeration envelope every test mines with.
+fn wide_cfg() -> DseConfig {
+    DseConfig::from_cpu(&CpuConfig::local_store_core(2, 64))
+}
+
+// ---- end-to-end over the kernel suite -------------------------------------
+
+#[test]
+fn miner_rediscovers_the_paper_shapes_with_positive_savings_and_cost() {
+    let d = harness_dse::run();
+    for class in [
+        CandidateClass::SopLike,
+        CandidateClass::StSLike,
+        CandidateClass::Novel,
+        CandidateClass::Bundle,
+    ] {
+        let p = d
+            .best_of(class)
+            .unwrap_or_else(|| panic!("no {} candidate mined", class.tag()));
+        assert!(
+            p.candidate.cycles_saved > 0,
+            "{} must save cycles",
+            p.candidate.signature
+        );
+        assert!(
+            p.price.area_ge > 0.0 && p.price.fmax_mhz > 0.0 && p.price.power_mw > 0.0,
+            "{} must carry a synthesis price",
+            p.candidate.signature
+        );
+    }
+    // The SOP shape is the paper's two-loads-plus-compare step.
+    let sop = d.best_of(CandidateClass::SopLike).unwrap();
+    assert!(
+        sop.candidate.signature.matches("l32i").count() == 2,
+        "sop-like shape should fuse both element loads: {}",
+        sop.candidate.signature
+    );
+    assert!(!d.frontier.is_empty(), "frontier must not be empty");
+}
+
+#[test]
+fn dse_snapshot_is_byte_identical_across_runs() {
+    let a = harness_dse::run();
+    let b = harness_dse::run();
+    assert_eq!(
+        a.snapshot().to_string(),
+        b.snapshot().to_string(),
+        "snapshot JSON must be byte-stable"
+    );
+}
+
+// ---- analysis edge cases ---------------------------------------------------
+
+#[test]
+fn empty_program_mines_nothing() {
+    let p = ProgramBuilder::new().build().unwrap();
+    let m = mine(&p, None, &wide_cfg(), &WeightModel::Static);
+    assert!(m.candidates.is_empty());
+    assert_eq!(m.base_cycles, 0);
+    assert!(dfg_of(&p, None).windows.is_empty());
+}
+
+#[test]
+fn single_block_self_loop_weights_its_own_back_edge() {
+    // One block that branches to itself: the smallest possible CFG
+    // cycle. The candidate inside must be weighted by the default trip
+    // count, not 1 (and the builder must not loop forever).
+    let mut b = ProgramBuilder::new();
+    b.label("top").addi(A2, A2, 4).bnez(A2, "top").halt();
+    let p = b.build().unwrap();
+    let m = mine(&p, None, &wide_cfg(), &WeightModel::Static);
+    let fused = m
+        .candidates
+        .iter()
+        .find(|c| c.signature == "addi(in0);bnez(%0)")
+        .expect("bump+test shape in the self-loop");
+    assert_eq!(
+        fused.cycles_saved, 16,
+        "one fused cycle saved per default-trip iteration"
+    );
+}
+
+#[test]
+fn flix_bundle_as_final_instruction_is_handled() {
+    // A bundle at the last pc: nothing follows it, so every slot def is
+    // window-final. The DFG must still expand the slots and bundle
+    // enumeration must still emit the template.
+    let mut b = ProgramBuilder::new();
+    b.movi(A2, 1).movi(A3, 2).flix(vec![
+        Instr::Addi {
+            r: A2,
+            s: A2,
+            imm: 4,
+        },
+        Instr::Addi {
+            r: A3,
+            s: A3,
+            imm: 4,
+        },
+    ]);
+    let p = b.build().unwrap();
+    let d = dfg_of(&p, None);
+    assert_eq!(d.windows.len(), 1);
+    let slots: Vec<Option<u8>> = d.windows[0].nodes.iter().map(|n| n.slot).collect();
+    assert_eq!(slots, vec![None, None, Some(0), Some(1)]);
+    let m = mine(&p, None, &wide_cfg(), &WeightModel::Static);
+    assert!(
+        m.candidates
+            .iter()
+            .any(|c| c.class == CandidateClass::Bundle),
+        "bundle template from a program-final FLIX: {:#?}",
+        m.candidates
+    );
+}
+
+// ---- DFG ↔ def-use round-trip property -------------------------------------
+
+fn straight_instr() -> impl Strategy<Value = Instr> {
+    let r = || (0u8..16).prop_map(Reg::new);
+    prop_oneof![
+        (r(), -2048i32..2048).prop_map(|(rr, imm)| Instr::Movi { r: rr, imm }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Add { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Sub { r: a, s, t }),
+        (r(), r(), r()).prop_map(|(a, s, t)| Instr::Minu { r: a, s, t }),
+        (r(), r(), any::<i16>()).prop_map(|(a, s, imm)| Instr::Addi { r: a, s, imm }),
+        (r(), r(), 0u16..1024).prop_map(|(a, s, off)| Instr::Load {
+            width: LsWidth::W32,
+            r: a,
+            s,
+            off
+        }),
+        (r(), r(), 0u16..1024).prop_map(|(t, s, off)| Instr::Store {
+            width: LsWidth::W32,
+            t,
+            s,
+            off
+        }),
+    ]
+}
+
+proptest! {
+    /// On any straight-line program, every DFG operand edge must agree
+    /// with an independently computed last-writer (def-use) relation,
+    /// and the node's def mask with the instruction's destination.
+    #[test]
+    fn dfg_edges_roundtrip_the_def_use_relation(
+        instrs in proptest::collection::vec(straight_instr(), 1..40)
+    ) {
+        let mut b = ProgramBuilder::new();
+        for i in &instrs {
+            b.inst(i.clone());
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let d = dfg_of(&p, None);
+        prop_assert_eq!(d.windows.len(), 1);
+        let w = &d.windows[0];
+        prop_assert_eq!(w.nodes.len(), instrs.len(), "halt dropped, rest kept");
+
+        let mut last_writer: [Option<usize>; 16] = [None; 16];
+        for (k, i) in instrs.iter().enumerate() {
+            let node = &w.nodes[k];
+            let expected: Vec<Src> = i
+                .src_regs()
+                .iter()
+                .map(|r| match last_writer[r.0 as usize] {
+                    Some(p) => Src::Node(p),
+                    None => Src::Reg(r.0),
+                })
+                .collect();
+            prop_assert_eq!(&node.srcs, &expected, "operand edges of node {}", k);
+            let deps = expected
+                .iter()
+                .filter_map(|s| match s {
+                    Src::Node(p) => Some(1u64 << p),
+                    _ => None,
+                })
+                .fold(0u64, |m, b| m | b);
+            prop_assert_eq!(node.deps, deps);
+            let defs = i.dest_reg().map(|r| 1u16 << r.0).unwrap_or(0);
+            prop_assert_eq!(node.defs, defs);
+            if let Some(rd) = i.dest_reg() {
+                last_writer[rd.0 as usize] = Some(k);
+            }
+        }
+    }
+}

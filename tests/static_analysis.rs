@@ -133,6 +133,46 @@ fn cfg04_unreachable_code_warns() {
     assert!(!has_errors(&diags));
 }
 
+#[test]
+fn cfg07_unreachable_basic_block() {
+    // An unconditional jump over two instructions leaves a whole
+    // leader-delimited block dead; CFG07 reports it once, at the leader,
+    // alongside the per-instruction CFG04 findings.
+    let mut b = ProgramBuilder::new();
+    b.j("end").movi(A1, 1).movi(A2, 2).label("end").halt();
+    let p = b.build().unwrap();
+    let leader_pc = p.addr_of(1);
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert_fires(&diags, RuleId::UnreachableBlock, leader_pc);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.rule == RuleId::UnreachableBlock)
+            .count(),
+        1,
+        "one finding per dead block, not per instruction: {diags:#?}"
+    );
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn cfg07_partially_live_block_is_quiet() {
+    // A conditional branch target block is reachable on the fall-through
+    // path: no block-level finding.
+    let mut b = ProgramBuilder::new();
+    b.beqz(A0, "skip")
+        .movi(A1, 1)
+        .label("skip")
+        .movi(A2, 2)
+        .halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba1Lsu);
+    assert!(
+        !diags.iter().any(|d| d.rule == RuleId::UnreachableBlock),
+        "every block is reachable: {diags:#?}"
+    );
+}
+
 // ---- DF family ------------------------------------------------------------
 
 #[test]
@@ -185,6 +225,42 @@ fn df_init_clears_state_warnings() {
     assert!(
         !diags.iter().any(|d| d.rule == RuleId::StateUseBeforeInit),
         "INIT must satisfy state initialization: {diags:#?}"
+    );
+}
+
+#[test]
+fn df10_state_parameter_written_but_never_read() {
+    // `db.wur.ptra` loads the stream-A pointer, but no stream op ever
+    // consumes it before the kernel exits: the configuration is dead.
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0))
+        .movi(A1, dbasip::cpu::DMEM0_BASE as i32)
+        .inst(ext_op(opcodes::WUR_PTR_A, 0, 1))
+        .halt();
+    let p = b.build().unwrap();
+    let wur_pc = p.addr_of(2);
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert_fires(&diags, RuleId::StateDeadWrite, wur_pc);
+    assert!(!has_errors(&diags), "a dead parameter store is a warning");
+}
+
+#[test]
+fn df10_consumed_parameter_is_quiet() {
+    // The same pointer setup followed by a stream load that reads it —
+    // and the stream-op family itself (LD_A leaves `ld_a` set at exit,
+    // which is idiomatic, not dead) — must stay silent.
+    let mut b = ProgramBuilder::new();
+    b.inst(ext_op(opcodes::INIT, 0, 0))
+        .movi(A1, dbasip::cpu::DMEM0_BASE as i32)
+        .inst(ext_op(opcodes::WUR_PTR_A, 0, 1))
+        .inst(ext_op(opcodes::WUR_END_A, 0, 1))
+        .inst(ext_op(opcodes::LD_A, 0, 0))
+        .halt();
+    let p = b.build().unwrap();
+    let diags = run(&p, ProcModel::Dba1LsuEis { partial: true });
+    assert!(
+        !diags.iter().any(|d| d.rule == RuleId::StateDeadWrite),
+        "consumed parameters must not flag DF10: {diags:#?}"
     );
 }
 
@@ -307,6 +383,7 @@ fn bnd05_slot_ineligible_ext_op() {
                 states_written: &[],
                 states_read: &[],
                 slot_ok: false,
+                latency: 1,
             })
         }
         fn execute(&mut self, _: &[(u16, OpArgs)], _: &mut TieCtx<'_>) -> Result<u32, SimError> {
