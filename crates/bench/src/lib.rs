@@ -20,6 +20,8 @@
 //! regression-gated `BENCH_perf.json` snapshot.
 
 pub mod perf;
+pub mod serve;
+pub mod stats;
 pub mod suite;
 
 /// Shared bench workload seed.

@@ -1,0 +1,391 @@
+//! The machine-readable serving snapshot (`BENCH_serve.json`).
+//!
+//! `repro serve` drives a deterministic workload through the durable
+//! [`dbx_query::QueryService`] and summarizes the run here: sustained
+//! throughput (queries per second at the synthesis model's fMAX) plus
+//! the p50/p99 request latencies in **simulated cycles** and the
+//! admission counters. Like `BENCH_perf.json`, every number in the body
+//! derives from simulated cycles and deterministic constants, so the
+//! committed file is bit-identical across machines and CI diffs it
+//! against the baseline with [`ServeSnapshot::diff`], failing on any
+//! cycle regression beyond [`REGRESSION_THRESHOLD`].
+//!
+//! Latency percentiles come from the hardened [`crate::stats`] helpers
+//! (nearest-rank, `None` on empty), so a degenerate run serializes as
+//! explicit zeros instead of panicking.
+
+use crate::perf::q6;
+pub use crate::perf::REGRESSION_THRESHOLD;
+use crate::stats;
+use dbx_observe::json::{Json, JsonError};
+use std::fmt;
+
+/// Schema tag written into every serve snapshot.
+pub const SCHEMA: &str = "dbx-bench/serve/v1";
+
+/// One serving run: counters plus cycle-domain latency statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeSnapshot {
+    /// Workload scale (`1.0` = the committed baseline's size).
+    pub scale: f64,
+    /// Processor model serving the queries (`ProcModel::name`).
+    pub model: String,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Retries performed after retryable failures.
+    pub retried: u64,
+    /// Requests that completed successfully.
+    pub succeeded: u64,
+    /// Requests that failed (including shed ones).
+    pub failed: u64,
+    /// Cycles from first arrival to last completion.
+    pub span_cycles: u64,
+    /// Median successful-request latency, cycles (0 if none succeeded).
+    pub p50_cycles: u64,
+    /// 99th-percentile successful-request latency, cycles.
+    pub p99_cycles: u64,
+    /// The model's fMAX used for the throughput, MHz.
+    pub fmax_mhz: f64,
+    /// Sustained throughput: successful queries per second at `fmax_mhz`.
+    pub qps: f64,
+}
+
+impl ServeSnapshot {
+    /// Builds the snapshot from raw per-request latencies (cycles of the
+    /// successful requests) and counters. Percentiles and throughput are
+    /// derived here so every constructor applies the same quantization.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_latencies(
+        scale: f64,
+        model: &str,
+        fmax_mhz: f64,
+        latencies: &[u64],
+        counters: ServeCounters,
+        span_cycles: u64,
+    ) -> ServeSnapshot {
+        let qps = if span_cycles == 0 {
+            0.0
+        } else {
+            counters.succeeded as f64 * fmax_mhz * 1.0e6 / span_cycles as f64
+        };
+        ServeSnapshot {
+            scale,
+            model: model.to_string(),
+            requests: counters.requests,
+            admitted: counters.admitted,
+            shed: counters.shed,
+            retried: counters.retried,
+            succeeded: counters.succeeded,
+            failed: counters.failed,
+            span_cycles,
+            p50_cycles: stats::median(latencies).unwrap_or(0),
+            p99_cycles: stats::p99(latencies).unwrap_or(0),
+            fmax_mhz: q6(fmax_mhz),
+            qps: q6(qps),
+        }
+    }
+
+    /// Serializes as stable JSON (field order fixed).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("scale", Json::Num(self.scale)),
+            ("model", Json::Str(self.model.clone())),
+            ("requests", Json::Num(self.requests as f64)),
+            ("admitted", Json::Num(self.admitted as f64)),
+            ("shed", Json::Num(self.shed as f64)),
+            ("retried", Json::Num(self.retried as f64)),
+            ("succeeded", Json::Num(self.succeeded as f64)),
+            ("failed", Json::Num(self.failed as f64)),
+            ("span_cycles", Json::Num(self.span_cycles as f64)),
+            ("p50_cycles", Json::Num(self.p50_cycles as f64)),
+            ("p99_cycles", Json::Num(self.p99_cycles as f64)),
+            ("fmax_mhz", Json::Num(self.fmax_mhz)),
+            ("qps", Json::Num(self.qps)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a snapshot, checking the schema tag.
+    pub fn from_json(text: &str) -> Result<ServeSnapshot, ServeError> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => {
+                return Err(ServeError::Malformed(format!(
+                    "schema {other:?}, expected {SCHEMA:?}"
+                )))
+            }
+            None => return Err(ServeError::Malformed("missing schema tag".into())),
+        }
+        let num = |key: &str| -> Result<f64, ServeError> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ServeError::Malformed(format!("missing number {key:?}")))
+        };
+        let model = doc
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::Malformed("missing model".into()))?
+            .to_string();
+        Ok(ServeSnapshot {
+            scale: num("scale")?,
+            model,
+            requests: num("requests")? as u64,
+            admitted: num("admitted")? as u64,
+            shed: num("shed")? as u64,
+            retried: num("retried")? as u64,
+            succeeded: num("succeeded")? as u64,
+            failed: num("failed")? as u64,
+            span_cycles: num("span_cycles")? as u64,
+            p50_cycles: num("p50_cycles")? as u64,
+            p99_cycles: num("p99_cycles")? as u64,
+            fmax_mhz: num("fmax_mhz")?,
+            qps: num("qps")?,
+        })
+    }
+
+    /// Compares `self` (the current run) against a baseline. The scale
+    /// and the admission counters must match exactly — a count drift
+    /// means the service *behaved* differently, which is a failure on
+    /// its own, not a latency regression. Returns one [`MetricDiff`]
+    /// per latency metric.
+    pub fn diff(&self, baseline: &ServeSnapshot) -> Result<Vec<MetricDiff>, ServeError> {
+        if self.scale != baseline.scale {
+            return Err(ServeError::ScaleMismatch {
+                baseline: baseline.scale,
+                current: self.scale,
+            });
+        }
+        let counters = [
+            ("requests", baseline.requests, self.requests),
+            ("admitted", baseline.admitted, self.admitted),
+            ("shed", baseline.shed, self.shed),
+            ("retried", baseline.retried, self.retried),
+            ("succeeded", baseline.succeeded, self.succeeded),
+            ("failed", baseline.failed, self.failed),
+        ];
+        for (name, base, cur) in counters {
+            if base != cur {
+                return Err(ServeError::CounterDrift {
+                    counter: name,
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+        let metrics = [
+            ("p50_cycles", baseline.p50_cycles, self.p50_cycles),
+            ("p99_cycles", baseline.p99_cycles, self.p99_cycles),
+            ("span_cycles", baseline.span_cycles, self.span_cycles),
+        ];
+        Ok(metrics
+            .into_iter()
+            .map(|(metric, base, cur)| {
+                let delta = if base == 0 {
+                    0.0
+                } else {
+                    (cur as f64 - base as f64) / base as f64
+                };
+                MetricDiff {
+                    metric,
+                    baseline: base,
+                    current: cur,
+                    delta,
+                    regression: delta > REGRESSION_THRESHOLD,
+                }
+            })
+            .collect())
+    }
+}
+
+/// Raw admission counters fed into [`ServeSnapshot::from_latencies`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Retries performed.
+    pub retried: u64,
+    /// Requests that succeeded.
+    pub succeeded: u64,
+    /// Requests that failed.
+    pub failed: u64,
+}
+
+/// How one latency metric moved relative to the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Metric name (`p50_cycles`, `p99_cycles`, `span_cycles`).
+    pub metric: &'static str,
+    /// Baseline cycles.
+    pub baseline: u64,
+    /// Current cycles.
+    pub current: u64,
+    /// Relative change.
+    pub delta: f64,
+    /// Whether the change exceeds [`REGRESSION_THRESHOLD`].
+    pub regression: bool,
+}
+
+/// Serve snapshot load/compare failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The document did not parse as JSON.
+    Parse(JsonError),
+    /// Parsed, but is not a snapshot of the expected schema.
+    Malformed(String),
+    /// Baseline and current run used different workload scales.
+    ScaleMismatch {
+        /// Scale recorded in the baseline.
+        baseline: f64,
+        /// Scale of the current run.
+        current: f64,
+    },
+    /// An admission counter changed — the service behaved differently,
+    /// which no latency threshold excuses.
+    CounterDrift {
+        /// Which counter drifted.
+        counter: &'static str,
+        /// Baseline value.
+        baseline: u64,
+        /// Current value.
+        current: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "serve snapshot parse failure: {e}"),
+            ServeError::Malformed(m) => write!(f, "malformed serve snapshot: {m}"),
+            ServeError::ScaleMismatch { baseline, current } => write!(
+                f,
+                "baseline ran at scale {baseline}, current at {current} — not comparable"
+            ),
+            ServeError::CounterDrift {
+                counter,
+                baseline,
+                current,
+            } => write!(
+                f,
+                "counter {counter:?} drifted: baseline {baseline}, current {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<JsonError> for ServeError {
+    fn from(e: JsonError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> ServeCounters {
+        ServeCounters {
+            requests: 48,
+            admitted: 44,
+            shed: 4,
+            retried: 2,
+            succeeded: 43,
+            failed: 5,
+        }
+    }
+
+    fn snap(p50: u64, p99: u64, span: u64) -> ServeSnapshot {
+        let lat: Vec<u64> = vec![p50; 98].into_iter().chain([p99, p99]).collect();
+        ServeSnapshot::from_latencies(1.0, "DBA 2-LSU EIS", 410.0, &lat, counters(), span)
+    }
+
+    #[test]
+    fn json_roundtrip_is_stable() {
+        let s = snap(12_000, 48_000, 900_000);
+        let text = s.to_json();
+        let back = ServeSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+        assert_eq!(back.p50_cycles, 12_000);
+        assert_eq!(back.p99_cycles, 48_000);
+        // qps = succeeded * fmax / span, quantized.
+        assert_eq!(back.qps, q6(43.0 * 410.0e6 / 900_000.0));
+    }
+
+    #[test]
+    fn empty_latency_sets_serialize_as_zeros() {
+        let s = ServeSnapshot::from_latencies(
+            1.0,
+            "DBA 2-LSU EIS",
+            410.0,
+            &[],
+            ServeCounters::default(),
+            0,
+        );
+        assert_eq!(s.p50_cycles, 0);
+        assert_eq!(s.p99_cycles, 0);
+        assert_eq!(s.qps, 0.0);
+        let back = ServeSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn schema_is_enforced() {
+        assert!(matches!(
+            ServeSnapshot::from_json("{\"scale\": 1.0}"),
+            Err(ServeError::Malformed(_))
+        ));
+        assert!(matches!(
+            ServeSnapshot::from_json("{\"schema\": \"dbx-bench/perf/v1\"}"),
+            Err(ServeError::Malformed(_))
+        ));
+        assert!(matches!(
+            ServeSnapshot::from_json("nope"),
+            Err(ServeError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_beyond_threshold() {
+        let baseline = snap(10_000, 40_000, 800_000);
+        // +2% p50 (fine), +4% p99 (regression), improved span (fine).
+        let current = snap(10_200, 41_600, 780_000);
+        let diffs = current.diff(&baseline).unwrap();
+        assert_eq!(diffs.len(), 3);
+        assert!(!diffs[0].regression, "{diffs:?}");
+        assert!(diffs[1].regression, "{diffs:?}");
+        assert!(!diffs[2].regression, "{diffs:?}");
+        assert!((diffs[1].delta - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_drift_is_an_error_not_a_latency_delta() {
+        let baseline = snap(10_000, 40_000, 800_000);
+        let mut current = snap(10_000, 40_000, 800_000);
+        current.shed += 1;
+        assert!(matches!(
+            current.diff(&baseline),
+            Err(ServeError::CounterDrift {
+                counter: "shed",
+                ..
+            })
+        ));
+        let mut rescaled = snap(10_000, 40_000, 800_000);
+        rescaled.scale = 0.5;
+        assert!(matches!(
+            rescaled.diff(&baseline),
+            Err(ServeError::ScaleMismatch { .. })
+        ));
+    }
+}

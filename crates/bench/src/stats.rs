@@ -1,0 +1,97 @@
+//! Hardened sample-statistics helpers shared by the bench snapshots and
+//! the harness's host-timing medians.
+//!
+//! Every helper is total: an empty sample set yields `None` instead of
+//! panicking on an out-of-bounds index (the former ad-hoc
+//! `times[reps / 2]` pattern). Percentiles use the *nearest-rank*
+//! definition on the sorted samples — `percentile(s, p)` is the smallest
+//! sample such that at least `p` percent of the set is `<=` it — so a
+//! percentile of an integer sample set is always an actual sample, never
+//! an interpolated value. That keeps cycle-domain snapshots exact and
+//! bit-identical across hosts.
+
+/// Nearest-rank percentile of an unsorted sample set. `p` is clamped to
+/// `[0, 100]`; `None` iff `samples` is empty. For float samples, NaN
+/// values sort as equal to everything (don't feed NaNs).
+pub fn percentile<T: Copy + PartialOrd>(samples: &[T], p: f64) -> Option<T> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    // Nearest rank: ceil(p/100 * n), 1-based; rank 0 (p = 0) maps to the
+    // minimum.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1)])
+}
+
+/// The 50th percentile (nearest-rank, so for an even count this is the
+/// lower-middle sample, not an interpolation). `None` iff empty.
+pub fn median<T: Copy + PartialOrd>(samples: &[T]) -> Option<T> {
+    percentile(samples, 50.0)
+}
+
+/// The 99th percentile. `None` iff empty.
+pub fn p99<T: Copy + PartialOrd>(samples: &[T]) -> Option<T> {
+    percentile(samples, 99.0)
+}
+
+/// Arithmetic mean. `None` iff empty.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_sets_yield_none_not_panics() {
+        assert_eq!(percentile::<u64>(&[], 50.0), None);
+        assert_eq!(median::<u64>(&[]), None);
+        assert_eq!(p99::<f64>(&[]), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_definition() {
+        // The classic nearest-rank example set.
+        let s = [15u64, 20, 35, 40, 50];
+        assert_eq!(percentile(&s, 30.0), Some(20));
+        assert_eq!(percentile(&s, 40.0), Some(20));
+        assert_eq!(percentile(&s, 50.0), Some(35));
+        assert_eq!(percentile(&s, 100.0), Some(50));
+        assert_eq!(percentile(&s, 0.0), Some(15));
+        // Out-of-range p clamps instead of indexing out of bounds.
+        assert_eq!(percentile(&s, 250.0), Some(50));
+        assert_eq!(percentile(&s, -10.0), Some(15));
+    }
+
+    #[test]
+    fn singletons_and_unsorted_inputs_work() {
+        assert_eq!(median(&[42u64]), Some(42));
+        assert_eq!(p99(&[42u64]), Some(42));
+        let shuffled = [9u64, 1, 5, 3, 7];
+        assert_eq!(median(&shuffled), Some(5));
+        assert_eq!(percentile(&shuffled, 100.0), Some(9));
+    }
+
+    #[test]
+    fn p99_is_the_tail_sample_on_round_sets() {
+        // 100 samples 1..=100: the 99th percentile is sample 99.
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(p99(&s), Some(99));
+        assert_eq!(median(&s), Some(50));
+    }
+
+    #[test]
+    fn float_samples_take_the_same_path() {
+        let times = [0.004f64, 0.002, 0.003];
+        assert_eq!(median(&times), Some(0.003));
+        assert!((mean(&times).unwrap() - 0.003).abs() < 1e-12);
+    }
+}

@@ -237,7 +237,8 @@ fn run_core_shards(
     }
     let observed = opts.observer.is_enabled();
     let fault_plan = &opts.fault_plan;
-    let (protection, policy, watchdog) = (opts.protection, opts.policy, opts.watchdog);
+    let (protection, policy, watchdog, deadline) =
+        (opts.protection, opts.policy, opts.watchdog, opts.deadline);
     let force_precise = opts.force_precise;
     run_indexed(opts.sched, parts.len(), move |idx| {
         let (ra, rb) = parts[idx].clone();
@@ -253,6 +254,7 @@ fn run_core_shards(
             fault_plan: if idx == 0 { fault_plan.clone() } else { None },
             policy,
             watchdog,
+            deadline,
             observer,
             force_precise,
             sched: HostSched::Sequential,

@@ -118,6 +118,12 @@ pub struct RunOptions {
     /// roughly an order of magnitude slower, so the accelerated budget
     /// would trip spuriously.
     pub watchdog: Option<u64>,
+    /// Remaining cycle budget of the enclosing query deadline (`None`
+    /// means no deadline). Kernels arm their watchdog with
+    /// `min(watchdog, deadline)` so a runaway attempt cannot outlive
+    /// the query budget; the serving layer converts the resulting
+    /// watchdog fault into a typed deadline error.
+    pub deadline: Option<u64>,
     /// Observability sink. Disabled by default; when enabled, every
     /// attempt emits a cycle-domain span (successful attempts as `kernel`
     /// spans with profile-region children, faulted attempts as `fault`
@@ -136,6 +142,17 @@ pub struct RunOptions {
     /// fault counters, and observe traces are bit-identical to
     /// [`crate::sched::HostSched::Sequential`].
     pub sched: crate::sched::HostSched,
+}
+
+impl RunOptions {
+    /// The watchdog budget an attempt actually runs under: the tighter
+    /// of the per-attempt watchdog and the query deadline budget.
+    pub fn effective_watchdog(&self) -> Option<u64> {
+        match (self.watchdog, self.deadline) {
+            (Some(w), Some(d)) => Some(w.min(d)),
+            (w, d) => w.or(d),
+        }
+    }
 }
 
 /// Outcome of a simulated kernel run.
@@ -401,7 +418,7 @@ pub fn run_set_op_with(
                 p.set_fault_plan(plan.clone());
             }
         }
-        p.set_watchdog(opts.watchdog);
+        p.set_watchdog(opts.effective_watchdog());
         p.set_force_precise(opts.force_precise);
         match p.run(MAX_CYCLES) {
             Ok(stats) => {
@@ -570,7 +587,7 @@ pub fn run_sort_with(
                 p.set_fault_plan(plan.clone());
             }
         }
-        p.set_watchdog(opts.watchdog);
+        p.set_watchdog(opts.effective_watchdog());
         p.set_force_precise(opts.force_precise);
         match p.run(MAX_CYCLES) {
             Ok(stats) => {
@@ -869,6 +886,49 @@ mod tests {
             r.recovered_fault.as_ref().map(|mf| &mf.cause),
             Some(dbx_cpu::FaultCause::Watchdog { budget: 10 })
         ));
+    }
+
+    #[test]
+    fn effective_watchdog_takes_the_tighter_budget() {
+        let mk = |watchdog, deadline| RunOptions {
+            watchdog,
+            deadline,
+            ..Default::default()
+        };
+        assert_eq!(mk(None, None).effective_watchdog(), None);
+        assert_eq!(mk(Some(100), None).effective_watchdog(), Some(100));
+        assert_eq!(mk(None, Some(50)).effective_watchdog(), Some(50));
+        assert_eq!(mk(Some(100), Some(50)).effective_watchdog(), Some(50));
+        assert_eq!(mk(Some(30), Some(50)).effective_watchdog(), Some(30));
+    }
+
+    #[test]
+    fn an_exhausted_deadline_trips_the_watchdog() {
+        // A 10-cycle deadline budget, no explicit watchdog: the kernel
+        // must fault with a watchdog trip at the deadline budget.
+        let a = evens(300);
+        let b = thirds(300);
+        let opts = RunOptions {
+            deadline: Some(10),
+            ..Default::default()
+        };
+        let err = run_set_op_with(
+            ProcModel::Dba1LsuEis { partial: false },
+            SetOpKind::Union,
+            &a,
+            &b,
+            &opts,
+        )
+        .unwrap_err();
+        match err {
+            SimError::Fault(mf) => {
+                assert!(matches!(
+                    mf.cause,
+                    dbx_cpu::FaultCause::Watchdog { budget: 10 }
+                ))
+            }
+            other => panic!("expected a watchdog fault, got {other:?}"),
+        }
     }
 
     #[test]

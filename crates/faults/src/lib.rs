@@ -18,12 +18,18 @@
 //! * [`ecc`] — the parity and Hamming SECDED(39,32) codecs themselves.
 //! * [`FaultCounters`] — corrected/detected/escaped accounting that the
 //!   CPU surfaces through its run statistics.
+//! * [`storage`] — the durable-storage fault vocabulary (torn writes,
+//!   WAL bit flips, dropped fsyncs, truncated snapshots) consumed by
+//!   `dbx-storage`'s crash-recovery campaigns.
 //!
 //! The crate is dependency-free and sits below `dbx-mem` in the workspace
 //! graph so memories, CPU, kernels and the query engine can all share the
 //! same vocabulary.
 
 pub mod ecc;
+pub mod storage;
+
+pub use storage::{StorageFaultEvent, StorageFaultKind, StorageFaultPlan, StorageFileClass};
 
 /// A small xorshift64* PRNG: deterministic, seedable, no external state.
 ///

@@ -1,0 +1,284 @@
+//! Deterministic fault model for *durable storage* — the WAL and
+//! snapshot files behind the query service.
+//!
+//! The in-core fault vocabulary ([`crate::FaultPlan`]) strikes SRAM
+//! words at chosen cycles; storage faults instead strike **I/O
+//! operations**: the n-th write or fsync a storage backend performs
+//! against a file class. That is the right clock for durability bugs —
+//! a torn write is "the crash happened k bytes into this write", not
+//! "at cycle c" — and it keeps campaigns replayable: the same plan
+//! against the same operation sequence always corrupts the same bytes.
+//!
+//! The kinds mirror the classic crash-consistency literature:
+//!
+//! * [`StorageFaultKind::TornWrite`] — only the first `keep_bytes` of
+//!   one write reach the medium (power loss mid-write).
+//! * [`StorageFaultKind::BitFlip`] — one bit of the written buffer
+//!   inverts on its way to the medium (firmware/bus corruption).
+//! * [`StorageFaultKind::DroppedFsync`] — the fsync reports success but
+//!   durabilizes nothing (volatile write cache, lying disk).
+//! * [`StorageFaultKind::Truncate`] — the file's durable image is cut
+//!   to `keep_bytes` (lost tail after metadata-only journaling), the
+//!   canonical "truncated snapshot" injection.
+//!
+//! `dbx-storage`'s `MemDisk` consumes these plans; the crash-recovery
+//! campaigns derive them from seeds exactly like
+//! [`FaultPlan::seeded_dmem_flips`](crate::FaultPlan::seeded_dmem_flips).
+
+use crate::XorShift64;
+
+/// Which file class an event strikes (backends tag each file they open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFileClass {
+    /// A write-ahead-log segment.
+    Wal,
+    /// A table snapshot image.
+    Snapshot,
+}
+
+impl StorageFileClass {
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageFileClass::Wal => "wal",
+            StorageFileClass::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// What goes wrong with the targeted I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// Only the first `keep_bytes` of the targeted *write* land; the
+    /// rest of the buffer is lost (crash mid-write).
+    TornWrite {
+        /// Bytes of the write that reach the medium.
+        keep_bytes: usize,
+    },
+    /// One bit of the targeted *write*'s buffer inverts.
+    BitFlip {
+        /// Byte offset within the written buffer (reduced modulo the
+        /// buffer length at injection time).
+        byte: usize,
+        /// Bit index within that byte (`0..8`).
+        bit: u8,
+    },
+    /// The targeted *fsync* succeeds from the caller's point of view
+    /// but makes nothing durable.
+    DroppedFsync,
+    /// The file's durable image is truncated to `keep_bytes` at the
+    /// targeted *fsync* (tail loss despite the sync).
+    Truncate {
+        /// Durable bytes that survive.
+        keep_bytes: usize,
+    },
+}
+
+/// One scheduled storage fault: strike the `io_index`-th write-or-fsync
+/// issued against files of `class` (a single shared per-class counter,
+/// starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFaultEvent {
+    /// File class targeted.
+    pub class: StorageFileClass,
+    /// Which I/O operation against that class (0-based, counting writes
+    /// and fsyncs together in issue order).
+    pub io_index: u64,
+    /// The corruption applied.
+    pub kind: StorageFaultKind,
+}
+
+impl StorageFaultEvent {
+    /// `"wal io 3: torn write keeping 17 bytes"`-style description.
+    pub fn describe(&self) -> String {
+        let what = match self.kind {
+            StorageFaultKind::TornWrite { keep_bytes } => {
+                format!("torn write keeping {keep_bytes} bytes")
+            }
+            StorageFaultKind::BitFlip { byte, bit } => {
+                format!("flip byte {byte} bit {bit}")
+            }
+            StorageFaultKind::DroppedFsync => "dropped fsync".to_string(),
+            StorageFaultKind::Truncate { keep_bytes } => {
+                format!("truncate to {keep_bytes} bytes")
+            }
+        };
+        format!("{} io {}: {}", self.class.name(), self.io_index, what)
+    }
+}
+
+/// A deterministic storage-fault campaign: events consumed as the
+/// backend's per-class I/O counters pass them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageFaultPlan {
+    events: Vec<StorageFaultEvent>,
+}
+
+impl StorageFaultPlan {
+    /// Empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[StorageFaultEvent] {
+        &self.events
+    }
+
+    /// Adds one event (builder style).
+    pub fn with(mut self, ev: StorageFaultEvent) -> Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Adds a torn write against the `io_index`-th WAL operation.
+    pub fn with_torn_wal_write(self, io_index: u64, keep_bytes: usize) -> Self {
+        self.with(StorageFaultEvent {
+            class: StorageFileClass::Wal,
+            io_index,
+            kind: StorageFaultKind::TornWrite { keep_bytes },
+        })
+    }
+
+    /// Adds a bit flip inside the `io_index`-th WAL write's buffer.
+    pub fn with_wal_bit_flip(self, io_index: u64, byte: usize, bit: u8) -> Self {
+        self.with(StorageFaultEvent {
+            class: StorageFileClass::Wal,
+            io_index,
+            kind: StorageFaultKind::BitFlip { byte, bit },
+        })
+    }
+
+    /// Adds a dropped fsync against the `io_index`-th WAL operation.
+    pub fn with_dropped_wal_fsync(self, io_index: u64) -> Self {
+        self.with(StorageFaultEvent {
+            class: StorageFileClass::Wal,
+            io_index,
+            kind: StorageFaultKind::DroppedFsync,
+        })
+    }
+
+    /// Adds a snapshot truncation at the `io_index`-th snapshot
+    /// operation.
+    pub fn with_truncated_snapshot(self, io_index: u64, keep_bytes: usize) -> Self {
+        self.with(StorageFaultEvent {
+            class: StorageFileClass::Snapshot,
+            io_index,
+            kind: StorageFaultKind::Truncate { keep_bytes },
+        })
+    }
+
+    /// Takes the event (if any) due for the `io_index`-th operation on
+    /// `class`, consuming it.
+    pub fn take_due(
+        &mut self,
+        class: StorageFileClass,
+        io_index: u64,
+    ) -> Option<StorageFaultEvent> {
+        let at = self
+            .events
+            .iter()
+            .position(|e| e.class == class && e.io_index == io_index)?;
+        Some(self.events.remove(at))
+    }
+
+    /// Derives a campaign of `n` events from a seed: each event picks a
+    /// class (biased 3:1 towards the WAL — that is where most I/O
+    /// happens), an operation index in `0..io_space`, and one of the
+    /// four kinds with byte offsets in `0..byte_space`. Deterministic
+    /// in `seed`.
+    pub fn seeded(seed: u64, n: usize, io_space: u64, byte_space: usize) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let mut plan = StorageFaultPlan::new();
+        for _ in 0..n {
+            let class = if rng.below(4) < 3 {
+                StorageFileClass::Wal
+            } else {
+                StorageFileClass::Snapshot
+            };
+            let io_index = rng.below(io_space.max(1));
+            let kind = match rng.below(4) {
+                0 => StorageFaultKind::TornWrite {
+                    keep_bytes: rng.below(byte_space.max(1) as u64) as usize,
+                },
+                1 => StorageFaultKind::BitFlip {
+                    byte: rng.below(byte_space.max(1) as u64) as usize,
+                    bit: rng.below(8) as u8,
+                },
+                2 => StorageFaultKind::DroppedFsync,
+                _ => StorageFaultKind::Truncate {
+                    keep_bytes: rng.below(byte_space.max(1) as u64) as usize,
+                },
+            };
+            plan = plan.with(StorageFaultEvent {
+                class,
+                io_index,
+                kind,
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_due_matches_class_and_index() {
+        let mut plan = StorageFaultPlan::new()
+            .with_torn_wal_write(3, 10)
+            .with_truncated_snapshot(3, 4);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.take_due(StorageFileClass::Wal, 2).is_none());
+        let ev = plan.take_due(StorageFileClass::Wal, 3).unwrap();
+        assert_eq!(ev.kind, StorageFaultKind::TornWrite { keep_bytes: 10 });
+        // The snapshot event at the same index is untouched.
+        assert_eq!(plan.len(), 1);
+        let ev = plan.take_due(StorageFileClass::Snapshot, 3).unwrap();
+        assert_eq!(ev.kind, StorageFaultKind::Truncate { keep_bytes: 4 });
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        let a = StorageFaultPlan::seeded(0xBEEF, 16, 64, 256);
+        let b = StorageFaultPlan::seeded(0xBEEF, 16, 64, 256);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, StorageFaultPlan::seeded(0xF00D, 16, 64, 256));
+        for e in a.events() {
+            assert!(e.io_index < 64);
+            match e.kind {
+                StorageFaultKind::TornWrite { keep_bytes }
+                | StorageFaultKind::Truncate { keep_bytes } => assert!(keep_bytes < 256),
+                StorageFaultKind::BitFlip { byte, bit } => {
+                    assert!(byte < 256);
+                    assert!(bit < 8);
+                }
+                StorageFaultKind::DroppedFsync => {}
+            }
+        }
+    }
+
+    #[test]
+    fn descriptions_name_the_class_and_kind() {
+        let ev = StorageFaultEvent {
+            class: StorageFileClass::Wal,
+            io_index: 7,
+            kind: StorageFaultKind::DroppedFsync,
+        };
+        assert_eq!(ev.describe(), "wal io 7: dropped fsync");
+        assert_eq!(StorageFileClass::Snapshot.name(), "snapshot");
+    }
+}

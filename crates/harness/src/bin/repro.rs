@@ -16,6 +16,8 @@
 //! repro isa         instruction-set reference (generated from descriptors)
 //! repro observe     observability matrix: hotspots, Perfetto, benchmark snapshot
 //! repro bench       paper-figure perf suite: sweeps, ratios, BENCH_perf.json
+//! repro serve       durable query serving under admission control:
+//!                   qps + p50/p99 cycle latency, BENCH_serve.json
 //! repro dse         automatic ISA-extension mining (DFG enumeration +
 //!                   synth-priced Pareto search over the scalar kernels)
 //! repro all         everything above
@@ -44,6 +46,13 @@
 //!          --check <baseline>  diff against a committed BENCH_perf.json;
 //!                              exit 1 on any >3% cycle regression
 //!
+//! serve options:
+//!          --scale <f>         workload scale (default 1.0; overrides --quick)
+//!          --json              print the serve snapshot JSON
+//!          --check <baseline>  diff against a committed BENCH_serve.json;
+//!                              exit 1 on any >3% cycle regression or any
+//!                              admission-counter drift
+//!
 //! dse options:
 //!          --json              print the deterministic mining snapshot
 //!          --check <baseline>  gate against a committed DSE_baseline.json;
@@ -53,8 +62,8 @@
 //! ```
 
 use dbx_harness::{
-    bench, dse, energy, fig13, isa_ref, observe, pipeline, resilience, scaling, stream_exp, table2,
-    table3, table4, table5, table6, width_exp,
+    bench, dse, energy, fig13, isa_ref, observe, pipeline, resilience, scaling, serve, stream_exp,
+    table2, table3, table4, table5, table6, width_exp,
 };
 
 fn main() {
@@ -98,11 +107,12 @@ fn main() {
         "isa" => println!("{}", isa_ref::render()),
         "observe" => run_observe(&args, scale),
         "bench" => run_bench(&args, scale),
+        "serve" => run_serve(&args, scale),
         "dse" => run_dse(&args),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe bench dse all"
+                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe bench serve dse all"
             );
             std::process::exit(2);
         }
@@ -124,6 +134,7 @@ fn main() {
             "width",
             "observe",
             "bench",
+            "serve",
             "dse",
         ] {
             run_one(name);
@@ -172,6 +183,42 @@ fn run_observe(args: &[String], scale: f64) {
                 eprintln!("{}", observe::Observe::render_diff(&diffs));
                 if regressions > 0 {
                     eprintln!("{regressions} cell(s) regressed beyond the 3% threshold");
+                    std::process::exit(1);
+                }
+                eprintln!("no cycle regressions against {path}");
+            }
+            Err(e) => {
+                eprintln!("baseline comparison failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_serve(args: &[String], scale: f64) {
+    let scale = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(scale);
+    let s = serve::run(scale);
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", s.snapshot.to_json());
+    } else {
+        println!("{}", s.render());
+    }
+    if !s.recovery_ok() {
+        eprintln!("crash recovery diverged from the pre-crash serving state");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = flag_value(args, "--check") {
+        let baseline = std::fs::read_to_string(path).expect("read baseline snapshot");
+        match s.check(&baseline) {
+            Ok(diffs) => {
+                let regressions = diffs.iter().filter(|d| d.regression).count();
+                eprintln!("{}", serve::Serve::render_diff(&diffs));
+                if regressions > 0 {
+                    eprintln!("{regressions} metric(s) regressed beyond the 3% threshold");
                     std::process::exit(1);
                 }
                 eprintln!("no cycle regressions against {path}");

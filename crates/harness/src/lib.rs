@@ -17,6 +17,7 @@
 //! | [`bench`] | Section 6's figure sweeps as the regression-gated `BENCH_perf.json` suite |
 //! | [`dse`] | Automatic ISA-extension mining: DFG enumeration + synth-priced Pareto search |
 //! | [`width_exp`] | Section 2.2 — vector-width area/bandwidth tradeoff |
+//! | [`serve`] | Durable query serving under admission control: the regression-gated `BENCH_serve.json` benchmark |
 //! | [`pipeline`] | Section 4 — cycles/iteration vs unroll factor, theoretical peak |
 //!
 //! The `repro` binary drives them: `repro table2`, `repro all`, ...
@@ -34,6 +35,7 @@ pub mod pipeline;
 pub mod report;
 pub mod resilience;
 pub mod scaling;
+pub mod serve;
 pub mod stream_exp;
 pub mod table2;
 pub mod table3;

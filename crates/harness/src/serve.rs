@@ -1,0 +1,271 @@
+//! `repro serve` — the sustained-load serving benchmark
+//! (`BENCH_serve.json`).
+//!
+//! Drives a deterministic open-loop workload through the durable
+//! [`QueryService`]: a create, a stream of point/range queries and
+//! row appends against the `items` table, table churn on a scratch
+//! table, and one synchronized burst sized to overflow the admission
+//! queue (so shedding is exercised, not just configured). Everything —
+//! arrival times, request mix, service times, retries — lives in the
+//! simulated cycle domain, so the resulting [`ServeSnapshot`] is
+//! bit-identical on every host and CI gates it against the committed
+//! `BENCH_serve.json` exactly like `BENCH_perf.json`: >3% cycle
+//! regression on p50/p99/span fails, and *any* drift in the admission
+//! counters fails (the service behaved differently).
+//!
+//! After the measured run the harness crash-recovers the store from its
+//! WAL + snapshots and checks the recovered state digest — recovery is
+//! on the serving path, not just in the test suite. The recovery
+//! numbers are rendered for humans but kept out of the snapshot
+//! identity.
+
+use crate::{scaled, SEED};
+use dbx_bench::serve::{MetricDiff, ServeCounters, ServeError, ServeSnapshot};
+use dbx_core::ProcModel;
+use dbx_faults::XorShift64;
+use dbx_query::{Arrival, Predicate, QueryService, Request, ServiceConfig};
+use dbx_storage::{Columns, MemDisk};
+use dbx_synth::{fmax_mhz, Tech};
+
+/// The serving model (the paper's headline configuration).
+const MODEL: ProcModel = ProcModel::Dba2LsuEis { partial: true };
+
+/// Admission queue capacity of the benchmark service.
+const QUEUE_CAP: usize = 8;
+
+/// The serving-benchmark result.
+#[derive(Debug)]
+pub struct Serve {
+    /// The machine-readable snapshot (what `BENCH_serve.json` holds).
+    pub snapshot: ServeSnapshot,
+    /// State digest after the measured run.
+    pub digest: u32,
+    /// State digest after crash + recovery (must equal `digest`).
+    pub recovered_digest: u32,
+    /// WAL frames replayed by the post-run recovery.
+    pub frames_replayed: u64,
+    /// Snapshot LSN the post-run recovery started from.
+    pub snapshot_lsn: u64,
+}
+
+/// Builds the deterministic serving workload at a scale.
+fn workload(scale: f64) -> Vec<Arrival> {
+    let n = scaled(48, scale);
+    let burst_at = n / 2;
+    let burst_len = (QUEUE_CAP + 6).min(n);
+    let mut rng = XorShift64::new(SEED | 1);
+    let mut scratch_exists = false;
+    let mut out = Vec::with_capacity(n + burst_len + 1);
+    out.push(Arrival {
+        at: 0,
+        request: Request::Create {
+            table: "items".into(),
+            columns: seed_columns(scaled(192, scale), &mut rng),
+        },
+    });
+    let push = |at: u64, rng: &mut XorShift64, scratch_exists: &mut bool| {
+        let request = match rng.below(10) {
+            0..=3 => Request::Query {
+                table: "items".into(),
+                predicate: Predicate::eq("color", rng.below(6) as u32)
+                    .and(Predicate::eq("size", rng.below(4) as u32)),
+            },
+            4..=5 => Request::Query {
+                table: "items".into(),
+                predicate: Predicate::eq("color", rng.below(6) as u32)
+                    .or(Predicate::eq("color", rng.below(6) as u32)),
+            },
+            6..=8 => {
+                let k = 1 + rng.below(4) as usize;
+                Request::Append {
+                    table: "items".into(),
+                    rows: seed_columns(k, rng),
+                }
+            }
+            _ => {
+                if *scratch_exists {
+                    *scratch_exists = false;
+                    Request::Drop {
+                        table: "scratch".into(),
+                    }
+                } else {
+                    *scratch_exists = true;
+                    Request::Create {
+                        table: "scratch".into(),
+                        columns: seed_columns(4, rng),
+                    }
+                }
+            }
+        };
+        Arrival { at, request }
+    };
+    for i in 0..n {
+        let at = (i as u64 + 1) * 2_000;
+        out.push(push(at, &mut rng, &mut scratch_exists));
+        if i == burst_at {
+            // The overload burst: everything lands on the same cycle.
+            for _ in 0..burst_len {
+                out.push(push(at, &mut rng, &mut scratch_exists));
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic `color`/`size` columns of `rows` rows.
+fn seed_columns(rows: usize, rng: &mut XorShift64) -> Columns {
+    let color: Vec<u32> = (0..rows).map(|_| rng.below(6) as u32).collect();
+    let size: Vec<u32> = (0..rows).map(|_| rng.below(4) as u32).collect();
+    vec![("color".into(), color), ("size".into(), size)]
+}
+
+/// Runs the serving benchmark at a workload scale (`1.0` = the committed
+/// baseline's size).
+pub fn run(scale: f64) -> Serve {
+    let cfg = ServiceConfig {
+        queue_cap: QUEUE_CAP,
+        deadline: Some(5_000_000),
+        max_retries: 2,
+        backoff_base: 1_000,
+        snapshot_every: 8,
+        ..Default::default()
+    };
+    let mut service =
+        QueryService::open(MemDisk::new(), MODEL, cfg).expect("open serve benchmark store");
+    let workload = workload(scale);
+    let report = service.run(&workload);
+
+    let counters = ServeCounters {
+        requests: workload.len() as u64,
+        admitted: report.stats.admitted,
+        shed: report.stats.shed,
+        retried: report.stats.retried,
+        succeeded: report.stats.succeeded,
+        failed: report.stats.failed,
+    };
+    let fmax = fmax_mhz(MODEL, &Tech::tsmc65lp());
+    let snapshot = ServeSnapshot::from_latencies(
+        scale,
+        MODEL.name(),
+        fmax,
+        &report.latencies(),
+        counters,
+        report.stats.span_cycles,
+    );
+
+    // Crash-recover the store and prove the serving state survives: the
+    // recovered digest must match the pre-crash digest exactly.
+    let digest = service.store().state_digest();
+    let mut disk = service.into_store().into_disk();
+    disk.crash();
+    let recovered = dbx_storage::Store::open(disk, Default::default()).expect("recover store");
+    let recovery = recovered.recovery().clone();
+    Serve {
+        snapshot,
+        digest,
+        recovered_digest: recovered.state_digest(),
+        frames_replayed: recovery.frames_replayed,
+        snapshot_lsn: recovery.snapshot_lsn,
+    }
+}
+
+impl Serve {
+    /// The human report.
+    pub fn render(&self) -> String {
+        let s = &self.snapshot;
+        let mut out = format!(
+            "Serving benchmark — scale {} ({} requests, {} model)\n\n",
+            s.scale, s.requests, s.model
+        );
+        out.push_str(&format!(
+            "  admitted {}  shed {}  retried {}  succeeded {}  failed {}\n",
+            s.admitted, s.shed, s.retried, s.succeeded, s.failed
+        ));
+        out.push_str(&format!(
+            "  span {} cycles  p50 {} cycles  p99 {} cycles\n",
+            s.span_cycles, s.p50_cycles, s.p99_cycles
+        ));
+        out.push_str(&format!(
+            "  throughput {:.1} qps at {:.1} MHz\n\n",
+            s.qps, s.fmax_mhz
+        ));
+        out.push_str(&format!(
+            "Crash recovery: snapshot lsn {}, {} WAL frame(s) replayed, digest {:08x} {}\n",
+            self.snapshot_lsn,
+            self.frames_replayed,
+            self.recovered_digest,
+            if self.recovered_digest == self.digest {
+                "== pre-crash (ok)"
+            } else {
+                "!= pre-crash (MISMATCH)"
+            }
+        ));
+        out
+    }
+
+    /// Whether the post-run crash recovery reproduced the serving state.
+    pub fn recovery_ok(&self) -> bool {
+        self.recovered_digest == self.digest
+    }
+
+    /// Compares this run's snapshot against a committed baseline.
+    pub fn check(&self, baseline: &str) -> Result<Vec<MetricDiff>, ServeError> {
+        let base = ServeSnapshot::from_json(baseline)?;
+        self.snapshot.diff(&base)
+    }
+
+    /// Renders a `--check` diff, one line per latency metric.
+    pub fn render_diff(diffs: &[MetricDiff]) -> String {
+        let mut out = String::new();
+        for d in diffs {
+            out.push_str(&format!(
+                "  {:<12} baseline {:>10}  current {:>10}  {:+.2}%  {}\n",
+                d.metric,
+                d.baseline,
+                d.current,
+                100.0 * d.delta,
+                if d.regression { "REGRESSION" } else { "ok" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_serve_benchmark_is_deterministic() {
+        let a = run(0.25);
+        let b = run(0.25);
+        assert_eq!(a.snapshot, b.snapshot);
+        assert_eq!(a.snapshot.to_json(), b.snapshot.to_json());
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn the_burst_exercises_shedding_and_recovery_holds() {
+        let s = run(0.25);
+        assert!(s.snapshot.shed > 0, "the burst must overflow the queue");
+        assert!(s.snapshot.succeeded > 0);
+        assert!(s.snapshot.qps > 0.0);
+        assert!(s.snapshot.p99_cycles >= s.snapshot.p50_cycles);
+        assert!(s.recovery_ok(), "recovered digest diverged");
+        assert!(s.render().contains("ok"));
+    }
+
+    #[test]
+    fn self_check_is_clean_and_drift_fails() {
+        let s = run(0.25);
+        let diffs = s.check(&s.snapshot.to_json()).expect("self diff");
+        assert_eq!(diffs.len(), 3);
+        assert!(diffs.iter().all(|d| !d.regression && d.delta == 0.0));
+        let mut drifted = s.snapshot.clone();
+        drifted.shed += 1;
+        assert!(matches!(
+            s.check(&drifted.to_json()),
+            Err(ServeError::CounterDrift { .. })
+        ));
+    }
+}

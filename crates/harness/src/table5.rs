@@ -80,7 +80,7 @@ pub fn paper_platforms() -> (Platform, Platform) {
 /// Measures host throughput of a sort function, median of `reps`.
 fn host_sort_meps(n: usize, reps: usize, f: impl Fn(&mut [u32])) -> f64 {
     let data = sort_input(n, SortOrder::Random, SEED);
-    let mut times: Vec<f64> = (0..reps)
+    let times: Vec<f64> = (0..reps)
         .map(|_| {
             let mut v = data.clone();
             let t0 = Instant::now();
@@ -90,8 +90,8 @@ fn host_sort_meps(n: usize, reps: usize, f: impl Fn(&mut [u32])) -> f64 {
             dt
         })
         .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    n as f64 / times[reps / 2] / 1.0e6
+    let median = dbx_bench::stats::median(&times).expect("reps must be positive");
+    n as f64 / median / 1.0e6
 }
 
 /// Runs the comparison. `scale = 1.0` sorts 6500 elements on the ASIP and

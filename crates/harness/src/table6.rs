@@ -63,7 +63,7 @@ pub fn paper_platforms() -> (Platform, Platform) {
 /// over `l_a + l_b`.
 fn host_swset_meps(n: usize, reps: usize) -> f64 {
     let (a, b) = set_pair_with_selectivity(n, n, 0.5, SEED);
-    let mut times: Vec<f64> = (0..reps)
+    let times: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
             let out = dbx_x86ref::swset::intersect(&a, &b);
@@ -73,8 +73,8 @@ fn host_swset_meps(n: usize, reps: usize) -> f64 {
             dt
         })
         .collect();
-    times.sort_by(|x, y| x.total_cmp(y));
-    (2 * n) as f64 / times[reps / 2] / 1.0e6
+    let median = dbx_bench::stats::median(&times).expect("reps must be positive");
+    (2 * n) as f64 / median / 1.0e6
 }
 
 /// Runs the comparison. `scale = 1.0` intersects 2x2500 on the ASIP and

@@ -200,10 +200,11 @@ impl QueryEngine {
         let track = self.options.observer.track();
         let pending_plan = plan.take();
         let fault_plan = &pending_plan;
-        let (protection, policy, watchdog, force_precise) = (
+        let (protection, policy, watchdog, deadline, force_precise) = (
             self.options.protection,
             self.options.policy,
             self.options.watchdog,
+            self.options.deadline,
             self.options.force_precise,
         );
         let model = self.model;
@@ -220,6 +221,7 @@ impl QueryEngine {
                 fault_plan: if idx == 0 { fault_plan.clone() } else { None },
                 policy,
                 watchdog,
+                deadline,
                 observer,
                 sched: HostSched::Sequential,
                 force_precise,

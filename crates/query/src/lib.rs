@@ -28,8 +28,12 @@ pub mod engine;
 pub mod error;
 pub mod index;
 pub mod predicate;
+pub mod service;
 
 pub use engine::{QueryEngine, QueryOutput, SortedColumn};
 pub use error::QueryError;
 pub use index::{SecondaryIndex, Table};
 pub use predicate::Predicate;
+pub use service::{
+    Arrival, Completion, QueryService, Reply, Request, ServiceConfig, ServiceReport, ServiceStats,
+};

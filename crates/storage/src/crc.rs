@@ -1,0 +1,76 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the frame
+//! and snapshot checksum.
+//!
+//! Hand-rolled table-driven implementation: the workspace builds offline
+//! and the checksum must be bit-identical on every host, so we depend on
+//! nothing. The same routine doubles as the deterministic *state digest*
+//! used by the crash-recovery campaigns to compare recovered stores
+//! across hosts.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const fn table() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[i] = c;
+        i += 1;
+    }
+    t
+}
+
+static TABLE: [u32; 256] = table();
+
+/// CRC-32 of `data` (init `!0`, final xor `!0` — the zlib convention).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(!0u32, data) ^ !0u32
+}
+
+/// Streams more data into a raw (pre-final-xor) CRC state. Start from
+/// `!0u32`, feed chunks, finish with `^ !0u32`.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut s = !0u32;
+        for chunk in data.chunks(7) {
+            s = crc32_update(s, chunk);
+        }
+        assert_eq!(s ^ !0u32, crc32(data));
+    }
+
+    #[test]
+    fn single_bit_damage_changes_the_sum() {
+        let mut data = b"frame payload bytes".to_vec();
+        let clean = crc32(&data);
+        data[5] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

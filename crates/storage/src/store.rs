@@ -1,0 +1,760 @@
+//! The durable table store: snapshot-isolated reads over immutable
+//! table generations, first-committer-wins (OCC) writes, WAL-then-apply
+//! commits, periodic snapshots, and deterministic recovery.
+//!
+//! # Concurrency model
+//!
+//! The store itself is a single-writer structure (the query service
+//! serializes commits through it), but *readers* never block and never
+//! see partial state: [`Store::view`] hands out a [`StoreView`] — a
+//! cheap clone of the `Arc<TableImage>` map plus the generation it was
+//! taken at. Views are `Send`/`Sync` and stay valid forever; they just
+//! go stale as the store advances.
+//!
+//! Writers use optimistic concurrency: [`Store::begin`] captures the
+//! current generation, the transaction buffers logical ops, and
+//! [`Store::commit`] fails with a *retryable* [`StorageError::Conflict`]
+//! if any other transaction committed in between (first committer
+//! wins). There is no partial application: commit validates every op
+//! against a scratch catalog before a single WAL byte is written.
+//!
+//! # Durability protocol
+//!
+//! A commit (1) validates, (2) appends the whole transaction as ONE
+//! frame to the open WAL segment (so the frame CRC covers the commit
+//! and torn commits vanish atomically), (3) fsyncs the segment, then
+//! (4) applies in memory and bumps the generation by one. A crash between (2) and (3) — or a dropped
+//! fsync at (3) — loses at most the uncommitted suffix, which is
+//! exactly what [`Store::open`] truncates away on replay. Every
+//! `snapshot_every` commits the store writes a `snap-<lsn>.img`
+//! checkpoint and rotates the WAL segment; segments are never pruned
+//! (see the [`crate::wal`] docs for why).
+
+use crate::disk::Disk;
+use crate::record::{self, Columns, TableImage, TableOp, WalRecord};
+use crate::snapshot::{snapshot_name, Snapshot};
+use crate::wal::Wal;
+use crate::StorageError;
+use dbx_observe::{ArgValue, Observer, TrackId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Fixed span-cost model: every storage span costs `SPAN_BASE + bytes`
+/// host cycles, so traces are deterministic in the cycle domain.
+const SPAN_BASE: u64 = 64;
+
+/// Tuning knobs for [`Store::open`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Take a snapshot (and rotate the WAL segment) every N commits.
+    /// `0` disables snapshotting.
+    pub snapshot_every: u64,
+    /// Trace sink for `wal.*` / `snapshot.*` spans and storage
+    /// counters. Disabled by default.
+    pub observer: Observer,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            snapshot_every: 0,
+            observer: Observer::disabled(),
+        }
+    }
+}
+
+/// What recovery found and repaired (kept for inspection after
+/// [`Store::open`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot recovery started from (0 = empty state).
+    pub snapshot_lsn: u64,
+    /// Valid WAL frames scanned during replay.
+    pub frames_replayed: u64,
+    /// Damaged segment tails truncated away.
+    pub frames_truncated: u64,
+    /// Damaged snapshot files that were skipped (newest first).
+    pub snapshots_skipped: Vec<String>,
+    /// Human-readable descriptions of WAL damage repaired on open.
+    pub wal_damage: Vec<String>,
+}
+
+/// A snapshot-isolated read view: the catalog exactly as of
+/// [`StoreView::generation`], immutable and shareable across threads.
+#[derive(Debug, Clone)]
+pub struct StoreView {
+    generation: u64,
+    tables: BTreeMap<String, Arc<TableImage>>,
+}
+
+impl StoreView {
+    /// The generation (last applied LSN) this view was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Looks up a table image.
+    pub fn table(&self, name: &str) -> Option<&Arc<TableImage>> {
+        self.tables.get(name)
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Deterministic digest of the catalog (see [`digest_tables`]).
+    pub fn digest(&self) -> u32 {
+        digest_tables(&self.tables)
+    }
+}
+
+/// A pending optimistic transaction: buffered logical ops plus the
+/// generation it was begun at.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    base_gen: u64,
+    ops: Vec<TableOp>,
+}
+
+impl Txn {
+    /// The generation this transaction read from.
+    pub fn base_generation(&self) -> u64 {
+        self.base_gen
+    }
+
+    /// Number of buffered ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Buffers a table creation.
+    pub fn create_table(&mut self, name: &str, columns: Columns) -> &mut Self {
+        self.ops.push(TableOp::Create {
+            name: name.to_string(),
+            columns,
+        });
+        self
+    }
+
+    /// Buffers a row-batch append.
+    pub fn append_rows(&mut self, name: &str, rows: Columns) -> &mut Self {
+        self.ops.push(TableOp::Append {
+            name: name.to_string(),
+            rows,
+        });
+        self
+    }
+
+    /// Buffers a table drop.
+    pub fn drop_table(&mut self, name: &str) -> &mut Self {
+        self.ops.push(TableOp::Drop {
+            name: name.to_string(),
+        });
+        self
+    }
+
+    /// Buffers a pre-built op (workload generators).
+    pub fn push(&mut self, op: TableOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+}
+
+/// Deterministic digest of a catalog: CRC-32 of its canonical
+/// serialization (table names and columns, *not* LSNs), so two stores
+/// that recovered to the same logical state digest identically on any
+/// host.
+pub fn digest_tables(tables: &BTreeMap<String, Arc<TableImage>>) -> u32 {
+    let mut bytes = Vec::new();
+    record::put_tables(&mut bytes, tables);
+    crate::crc::crc32(&bytes)
+}
+
+/// The durable table store over a [`Disk`].
+#[derive(Debug)]
+pub struct Store<D: Disk> {
+    disk: D,
+    wal: Wal,
+    generation: u64,
+    tables: BTreeMap<String, Arc<TableImage>>,
+    opts: StoreOptions,
+    obs: Observer,
+    commits_since_snapshot: u64,
+    recovery: RecoveryReport,
+    last_commit_pos: Option<(String, usize)>,
+}
+
+impl<D: Disk> Store<D> {
+    /// Opens the store, running deterministic recovery: load the newest
+    /// valid snapshot (skipping damaged ones), replay the WAL suffix,
+    /// truncate the log at the first corrupt frame.
+    pub fn open(mut disk: D, opts: StoreOptions) -> Result<Self, StorageError> {
+        let obs = opts.observer.on_track(TrackId::Host);
+        let mut report = RecoveryReport::default();
+
+        // 1. Newest valid snapshot, or the empty state.
+        let (snap, skipped) = Snapshot::load_latest(&disk);
+        report.snapshots_skipped = skipped;
+        let (mut tables, snap_lsn) = match snap {
+            Some(s) => (s.tables, s.lsn),
+            None => (BTreeMap::new(), 0),
+        };
+        report.snapshot_lsn = snap_lsn;
+        let snap_bytes = if snap_lsn > 0 {
+            disk.read(&snapshot_name(snap_lsn))
+                .map(|b| b.len())
+                .unwrap_or(0) as u64
+        } else {
+            0
+        };
+        obs.place("snapshot.load", "storage", SPAN_BASE + snap_bytes, || {
+            vec![
+                ("lsn", ArgValue::U64(snap_lsn)),
+                ("bytes", ArgValue::U64(snap_bytes)),
+            ]
+        });
+
+        // 2. Replay the WAL suffix, repairing torn tails.
+        let replay = Wal::replay(&mut disk, snap_lsn)?;
+        report.frames_replayed = replay.frames_replayed;
+        report.frames_truncated = replay.frames_truncated;
+        report.wal_damage = replay.damage;
+        let mut generation = snap_lsn;
+        for rec in &replay.records {
+            for op in &rec.ops {
+                apply_op(&mut tables, op)?;
+            }
+            generation = rec.lsn;
+        }
+        obs.place(
+            "wal.replay",
+            "storage",
+            SPAN_BASE + replay.frames_replayed * SPAN_BASE,
+            || {
+                vec![
+                    ("frames", ArgValue::U64(replay.frames_replayed)),
+                    ("truncated", ArgValue::U64(replay.frames_truncated)),
+                    ("generation", ArgValue::U64(generation)),
+                ]
+            },
+        );
+        obs.counter("storage.frames_replayed", replay.frames_replayed as f64);
+        obs.counter("storage.frames_truncated", replay.frames_truncated as f64);
+
+        Ok(Store {
+            disk,
+            wal: Wal::new(replay.last_segment.max(1)),
+            generation,
+            tables,
+            opts,
+            obs,
+            commits_since_snapshot: 0,
+            recovery: report,
+            last_commit_pos: None,
+        })
+    }
+
+    /// Where the most recent commit's frame landed: `(segment name, end
+    /// offset within the segment)`. Crash campaigns use this to map
+    /// byte offsets back to commit boundaries.
+    pub fn last_commit_position(&self) -> Option<&(String, usize)> {
+        self.last_commit_pos.as_ref()
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Current generation (last applied LSN).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Takes a snapshot-isolated view of the catalog.
+    pub fn view(&self) -> StoreView {
+        StoreView {
+            generation: self.generation,
+            tables: self.tables.clone(),
+        }
+    }
+
+    /// Begins an optimistic transaction at the current generation.
+    pub fn begin(&self) -> Txn {
+        Txn {
+            base_gen: self.generation,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Commits a transaction: OCC check, validate, WAL, fsync, apply.
+    /// Returns the new generation. An empty transaction commits to the
+    /// current generation without touching the log.
+    pub fn commit(&mut self, txn: Txn) -> Result<u64, StorageError> {
+        if txn.base_gen != self.generation {
+            return Err(StorageError::Conflict {
+                base_gen: txn.base_gen,
+                current_gen: self.generation,
+            });
+        }
+        if txn.ops.is_empty() {
+            return Ok(self.generation);
+        }
+
+        // Validate every op against a scratch catalog first — a commit
+        // either fully applies or leaves no trace in the log.
+        let mut scratch = self.tables.clone();
+        for op in &txn.ops {
+            apply_op(&mut scratch, op)?;
+        }
+
+        // WAL: the whole transaction is one frame (one CRC — a torn
+        // commit vanishes atomically), one fsync per commit.
+        let n_ops = txn.ops.len() as u64;
+        let rec = WalRecord {
+            lsn: self.generation + 1,
+            ops: txn.ops,
+        };
+        let bytes = self.wal.append(&mut self.disk, &rec)? as u64;
+        self.wal.sync(&mut self.disk)?;
+        let seg = self.wal.open_segment_name();
+        let end = self.disk.read(&seg).map(|b| b.len()).unwrap_or(0);
+        self.last_commit_pos = Some((seg, end));
+        self.obs
+            .place("wal.append", "storage", SPAN_BASE + bytes, || {
+                vec![
+                    ("ops", ArgValue::U64(n_ops)),
+                    ("bytes", ArgValue::U64(bytes)),
+                ]
+            });
+
+        // Apply.
+        self.tables = scratch;
+        self.generation += 1;
+        self.commits_since_snapshot += 1;
+        if self.opts.snapshot_every > 0 && self.commits_since_snapshot >= self.opts.snapshot_every {
+            self.take_snapshot()?;
+        }
+        Ok(self.generation)
+    }
+
+    /// Writes a checkpoint of the current catalog and rotates the WAL
+    /// segment. Normally driven by `snapshot_every`, public for tests
+    /// and shutdown paths.
+    pub fn take_snapshot(&mut self) -> Result<(), StorageError> {
+        let snap = Snapshot {
+            lsn: self.generation,
+            tables: self.tables.clone(),
+        };
+        let image_len = snap.encode().len() as u64;
+        snap.write(&mut self.disk)?;
+        self.wal.rotate(&mut self.disk)?;
+        self.commits_since_snapshot = 0;
+        self.obs
+            .place("snapshot.write", "storage", SPAN_BASE + image_len, || {
+                vec![
+                    ("lsn", ArgValue::U64(snap.lsn)),
+                    ("bytes", ArgValue::U64(image_len)),
+                ]
+            });
+        Ok(())
+    }
+
+    /// Deterministic digest of the current catalog.
+    pub fn state_digest(&self) -> u32 {
+        digest_tables(&self.tables)
+    }
+
+    /// The underlying disk (campaigns clone it to simulate crashes).
+    pub fn disk(&self) -> &D {
+        &self.disk
+    }
+
+    /// Mutable access to the disk (fault plans are armed through this).
+    pub fn disk_mut(&mut self) -> &mut D {
+        &mut self.disk
+    }
+
+    /// Consumes the store, returning the disk.
+    pub fn into_disk(self) -> D {
+        self.disk
+    }
+}
+
+/// Applies one logical op to a catalog, validating it fully. Used both
+/// by commit (against a scratch copy) and by recovery replay.
+fn apply_op(
+    tables: &mut BTreeMap<String, Arc<TableImage>>,
+    op: &TableOp,
+) -> Result<(), StorageError> {
+    match op {
+        TableOp::Create { name, columns } => {
+            if tables.contains_key(name) {
+                return Err(StorageError::DuplicateTable { name: name.clone() });
+            }
+            check_equal_lengths(name, columns)?;
+            tables.insert(
+                name.clone(),
+                Arc::new(TableImage {
+                    name: name.clone(),
+                    columns: columns.clone(),
+                }),
+            );
+        }
+        TableOp::Append { name, rows } => {
+            let img = tables
+                .get(name)
+                .ok_or_else(|| StorageError::UnknownTable { name: name.clone() })?;
+            if img.columns.len() != rows.len()
+                || img
+                    .columns
+                    .iter()
+                    .zip(rows.iter())
+                    .any(|((a, _), (b, _))| a != b)
+            {
+                return Err(StorageError::ColumnMismatch {
+                    table: name.clone(),
+                    expected: img.columns.iter().map(|(n, _)| n.clone()).collect(),
+                    got: rows.iter().map(|(n, _)| n.clone()).collect(),
+                });
+            }
+            check_equal_lengths(name, rows)?;
+            let mut columns = img.columns.clone();
+            for ((_, dst), (_, src)) in columns.iter_mut().zip(rows.iter()) {
+                dst.extend_from_slice(src);
+            }
+            tables.insert(
+                name.clone(),
+                Arc::new(TableImage {
+                    name: name.clone(),
+                    columns,
+                }),
+            );
+        }
+        TableOp::Drop { name } => {
+            if tables.remove(name).is_none() {
+                return Err(StorageError::UnknownTable { name: name.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_equal_lengths(table: &str, cols: &Columns) -> Result<(), StorageError> {
+    if let Some((_, first)) = cols.first() {
+        for (cname, vals) in cols {
+            if vals.len() != first.len() {
+                return Err(StorageError::ColumnLengthMismatch {
+                    table: table.to_string(),
+                    column: cname.clone(),
+                    expected: first.len(),
+                    got: vals.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn open_empty() -> Store<MemDisk> {
+        Store::open(MemDisk::new(), StoreOptions::default()).unwrap()
+    }
+
+    fn cols(vals: &[u32]) -> Columns {
+        vec![("k".into(), vals.to_vec())]
+    }
+
+    #[test]
+    fn create_append_drop_round_trip_through_crash() {
+        let mut store = open_empty();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[1, 2]));
+        store.commit(txn).unwrap();
+        let mut txn = store.begin();
+        txn.append_rows("t", cols(&[3]));
+        store.commit(txn).unwrap();
+        let digest = store.state_digest();
+        assert_eq!(store.generation(), 2);
+
+        let mut disk = store.into_disk();
+        disk.crash();
+        let store2 = Store::open(disk, StoreOptions::default()).unwrap();
+        assert_eq!(store2.generation(), 2);
+        assert_eq!(store2.state_digest(), digest);
+        assert_eq!(
+            store2.view().table("t").unwrap().columns,
+            vec![("k".to_string(), vec![1, 2, 3])]
+        );
+    }
+
+    #[test]
+    fn occ_first_committer_wins() {
+        let mut store = open_empty();
+        let mut a = store.begin();
+        a.create_table("a", cols(&[1]));
+        let mut b = store.begin();
+        b.create_table("b", cols(&[2]));
+        store.commit(a).unwrap();
+        let err = store.commit(b).unwrap_err();
+        match err {
+            StorageError::Conflict {
+                base_gen,
+                current_gen,
+            } => {
+                assert_eq!(base_gen, 0);
+                assert_eq!(current_gen, 1);
+            }
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        // Retry from the new generation succeeds.
+        let mut b2 = store.begin();
+        b2.create_table("b", cols(&[2]));
+        store.commit(b2).unwrap();
+        assert_eq!(store.generation(), 2);
+    }
+
+    #[test]
+    fn views_are_snapshot_isolated() {
+        let mut store = open_empty();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[1]));
+        store.commit(txn).unwrap();
+        let view = store.view();
+        let mut txn = store.begin();
+        txn.append_rows("t", cols(&[2]));
+        store.commit(txn).unwrap();
+        // The old view still sees one row; a fresh view sees two.
+        assert_eq!(view.table("t").unwrap().n_rows(), 1);
+        assert_eq!(store.view().table("t").unwrap().n_rows(), 2);
+        assert_eq!(view.generation(), 1);
+    }
+
+    #[test]
+    fn view_survives_threads() {
+        let mut store = open_empty();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[7, 8, 9]));
+        store.commit(txn).unwrap();
+        let view = store.view();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let v = view.clone();
+                std::thread::spawn(move || v.table("t").unwrap().columns[0].1.iter().sum::<u32>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 24);
+        }
+    }
+
+    #[test]
+    fn validation_failures_leave_no_trace() {
+        let mut store = open_empty();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[1]));
+        store.commit(txn).unwrap();
+        let wal_before = store.disk().read(&store.wal.open_segment_name()).unwrap();
+
+        // Duplicate create.
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[9]));
+        assert!(matches!(
+            store.commit(txn),
+            Err(StorageError::DuplicateTable { .. })
+        ));
+        // Append to a missing table.
+        let mut txn = store.begin();
+        txn.append_rows("missing", cols(&[1]));
+        assert!(matches!(
+            store.commit(txn),
+            Err(StorageError::UnknownTable { .. })
+        ));
+        // Wrong column set.
+        let mut txn = store.begin();
+        txn.append_rows("t", vec![("other".into(), vec![1])]);
+        assert!(matches!(
+            store.commit(txn),
+            Err(StorageError::ColumnMismatch { .. })
+        ));
+        // Ragged columns.
+        let mut txn = store.begin();
+        txn.create_table("r", vec![("a".into(), vec![1]), ("b".into(), vec![1, 2])]);
+        assert!(matches!(
+            store.commit(txn),
+            Err(StorageError::ColumnLengthMismatch { .. })
+        ));
+        // Drop of a missing table.
+        let mut txn = store.begin();
+        txn.drop_table("missing");
+        assert!(matches!(
+            store.commit(txn),
+            Err(StorageError::UnknownTable { .. })
+        ));
+
+        // Generation unchanged, WAL byte-identical.
+        assert_eq!(store.generation(), 1);
+        assert_eq!(
+            store.disk().read(&store.wal.open_segment_name()).unwrap(),
+            wal_before
+        );
+    }
+
+    #[test]
+    fn snapshot_cadence_rotates_and_speeds_recovery() {
+        let mut store = Store::open(
+            MemDisk::new(),
+            StoreOptions {
+                snapshot_every: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[0]));
+        store.commit(txn).unwrap();
+        for i in 1..=5u32 {
+            let mut txn = store.begin();
+            txn.append_rows("t", cols(&[i]));
+            store.commit(txn).unwrap();
+        }
+        let digest = store.state_digest();
+        let disk = store.into_disk();
+        // 6 commits at cadence 2 → snapshots at lsn 2, 4, 6.
+        assert!(disk.exists(&snapshot_name(6)));
+        let store2 = Store::open(disk, StoreOptions::default()).unwrap();
+        assert_eq!(store2.recovery().snapshot_lsn, 6);
+        assert_eq!(store2.recovery().frames_replayed, 0);
+        assert_eq!(store2.state_digest(), digest);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_replay() {
+        let mut store = Store::open(
+            MemDisk::new(),
+            StoreOptions {
+                snapshot_every: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[1]));
+        store.commit(txn).unwrap();
+        let mut txn = store.begin();
+        txn.append_rows("t", cols(&[2]));
+        store.commit(txn).unwrap();
+        let mut txn = store.begin();
+        txn.append_rows("t", cols(&[3]));
+        store.commit(txn).unwrap();
+        let digest = store.state_digest();
+        let mut disk = store.into_disk();
+        // Truncate the snapshot mid-body: recovery must ignore it and
+        // rebuild the same state from the full WAL chain.
+        let name = snapshot_name(3);
+        let mut bytes = disk.read(&name).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        disk.set_file(&name, dbx_faults::StorageFileClass::Snapshot, bytes);
+        let store2 = Store::open(disk, StoreOptions::default()).unwrap();
+        assert_eq!(store2.recovery().snapshot_lsn, 0);
+        assert_eq!(store2.recovery().snapshots_skipped.len(), 1);
+        assert_eq!(store2.recovery().frames_replayed, 3);
+        assert_eq!(store2.state_digest(), digest);
+        assert_eq!(store2.generation(), 3);
+    }
+
+    #[test]
+    fn dropped_fsync_loses_exactly_the_lying_commit() {
+        use dbx_faults::StorageFaultPlan;
+        let mut store = open_empty();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[1]));
+        store.commit(txn).unwrap();
+        let digest_committed = store.state_digest();
+
+        // Arm: drop the fsync of the *next* commit. WAL I/O so far:
+        // one append + one fsync = indices 0, 1; next append is 2,
+        // next fsync is 3.
+        store
+            .disk_mut()
+            .set_fault_plan(StorageFaultPlan::new().with_dropped_wal_fsync(3));
+        let mut txn = store.begin();
+        txn.append_rows("t", cols(&[2]));
+        store.commit(txn).unwrap(); // the fsync lied
+        let mut disk = store.into_disk();
+        disk.crash();
+        let store2 = Store::open(disk, StoreOptions::default()).unwrap();
+        // The lying commit is gone; the durable prefix survives intact.
+        assert_eq!(store2.state_digest(), digest_committed);
+        assert_eq!(store2.generation(), 1);
+    }
+
+    #[test]
+    fn observer_records_storage_spans_and_counters() {
+        let (obs, sink) = Observer::memory();
+        let mut store = Store::open(
+            MemDisk::new(),
+            StoreOptions {
+                snapshot_every: 1,
+                observer: obs.clone(),
+            },
+        )
+        .unwrap();
+        let mut txn = store.begin();
+        txn.create_table("t", cols(&[1]));
+        store.commit(txn).unwrap();
+        drop(store);
+        let sink = sink.borrow();
+        let names: Vec<String> = sink.spans_of("storage").map(|s| s.name.clone()).collect();
+        assert!(names.contains(&"snapshot.load".to_string()));
+        assert!(names.contains(&"wal.replay".to_string()));
+        assert!(names.contains(&"wal.append".to_string()));
+        assert!(names.contains(&"snapshot.write".to_string()));
+        assert_eq!(
+            sink.counter_value(TrackId::Host, "storage.frames_replayed"),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn digest_ignores_generation() {
+        // Two stores with the same logical state but different histories
+        // digest identically.
+        let mut a = open_empty();
+        let mut txn = a.begin();
+        txn.create_table("t", cols(&[1, 2]));
+        a.commit(txn).unwrap();
+
+        let mut b = open_empty();
+        let mut txn = b.begin();
+        txn.create_table("t", cols(&[1]));
+        b.commit(txn).unwrap();
+        let mut txn = b.begin();
+        txn.append_rows("t", cols(&[2]));
+        b.commit(txn).unwrap();
+
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+}

@@ -15,7 +15,10 @@
 //!   set operations) for the paper's Tables 5 and 6.
 //! * [`workloads`] — sorted-set generators with exact selectivity control.
 //! * [`query`] — a miniature query executor offloading RID-set work to
-//!   the simulated ASIP.
+//!   the simulated ASIP, plus the durable admission-controlled
+//!   [`query::QueryService`] front-end.
+//! * [`storage`] — crash-recoverable table storage: checksummed WAL,
+//!   periodic snapshots, OCC commits, seeded crash campaigns.
 //! * [`showcase`] — a second instruction-set extension (CRC32, bit ops,
 //!   TIE-queue streaming) built on the same framework.
 //! * [`harness`] — experiment drivers regenerating every table and figure.
@@ -51,6 +54,7 @@ pub use dbx_mem as mem;
 pub use dbx_observe as observe;
 pub use dbx_query as query;
 pub use dbx_showcase as showcase;
+pub use dbx_storage as storage;
 pub use dbx_synth as synth;
 pub use dbx_workloads as workloads;
 pub use dbx_x86ref as x86ref;
