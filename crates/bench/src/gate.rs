@@ -1,0 +1,114 @@
+//! The regression gate: one canonical definition of "did this run get
+//! worse than the committed baseline?".
+//!
+//! Three snapshot families are gated in CI — `BENCH_observe.json`,
+//! `BENCH_perf.json`, and `BENCH_serve.json` — and before this module
+//! each reimplemented the same threshold arithmetic. The semantics live
+//! here once: a metric *regresses* when its relative increase over the
+//! baseline is **strictly greater** than [`REGRESSION_THRESHOLD`] (an
+//! exactly-3% increase passes), and a zero baseline never divides — its
+//! delta is defined as 0, so a metric appearing from nothing cannot
+//! fire the gate by itself.
+
+/// Relative increase above which a metric counts as a regression.
+pub const REGRESSION_THRESHOLD: f64 = 0.03;
+
+/// Relative change of `current` against `baseline`:
+/// `(current - baseline) / baseline`, with a zero baseline defined as
+/// delta 0 (nothing to be relative to — never a division by zero).
+pub fn relative_delta(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (current - baseline) / baseline
+    }
+}
+
+/// Whether a delta trips the gate: strictly greater than
+/// [`REGRESSION_THRESHOLD`], so an exact-threshold change passes.
+pub fn is_regression(delta: f64) -> bool {
+    delta > REGRESSION_THRESHOLD
+}
+
+/// [`relative_delta`] and [`is_regression`] in one step, for metrics
+/// where larger is worse (cycles, latency).
+pub fn regressed(baseline: f64, current: f64) -> bool {
+    is_regression(relative_delta(baseline, current))
+}
+
+/// Outcome of gating a whole diff: how many metrics were compared and
+/// which keys regressed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateOutcome {
+    /// Metrics compared.
+    pub compared: usize,
+    /// Keys whose delta tripped the gate, in diff order.
+    pub regressions: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes (no regressions).
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Gates an iterator of `(key, delta)` pairs in one pass.
+pub fn evaluate<I, K>(deltas: I) -> GateOutcome
+where
+    I: IntoIterator<Item = (K, f64)>,
+    K: Into<String>,
+{
+    let mut out = GateOutcome::default();
+    for (key, delta) in deltas {
+        out.compared += 1;
+        if is_regression(delta) {
+            out.regressions.push(key.into());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_baseline_never_divides_or_fires() {
+        assert_eq!(relative_delta(0.0, 0.0), 0.0);
+        assert_eq!(relative_delta(0.0, 1.0e9), 0.0);
+        assert!(!regressed(0.0, 1.0e9));
+        assert!(relative_delta(0.0, 5.0).is_finite());
+    }
+
+    #[test]
+    fn exact_threshold_passes_and_epsilon_beyond_fires() {
+        // Exact 3%: delta == threshold, strict comparison → pass.
+        assert!(!regressed(10_000.0, 10_300.0));
+        assert!(!is_regression(REGRESSION_THRESHOLD));
+        // One cycle beyond 3% of a 10k baseline fires.
+        assert!(regressed(10_000.0, 10_301.0));
+        assert!(is_regression(REGRESSION_THRESHOLD + 1e-12));
+    }
+
+    #[test]
+    fn improvements_never_fire() {
+        assert!(!regressed(10_000.0, 9_000.0));
+        assert!(!regressed(10_000.0, 0.0));
+        assert!(relative_delta(10_000.0, 9_000.0) < 0.0);
+    }
+
+    #[test]
+    fn evaluate_collects_regressing_keys_in_order() {
+        let out = evaluate(vec![
+            ("a", 0.01),
+            ("b", 0.05),
+            ("c", REGRESSION_THRESHOLD),
+            ("d", 0.031),
+        ]);
+        assert_eq!(out.compared, 4);
+        assert_eq!(out.regressions, vec!["b".to_string(), "d".to_string()]);
+        assert!(!out.ok());
+        assert!(evaluate(Vec::<(&str, f64)>::new()).ok());
+    }
+}

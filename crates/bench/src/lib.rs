@@ -19,6 +19,7 @@
 //! the host shard scheduler and [`perf`] serializes the result as the
 //! regression-gated `BENCH_perf.json` snapshot.
 
+pub mod gate;
 pub mod perf;
 pub mod serve;
 pub mod stats;

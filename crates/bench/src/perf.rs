@@ -18,8 +18,9 @@
 use dbx_observe::json::{Json, JsonError};
 use std::fmt;
 
-/// Relative cycle increase above which a point counts as a regression.
-pub const REGRESSION_THRESHOLD: f64 = 0.03;
+/// Relative cycle increase above which a point counts as a regression
+/// (re-exported from the canonical [`crate::gate`] definition).
+pub use crate::gate::REGRESSION_THRESHOLD;
 
 /// Schema tag written into every perf snapshot.
 pub const SCHEMA: &str = "dbx-bench/perf/v1";
@@ -356,17 +357,13 @@ impl PerfSnapshot {
             let cur = self
                 .point(&key)
                 .ok_or_else(|| PerfError::MissingPoint(key.clone()))?;
-            let delta = if base.cycles == 0 {
-                0.0
-            } else {
-                (cur.cycles as f64 - base.cycles as f64) / base.cycles as f64
-            };
+            let delta = crate::gate::relative_delta(base.cycles as f64, cur.cycles as f64);
             out.push(PointDiff {
                 key,
                 baseline_cycles: base.cycles,
                 current_cycles: cur.cycles,
                 delta,
-                regression: delta > REGRESSION_THRESHOLD,
+                regression: crate::gate::is_regression(delta),
             });
         }
         Ok(out)

@@ -14,8 +14,9 @@
 //! (nearest-rank, `None` on empty), so a degenerate run serializes as
 //! explicit zeros instead of panicking.
 
+use crate::gate;
+pub use crate::gate::REGRESSION_THRESHOLD;
 use crate::perf::q6;
-pub use crate::perf::REGRESSION_THRESHOLD;
 use crate::stats;
 use dbx_observe::json::{Json, JsonError};
 use std::fmt;
@@ -40,7 +41,8 @@ pub struct ServeSnapshot {
     pub retried: u64,
     /// Requests that completed successfully.
     pub succeeded: u64,
-    /// Requests that failed (including shed ones).
+    /// Admitted requests that failed (shed requests count in `shed`
+    /// only, so `shed + succeeded + failed == requests`).
     pub failed: u64,
     /// Cycles from first arrival to last completion.
     pub span_cycles: u64,
@@ -186,17 +188,13 @@ impl ServeSnapshot {
         Ok(metrics
             .into_iter()
             .map(|(metric, base, cur)| {
-                let delta = if base == 0 {
-                    0.0
-                } else {
-                    (cur as f64 - base as f64) / base as f64
-                };
+                let delta = gate::relative_delta(base as f64, cur as f64);
                 MetricDiff {
                     metric,
                     baseline: base,
                     current: cur,
                     delta,
-                    regression: delta > REGRESSION_THRESHOLD,
+                    regression: gate::is_regression(delta),
                 }
             })
             .collect())
@@ -295,13 +293,14 @@ mod tests {
     use super::*;
 
     fn counters() -> ServeCounters {
+        // shed + succeeded + failed == requests; failed excludes shed.
         ServeCounters {
             requests: 48,
             admitted: 44,
             shed: 4,
             retried: 2,
             succeeded: 43,
-            failed: 5,
+            failed: 1,
         }
     }
 

@@ -240,6 +240,7 @@ fn run_core_shards(
     let (protection, policy, watchdog, deadline) =
         (opts.protection, opts.policy, opts.watchdog, opts.deadline);
     let force_precise = opts.force_precise;
+    let profile = opts.profile;
     run_indexed(opts.sched, parts.len(), move |idx| {
         let (ra, rb) = parts[idx].clone();
         let (observer, sink) = if observed {
@@ -257,6 +258,7 @@ fn run_core_shards(
             deadline,
             observer,
             force_precise,
+            profile,
             sched: HostSched::Sequential,
         };
         run_partition_opts(model, kind, &a[ra], &b[rb], &core_opts).map(|r| {

@@ -29,8 +29,8 @@ use dbx_cpu::ext::Extension;
 use dbx_cpu::observe::emit_kernel_run;
 use dbx_cpu::program::Program;
 use dbx_cpu::{
-    MachineFault, Processor, ProfileSnapshot, RunStats, SimError, DMEM0_BASE, DMEM1_BASE,
-    SYSMEM_BASE,
+    MachineFault, Processor, ProfileMode, ProfileSnapshot, RunStats, SimError, DMEM0_BASE,
+    DMEM1_BASE, SYSMEM_BASE,
 };
 use dbx_faults::{FaultCounters, FaultPlan, ProtectionKind};
 use dbx_observe::{ArgValue, Observer};
@@ -135,6 +135,14 @@ pub struct RunOptions {
     /// the differential equivalence suite uses this as its reference leg;
     /// production callers leave it off.
     pub force_precise: bool,
+    /// How cycles are attributed to addresses during the run.
+    /// [`ProfileMode::Off`] keeps the pre-existing behaviour: profiling
+    /// switches on (precisely) exactly when the observer is enabled.
+    /// Setting a mode explicitly overrides that coupling —
+    /// [`ProfileMode::Sampled`] in particular profiles *without* leaving
+    /// the fast execution path, which is how the serving layer feeds
+    /// `WeightModel::Profile` without paying the precise-loop tax.
+    pub profile: ProfileMode,
     /// How fan-out layers — [`crate::multicore`], the query engine, the
     /// bench sweeps — map independent shards onto host threads. The
     /// single-kernel runners in this module ignore it (one kernel is one
@@ -174,9 +182,9 @@ pub struct KernelRun {
     pub faults: FaultCounters,
     /// The last machine fault a retry or degrade recovered from.
     pub recovered_fault: Option<MachineFault>,
-    /// Cycle-attribution profile of the successful attempt. Present only
-    /// when the run was observed ([`RunOptions::observer`]), since that is
-    /// when profiling is switched on.
+    /// Cycle-attribution profile of the successful attempt. Present when
+    /// the run was observed ([`RunOptions::observer`]) or a profiling mode
+    /// was requested explicitly ([`RunOptions::profile`]).
     pub profile: Option<ProfileSnapshot>,
 }
 
@@ -300,8 +308,11 @@ pub fn scalar_fallback(model: ProcModel) -> ProcModel {
     }
 }
 
-/// Chooses where the two sets and the result live for a model.
-fn set_layout(model: ProcModel, a_len: u32, b_len: u32) -> Result<SetLayout, SimError> {
+/// Chooses where the two sets and the result live for a model — the
+/// exact layout [`run_set_op_with`] places data with. Public so analysis
+/// layers (profile-guided DSE) can rebuild the *same* program the runner
+/// executed and map profile addresses back onto it.
+pub fn set_layout(model: ProcModel, a_len: u32, b_len: u32) -> Result<SetLayout, SimError> {
     let (a_base, b_base, c_base, limit): (u32, u32, u32, u32) = match model {
         ProcModel::Mini108 => {
             let a = SYSMEM_BASE;
@@ -407,8 +418,10 @@ pub fn run_set_op_with(
         // Each attempt starts from clean hardware and re-placed inputs —
         // the checkpoint here is the kernel boundary itself.
         let mut p = build_processor_with(model, opts.protection)?;
-        if opts.observer.is_enabled() {
-            p.enable_profiling();
+        match opts.profile {
+            // Back-compat coupling: an observed run is profiled precisely.
+            ProfileMode::Off if opts.observer.is_enabled() => p.enable_profiling(),
+            mode => p.set_profile_mode(mode),
         }
         p.load_program_shared(Arc::clone(&program))?;
         p.mem.poke_words(layout.a_base, a)?;
@@ -468,6 +481,7 @@ pub fn run_set_op_with(
                         protection: opts.protection,
                         observer: opts.observer.clone(),
                         force_precise: opts.force_precise,
+                        profile: opts.profile,
                         ..RunOptions::default()
                     };
                     let mut run = run_set_op_with(scalar_fallback(model), kind, a, b, &fallback)?;
@@ -577,8 +591,10 @@ pub fn run_sort_with(
     let mut recovered: Option<MachineFault> = None;
     loop {
         let mut p = build_processor_with(exec_model, opts.protection)?;
-        if opts.observer.is_enabled() {
-            p.enable_profiling();
+        match opts.profile {
+            // Back-compat coupling: an observed run is profiled precisely.
+            ProfileMode::Off if opts.observer.is_enabled() => p.enable_profiling(),
+            mode => p.set_profile_mode(mode),
         }
         p.load_program_shared(Arc::clone(&program))?;
         p.mem.poke_words(src, &padded)?;
@@ -635,6 +651,7 @@ pub fn run_sort_with(
                         protection: opts.protection,
                         observer: opts.observer.clone(),
                         force_precise: opts.force_precise,
+                        profile: opts.profile,
                         ..RunOptions::default()
                     };
                     let mut run = run_sort_with(scalar_fallback(model), data, &fallback)?;

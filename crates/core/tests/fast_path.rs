@@ -14,8 +14,9 @@
 //! the eligible fast run, proving the automatic fallback changes nothing
 //! but the engine.
 
-use dbx_core::runner::{run_set_op_with, run_sort_with, KernelRun, RunOptions};
+use dbx_core::runner::{build_processor, run_set_op_with, run_sort_with, KernelRun, RunOptions};
 use dbx_core::{ProcModel, SetOpKind};
+use dbx_cpu::ProfileMode;
 use dbx_faults::{FaultPlan, FaultTarget};
 use dbx_observe::Observer;
 
@@ -141,6 +142,81 @@ fn observer_fallback_agrees_with_fast_run() {
         observed.profile.is_some(),
         "observed run profiles (and therefore ran the precise loop)"
     );
+}
+
+/// Sampled profiling is the one profiling mode that must NOT demote the
+/// run off the fast path: the run stays bit-identical to the unprofiled
+/// fast run, eligibility holds by construction, and the sampled
+/// profile's attributed cycle total lands within one period of the
+/// precise profiler's on the same inputs (the mode's documented error
+/// bound).
+#[test]
+fn sampled_profiling_keeps_the_fast_path_within_its_error_bound() {
+    let model = ProcModel::Dba2Lsu;
+    let a = sorted_set(90210, 1, 400);
+    let b = sorted_set(90210, 2, 350);
+    let period = 64u64;
+
+    // Eligibility is decided by the same predicate the engine consults.
+    let mut probe = build_processor(model).unwrap();
+    probe.set_profile_mode(ProfileMode::Sampled { period });
+    assert!(
+        probe.fast_path_eligible(),
+        "Sampled profiling must leave the processor fast-path eligible"
+    );
+    probe.set_profile_mode(ProfileMode::Precise);
+    assert!(
+        !probe.fast_path_eligible(),
+        "Precise profiling forces the per-step loop"
+    );
+
+    let fast =
+        run_set_op_with(model, SetOpKind::Intersect, &a, &b, &RunOptions::default()).unwrap();
+    let sampled = run_set_op_with(
+        model,
+        SetOpKind::Intersect,
+        &a,
+        &b,
+        &RunOptions {
+            profile: ProfileMode::Sampled { period },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_identical(&fast, &sampled, "sampled profiling");
+
+    let sp = sampled.profile.expect("sampled run carries a profile");
+    let precise = run_set_op_with(
+        model,
+        SetOpKind::Intersect,
+        &a,
+        &b,
+        &RunOptions {
+            profile: ProfileMode::Precise,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let pp = precise.profile.expect("precise run carries a profile");
+    assert!(sp.total_cycles <= pp.total_cycles);
+    assert!(
+        pp.total_cycles - sp.total_cycles <= period,
+        "sampled total {} must be within one period ({period}) of precise total {}",
+        sp.total_cycles,
+        pp.total_cycles
+    );
+    // The sampled weight map is sparse but non-empty, and every sampled
+    // address is one the precise profiler also saw.
+    let sampled_map = sp.weight_map();
+    let precise_map = pp.weight_map();
+    assert!(!sampled_map.is_empty());
+    assert!(sampled_map.len() <= precise_map.len());
+    for addr in sampled_map.keys() {
+        assert!(
+            precise_map.contains_key(addr),
+            "sampled address {addr:#x} unknown to the precise profile"
+        );
+    }
 }
 
 /// An armed fault plan forces the precise loop even if none of its events

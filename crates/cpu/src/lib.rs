@@ -45,7 +45,7 @@ pub use ext::{Extension, LsuUse, OpDescriptor, TieCtx};
 pub use isa::{BranchCond, ExtOp, Instr, LsWidth, OpArgs, Reg};
 pub use observe::emit_kernel_run;
 pub use predictor::PredictorKind;
-pub use profiler::{Hotspot, Profile, ProfileSnapshot};
+pub use profiler::{Hotspot, Profile, ProfileMode, ProfileSnapshot};
 pub use program::{Program, ProgramBuilder, DMEM0_BASE, DMEM1_BASE, IMEM_BASE, SYSMEM_BASE};
 pub use queue::TieQueue;
 pub use sim::{Processor, StepOutcome};

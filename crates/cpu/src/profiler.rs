@@ -8,7 +8,31 @@
 //! profile → hotspot → extension-development loop.
 
 use crate::program::Program;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// How the processor attributes cycles to addresses during a run.
+///
+/// `Precise` records every retired instruction — exact, but it forces
+/// the precise per-step run loop. `Sampled` records only when the cycle
+/// clock crosses a sampling threshold, attributing the whole gap since
+/// the previous sample to the instruction executing at the crossing;
+/// it keeps the fast path eligible. Error bound: the sampled profile's
+/// `total_cycles` is within one `period` of the run's true cycle count,
+/// and each sample's `execs` counts *sample hits* (∝ cycles spent), not
+/// retirements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// No profiling (the default).
+    #[default]
+    Off,
+    /// Exact per-instruction attribution (precise loop only).
+    Precise,
+    /// One sample per `period` simulated cycles (fast-path safe).
+    Sampled {
+        /// Sampling period in simulated cycles (clamped to ≥ 1).
+        period: u64,
+    },
+}
 
 /// Per-address execution profile.
 #[derive(Debug, Default, Clone)]
@@ -70,8 +94,15 @@ impl Profile {
                 .cmp(&a.cycles)
                 .then_with(|| a.region.cmp(&b.region))
         });
+        let mut addr_execs: Vec<(u32, u64)> = self
+            .by_addr
+            .iter()
+            .map(|(addr, (_, ex))| (*addr, *ex))
+            .collect();
+        addr_execs.sort_unstable_by_key(|(addr, _)| *addr);
         ProfileSnapshot {
             hotspots: v,
+            addr_execs,
             total_cycles: self.total_cycles,
         }
     }
@@ -94,8 +125,11 @@ impl Profile {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileSnapshot {
     hotspots: Vec<Hotspot>,
+    /// Address → execution (or sample-hit) count, ascending by address.
+    addr_execs: Vec<(u32, u64)>,
     /// Total cycles the profile attributed (equals the run's cycle count
-    /// when profiling covered the whole run).
+    /// when profiling covered the whole run; within one sampling period
+    /// of it under [`ProfileMode::Sampled`]).
     pub total_cycles: u64,
 }
 
@@ -103,6 +137,20 @@ impl ProfileSnapshot {
     /// All regions, hottest first.
     pub fn hotspots(&self) -> &[Hotspot] {
         &self.hotspots
+    }
+
+    /// Address → execution (sample-hit) counts, ascending by address.
+    pub fn addr_execs(&self) -> &[(u32, u64)] {
+        &self.addr_execs
+    }
+
+    /// The snapshot as a [`ProfileMode`]-agnostic weight
+    /// map consumable by `dbx_analysis::dse::WeightModel::Profile`:
+    /// execution (or sample-hit) counts keyed by address. Blocks whose
+    /// addresses are absent default to weight 1 on the consumer side, so
+    /// a sparse sampled profile degrades gracefully.
+    pub fn weight_map(&self) -> BTreeMap<u32, u64> {
+        self.addr_execs.iter().copied().collect()
     }
 
     /// The `n` hottest regions (fewer if the program has fewer regions).

@@ -21,7 +21,7 @@ use crate::fastpath::{FastBlock, FastEngine, FastKind, FastStep};
 use crate::isa::{Instr, LsWidth, Reg};
 use crate::memsys::MemorySystem;
 use crate::predictor::Predictor;
-use crate::profiler::Profile;
+use crate::profiler::{Profile, ProfileMode};
 use crate::program::Program;
 use crate::queue::TieQueue;
 use crate::stats::{EventCounters, RunStats};
@@ -68,6 +68,13 @@ pub struct Processor {
     pending_load: Option<Reg>,
     halted: bool,
     profile: Option<Profile>,
+    /// `Some(period)` switches profile recording from per-instruction to
+    /// cycle-threshold sampling (see [`ProfileMode::Sampled`]).
+    sample_period: Option<u64>,
+    /// Cycle count at which the next sample fires.
+    next_sample: u64,
+    /// Cycle count of the previous sample (gap start).
+    last_sample: u64,
     trace: Option<Trace>,
     /// TIE queues attached to this processor.
     pub queues: Vec<TieQueue>,
@@ -107,6 +114,9 @@ impl Processor {
             pending_load: None,
             halted: false,
             profile: None,
+            sample_period: None,
+            next_sample: 0,
+            last_sample: 0,
             trace: None,
             queues: Vec::new(),
             fault_plan: None,
@@ -184,9 +194,46 @@ impl Processor {
         }
     }
 
-    /// Enables per-address cycle profiling for subsequent runs.
+    /// Enables precise per-address cycle profiling for subsequent runs
+    /// (equivalent to [`Self::set_profile_mode`] with
+    /// [`ProfileMode::Precise`]).
     pub fn enable_profiling(&mut self) {
-        self.profile = Some(Profile::default());
+        self.set_profile_mode(ProfileMode::Precise);
+    }
+
+    /// Selects how subsequent runs attribute cycles to addresses.
+    /// [`ProfileMode::Precise`] records every retired instruction and
+    /// forces the precise loop; [`ProfileMode::Sampled`] records one
+    /// sample per `period` cycles and stays fast-path eligible (the
+    /// sampled totals are within one period of the precise run's — see
+    /// `tests/fast_path.rs` for the differential check).
+    pub fn set_profile_mode(&mut self, mode: ProfileMode) {
+        match mode {
+            ProfileMode::Off => {
+                self.profile = None;
+                self.sample_period = None;
+            }
+            ProfileMode::Precise => {
+                self.profile = Some(Profile::default());
+                self.sample_period = None;
+            }
+            ProfileMode::Sampled { period } => {
+                let period = period.max(1);
+                self.profile = Some(Profile::default());
+                self.sample_period = Some(period);
+                self.next_sample = self.cycles + period;
+                self.last_sample = self.cycles;
+            }
+        }
+    }
+
+    /// The active profiling mode.
+    pub fn profile_mode(&self) -> ProfileMode {
+        match (&self.profile, self.sample_period) {
+            (None, _) => ProfileMode::Off,
+            (Some(_), None) => ProfileMode::Precise,
+            (Some(_), Some(period)) => ProfileMode::Sampled { period },
+        }
     }
 
     /// Enables execution tracing, retaining the last `depth` instructions.
@@ -273,6 +320,10 @@ impl Processor {
         }
         if let Some(pr) = self.profile.as_mut() {
             *pr = Profile::default();
+        }
+        if let Some(period) = self.sample_period {
+            self.next_sample = period;
+            self.last_sample = 0;
         }
         if let Some(t) = self.trace.as_mut() {
             // Preserve the configured depth: `len()` is how many entries
@@ -641,7 +692,21 @@ impl Processor {
         }
         self.cycles += cycles;
         if let Some(pr) = self.profile.as_mut() {
-            pr.record(pc, cycles);
+            match self.sample_period {
+                // Precise: exact per-instruction attribution.
+                None => pr.record(pc, cycles),
+                // Sampled: when the clock crosses the threshold, the
+                // whole gap since the last sample lands on the
+                // instruction that crossed it. Totals stay within one
+                // period of the precise run; hits are ∝ cycles spent.
+                Some(period) => {
+                    if self.cycles >= self.next_sample {
+                        pr.record(pc, self.cycles - self.last_sample);
+                        self.last_sample = self.cycles;
+                        self.next_sample = self.cycles + period;
+                    }
+                }
+            }
         }
         self.pc = next_pc;
         if halted {
@@ -716,13 +781,15 @@ impl Processor {
 
     /// Whether this run can take the fast path. Every condition here is
     /// an invariant of the specialized loop: no per-step fault injection,
-    /// no mid-run watchdog check, no trace/profile recording, and no
-    /// SECDED/parity protection state on the local stores.
-    fn fast_path_eligible(&self) -> bool {
+    /// no mid-run watchdog check, no trace recording, no *precise*
+    /// profiling (sampled profiling is a cheap threshold compare in the
+    /// shared `finish_step` and stays eligible), and no SECDED/parity
+    /// protection state on the local stores.
+    pub fn fast_path_eligible(&self) -> bool {
         !self.force_precise
             && self.watchdog.is_none()
             && self.trace.is_none()
-            && self.profile.is_none()
+            && (self.profile.is_none() || self.sample_period.is_some())
             && self.fault_plan.as_ref().is_none_or(|p| p.is_empty())
             && self.mem.dmem_protection() == ProtectionKind::None
     }

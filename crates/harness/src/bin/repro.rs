@@ -18,6 +18,8 @@
 //! repro bench       paper-figure perf suite: sweeps, ratios, BENCH_perf.json
 //! repro serve       durable query serving under admission control:
 //!                   qps + p50/p99 cycle latency, BENCH_serve.json
+//! repro monitor     operator view of the serving run: SLO windows,
+//!                   burn-rate alerts, per-phase tail attribution
 //! repro dse         automatic ISA-extension mining (DFG enumeration +
 //!                   synth-priced Pareto search over the scalar kernels)
 //! repro all         everything above
@@ -49,12 +51,25 @@
 //! serve options:
 //!          --scale <f>         workload scale (default 1.0; overrides --quick)
 //!          --json              print the serve snapshot JSON
+//!          --metrics           print the deterministic Prometheus-text
+//!                              telemetry exposition (cycle domain)
+//!          --metrics-json      print the JSON twin of --metrics
+//!          --top-tail <n>      print the n worst requests with their
+//!                              dominant latency phase
 //!          --check <baseline>  diff against a committed BENCH_serve.json;
 //!                              exit 1 on any >3% cycle regression or any
 //!                              admission-counter drift
 //!
+//! monitor options:
+//!          --scale <f>         workload scale (default 1.0; overrides --quick)
+//!          --top-tail <n>      tail rows in the attribution section
+//!                              (default 5)
+//!
 //! dse options:
 //!          --json              print the deterministic mining snapshot
+//!          --profiled [period] also mine with weights measured by the
+//!                              sampled profiler (fast-path-safe; default
+//!                              period 64 cycles)
 //!          --check <baseline>  gate against a committed DSE_baseline.json;
 //!                              exit 1 when a rediscovered SOP/ST_S/bundle
 //!                              shape disappears or the frontier's best
@@ -62,8 +77,8 @@
 //! ```
 
 use dbx_harness::{
-    bench, dse, energy, fig13, isa_ref, observe, pipeline, resilience, scaling, serve, stream_exp,
-    table2, table3, table4, table5, table6, width_exp,
+    bench, dse, energy, fig13, isa_ref, monitor, observe, pipeline, resilience, scaling, serve,
+    stream_exp, table2, table3, table4, table5, table6, width_exp,
 };
 
 fn main() {
@@ -108,11 +123,12 @@ fn main() {
         "observe" => run_observe(&args, scale),
         "bench" => run_bench(&args, scale),
         "serve" => run_serve(&args, scale),
+        "monitor" => run_monitor(&args, scale),
         "dse" => run_dse(&args),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe bench serve dse all"
+                "available: table2 fig13 table3 table4 table5 table6 stream pipeline scaling energy resilience width isa observe bench serve monitor dse all"
             );
             std::process::exit(2);
         }
@@ -153,6 +169,39 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Shared `--check` driver for the gated snapshots (observe, bench,
+/// serve). Reads the committed baseline, renders the diff table, and
+/// exits 1 on any regression or on a malformed baseline. The threshold
+/// arithmetic itself lives in `dbx_bench::gate`; this owns only the
+/// exit policy.
+fn run_check<D, E: std::fmt::Display>(
+    args: &[String],
+    unit: &str,
+    check: impl FnOnce(&str) -> Result<Vec<D>, E>,
+    render: impl FnOnce(&[D]) -> String,
+    regressed: impl Fn(&D) -> bool,
+) {
+    let Some(path) = flag_value(args, "--check") else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(path).expect("read baseline snapshot");
+    match check(&baseline) {
+        Ok(diffs) => {
+            let regressions = diffs.iter().filter(|d| regressed(d)).count();
+            eprintln!("{}", render(&diffs));
+            if regressions > 0 {
+                eprintln!("{regressions} {unit}(s) regressed beyond the 3% threshold");
+                std::process::exit(1);
+            }
+            eprintln!("no cycle regressions against {path}");
+        }
+        Err(e) => {
+            eprintln!("baseline comparison failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_observe(args: &[String], scale: f64) {
     let o = observe::run(scale);
     let top: usize = flag_value(args, "--top")
@@ -175,24 +224,13 @@ fn run_observe(args: &[String], scale: f64) {
         println!("{}", o.hotspot_report(top));
     }
 
-    if let Some(path) = flag_value(args, "--check") {
-        let baseline = std::fs::read_to_string(path).expect("read baseline snapshot");
-        match o.check(&baseline) {
-            Ok(diffs) => {
-                let regressions = diffs.iter().filter(|d| d.regression).count();
-                eprintln!("{}", observe::Observe::render_diff(&diffs));
-                if regressions > 0 {
-                    eprintln!("{regressions} cell(s) regressed beyond the 3% threshold");
-                    std::process::exit(1);
-                }
-                eprintln!("no cycle regressions against {path}");
-            }
-            Err(e) => {
-                eprintln!("baseline comparison failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+    run_check(
+        args,
+        "cell",
+        |baseline| o.check(baseline),
+        observe::Observe::render_diff,
+        |d| d.regression,
+    );
 }
 
 fn run_serve(args: &[String], scale: f64) {
@@ -201,34 +239,41 @@ fn run_serve(args: &[String], scale: f64) {
         .unwrap_or(scale);
     let s = serve::run(scale);
 
-    if args.iter().any(|a| a == "--json") {
+    if args.iter().any(|a| a == "--metrics") {
+        print!("{}", s.metrics());
+    } else if args.iter().any(|a| a == "--metrics-json") {
+        println!("{}", s.metrics_json());
+    } else if args.iter().any(|a| a == "--json") {
         println!("{}", s.snapshot.to_json());
     } else {
         println!("{}", s.render());
+        if let Some(n) = flag_value(args, "--top-tail").and_then(|v| v.parse().ok()) {
+            println!("{}", s.top_tail_report(n));
+        }
     }
     if !s.recovery_ok() {
         eprintln!("crash recovery diverged from the pre-crash serving state");
         std::process::exit(1);
     }
 
-    if let Some(path) = flag_value(args, "--check") {
-        let baseline = std::fs::read_to_string(path).expect("read baseline snapshot");
-        match s.check(&baseline) {
-            Ok(diffs) => {
-                let regressions = diffs.iter().filter(|d| d.regression).count();
-                eprintln!("{}", serve::Serve::render_diff(&diffs));
-                if regressions > 0 {
-                    eprintln!("{regressions} metric(s) regressed beyond the 3% threshold");
-                    std::process::exit(1);
-                }
-                eprintln!("no cycle regressions against {path}");
-            }
-            Err(e) => {
-                eprintln!("baseline comparison failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+    run_check(
+        args,
+        "metric",
+        |baseline| s.check(baseline),
+        serve::Serve::render_diff,
+        |d| d.regression,
+    );
+}
+
+fn run_monitor(args: &[String], scale: f64) {
+    let scale = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(scale);
+    let top_tail = flag_value(args, "--top-tail")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let m = monitor::run(scale);
+    println!("{}", m.render(top_tail));
 }
 
 fn run_dse(args: &[String]) {
@@ -237,6 +282,12 @@ fn run_dse(args: &[String]) {
         println!("{}", d.snapshot());
     } else {
         println!("{}", d.render());
+    }
+    if args.iter().any(|a| a == "--profiled") {
+        let period = flag_value(args, "--profiled")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        println!("{}", dse::profile_weighted(period).render());
     }
     if let Some(path) = flag_value(args, "--check") {
         let baseline = std::fs::read_to_string(path).expect("read DSE baseline");
@@ -280,22 +331,11 @@ fn run_bench(args: &[String], scale: f64) {
         println!("{}", b.render());
     }
 
-    if let Some(path) = flag_value(args, "--check") {
-        let baseline = std::fs::read_to_string(path).expect("read baseline snapshot");
-        match b.check(&baseline) {
-            Ok(diffs) => {
-                let regressions = diffs.iter().filter(|d| d.regression).count();
-                eprintln!("{}", bench::Bench::render_diff(&diffs));
-                if regressions > 0 {
-                    eprintln!("{regressions} point(s) regressed beyond the 3% threshold");
-                    std::process::exit(1);
-                }
-                eprintln!("no cycle regressions against {path}");
-            }
-            Err(e) => {
-                eprintln!("baseline comparison failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+    run_check(
+        args,
+        "point",
+        |baseline| b.check(baseline),
+        bench::Bench::render_diff,
+        |d| d.regression,
+    );
 }

@@ -22,8 +22,10 @@ use dbx_analysis::dse::{
 };
 use dbx_bench::perf::q6;
 use dbx_core::kernels::{scalar, SetLayout};
+use dbx_core::runner::{build_processor, run_set_op_with, set_layout, RunOptions};
 use dbx_core::{ProcModel, SetOpKind};
 use dbx_cpu::program::{DMEM0_BASE, DMEM1_BASE};
+use dbx_cpu::ProfileMode;
 use dbx_observe::json::Json;
 use dbx_synth::dse::{price_candidate, price_set, CandidatePrice};
 use dbx_synth::Tech;
@@ -135,6 +137,92 @@ pub fn run() -> Dse {
         mined,
         priced,
         frontier,
+    }
+}
+
+/// The profile-weighted mining result: what the miner proposes when the
+/// block weights come from a *measured* (sampled) run instead of the
+/// static loop-nest heuristic.
+pub struct ProfiledDse {
+    /// Sampling period of the profiled run, in cycles.
+    pub period: u64,
+    /// Cycles the profiled scalar intersect run took.
+    pub run_cycles: u64,
+    /// Whether the profiled run kept the simulator's fast path.
+    pub fast_path: bool,
+    /// Distinct profiled addresses feeding the weight map.
+    pub profile_points: usize,
+    /// Mining result under [`WeightModel::Profile`].
+    pub mined: Mined,
+}
+
+/// Mines the scalar intersect kernel with weights measured by the
+/// *sampled* profiler — the end-to-end path the telemetry plane feeds:
+/// a production-shaped run (sampling keeps the fast path) yields a
+/// sparse [`dbx_cpu::ProfileSnapshot`], whose weight map drives
+/// [`WeightModel::Profile`] mining of the exact program the runner
+/// executed (rebuilt via [`set_layout`], not the synthetic corpus
+/// layout).
+pub fn profile_weighted(period: u64) -> ProfiledDse {
+    let a: Vec<u32> = (0..256u32).map(|i| 2 * i).collect();
+    let b: Vec<u32> = (0..256u32).map(|i| 3 * i).collect();
+    let opts = RunOptions {
+        profile: ProfileMode::Sampled { period },
+        ..Default::default()
+    };
+    let run = run_set_op_with(ProcModel::Dba2Lsu, SetOpKind::Intersect, &a, &b, &opts)
+        .expect("profiled scalar intersect runs");
+    // Sampling must not demote the simulator off its fast path — probe
+    // the eligibility predicate under the same mode.
+    let fast_path = {
+        let mut p = build_processor(ProcModel::Dba2Lsu).expect("probe processor");
+        p.set_profile_mode(ProfileMode::Sampled { period });
+        p.fast_path_eligible()
+    };
+    let snapshot = run.profile.expect("sampled run carries a profile");
+    let weights = snapshot.weight_map();
+    let profile_points = weights.len();
+
+    // Rebuild the program the runner just executed: same model, same
+    // placement rules, so the mined addresses line up with the profile.
+    let layout =
+        set_layout(ProcModel::Dba2Lsu, a.len() as u32, b.len() as u32).expect("scalar layout fits");
+    let prog = scalar::set_op_program(SetOpKind::Intersect, &layout).expect("scalar kernel builds");
+    let dse_cfg = DseConfig::from_cpu(&ProcModel::Dba2LsuEis { partial: false }.cpu_config());
+    let mined = mine(&prog, None, &dse_cfg, &WeightModel::Profile(weights));
+    ProfiledDse {
+        period,
+        run_cycles: run.cycles,
+        fast_path,
+        profile_points,
+        mined,
+    }
+}
+
+impl ProfiledDse {
+    /// Human report of the profile-weighted mining run.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Profile-weighted mining (sampled every {} cycles; run {} cycles, fast path {}, {} profiled addresses):\n",
+            self.period,
+            self.run_cycles,
+            if self.fast_path { "kept" } else { "lost" },
+            self.profile_points,
+        );
+        out.push_str(&format!(
+            "{} candidate shapes, {} profile-weighted base cycles; top savings:\n",
+            self.mined.candidates.len(),
+            self.mined.base_cycles,
+        ));
+        for c in self.mined.candidates.iter().take(5) {
+            out.push_str(&format!(
+                "  {:>11}  saves {:>6}  {}\n",
+                c.class.tag(),
+                c.cycles_saved,
+                c.signature
+            ));
+        }
+        out
     }
 }
 
@@ -444,6 +532,35 @@ mod tests {
             failures.iter().any(|f| f.contains("regressed")),
             "{failures:?}"
         );
+    }
+
+    #[test]
+    fn sampled_profile_drives_weighted_mining_end_to_end() {
+        let d = profile_weighted(64);
+        assert!(d.fast_path, "sampling must keep the fast path");
+        assert!(d.run_cycles > 0);
+        assert!(
+            d.profile_points > 0,
+            "the sampled run must observe at least one address"
+        );
+        assert!(
+            !d.mined.candidates.is_empty(),
+            "profile-weighted mining must still propose shapes"
+        );
+        // The profiled weights emphasize the merge loop, so the miner
+        // still finds the paper's load/load/compare (SOP) shape.
+        assert!(
+            d.mined
+                .candidates
+                .iter()
+                .any(|c| c.class == CandidateClass::SopLike && c.cycles_saved > 0),
+            "sop-like shape missing from profile-weighted mining"
+        );
+        // Deterministic: same period, same result.
+        let e = profile_weighted(64);
+        assert_eq!(d.run_cycles, e.run_cycles);
+        assert_eq!(d.mined.base_cycles, e.mined.base_cycles);
+        assert!(d.render().contains("fast path kept"));
     }
 
     #[test]

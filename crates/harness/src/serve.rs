@@ -23,6 +23,8 @@ use crate::{scaled, SEED};
 use dbx_bench::serve::{MetricDiff, ServeCounters, ServeError, ServeSnapshot};
 use dbx_core::ProcModel;
 use dbx_faults::XorShift64;
+use dbx_observe::telemetry::{AlertKind, MetricsWriter, Phase, SloPolicy, TelemetryReport};
+use dbx_observe::Json;
 use dbx_query::{Arrival, Predicate, QueryService, Request, ServiceConfig};
 use dbx_storage::{Columns, MemDisk};
 use dbx_synth::{fmax_mhz, Tech};
@@ -32,6 +34,22 @@ const MODEL: ProcModel = ProcModel::Dba2LsuEis { partial: true };
 
 /// Admission queue capacity of the benchmark service.
 const QUEUE_CAP: usize = 8;
+
+/// Tenant labels cycled over the workload (requests are tagged
+/// round-robin, so per-tenant counters are deterministic).
+const TENANTS: [&str; 3] = ["acme", "globex", "initech"];
+
+/// The SLO policy the benchmark monitors against. Thresholds sit just
+/// above the steady-state behaviour of the committed workload, so only
+/// two deterministic events violate it: the seeding `create`'s WAL
+/// commit (p99) and the synchronized overload burst (shed rate).
+pub fn slo_policy() -> SloPolicy {
+    SloPolicy {
+        window_cycles: 20_000,
+        p99_latency_cycles: 1_200,
+        max_shed_rate: 0.01,
+    }
+}
 
 /// The serving-benchmark result.
 #[derive(Debug)]
@@ -46,6 +64,9 @@ pub struct Serve {
     pub frames_replayed: u64,
     /// Snapshot LSN the post-run recovery started from.
     pub snapshot_lsn: u64,
+    /// The assembled telemetry: per-request records, latency histogram,
+    /// SLO windows, and fired alerts (all in the cycle domain).
+    pub telemetry: TelemetryReport,
 }
 
 /// Builds the deterministic serving workload at a scale.
@@ -56,13 +77,13 @@ fn workload(scale: f64) -> Vec<Arrival> {
     let mut rng = XorShift64::new(SEED | 1);
     let mut scratch_exists = false;
     let mut out = Vec::with_capacity(n + burst_len + 1);
-    out.push(Arrival {
-        at: 0,
-        request: Request::Create {
+    out.push(Arrival::new(
+        0,
+        Request::Create {
             table: "items".into(),
             columns: seed_columns(scaled(192, scale), &mut rng),
         },
-    });
+    ));
     let push = |at: u64, rng: &mut XorShift64, scratch_exists: &mut bool| {
         let request = match rng.below(10) {
             0..=3 => Request::Query {
@@ -97,7 +118,7 @@ fn workload(scale: f64) -> Vec<Arrival> {
                 }
             }
         };
-        Arrival { at, request }
+        Arrival::new(at, request)
     };
     for i in 0..n {
         let at = (i as u64 + 1) * 2_000;
@@ -108,6 +129,12 @@ fn workload(scale: f64) -> Vec<Arrival> {
                 out.push(push(at, &mut rng, &mut scratch_exists));
             }
         }
+    }
+    // Tag tenants round-robin over the arrival order (qid order), so
+    // the per-tenant telemetry counters are a pure function of the
+    // workload shape.
+    for (i, a) in out.iter_mut().enumerate() {
+        a.tenant = TENANTS[i % TENANTS.len()].to_string();
     }
     out
 }
@@ -152,6 +179,7 @@ pub fn run(scale: f64) -> Serve {
         counters,
         report.stats.span_cycles,
     );
+    let telemetry = TelemetryReport::build(report.records(), &slo_policy());
 
     // Crash-recover the store and prove the serving state survives: the
     // recovered digest must match the pre-crash digest exactly.
@@ -166,6 +194,7 @@ pub fn run(scale: f64) -> Serve {
         recovered_digest: recovered.state_digest(),
         frames_replayed: recovery.frames_replayed,
         snapshot_lsn: recovery.snapshot_lsn,
+        telemetry,
     }
 }
 
@@ -225,6 +254,233 @@ impl Serve {
                 d.current,
                 100.0 * d.delta,
                 if d.regression { "REGRESSION" } else { "ok" }
+            ));
+        }
+        out
+    }
+
+    /// The deterministic Prometheus-text exposition of the run's
+    /// telemetry. Every value is a simulated-cycle quantity, so the
+    /// text is byte-identical on every host and at every
+    /// `DBX_HOST_THREADS` setting (CI diffs it byte-for-byte).
+    pub fn metrics(&self) -> String {
+        let t = &self.telemetry;
+        let s = &self.snapshot;
+        let mut w = MetricsWriter::new();
+        for (name, help, value) in [
+            (
+                "dbx_serve_requests_total",
+                "Requests offered to the service.",
+                s.requests,
+            ),
+            (
+                "dbx_serve_admitted_total",
+                "Requests admitted past the queue.",
+                s.admitted,
+            ),
+            (
+                "dbx_serve_shed_total",
+                "Requests shed by admission control.",
+                s.shed,
+            ),
+            (
+                "dbx_serve_retried_total",
+                "Retry attempts consumed.",
+                s.retried,
+            ),
+            (
+                "dbx_serve_succeeded_total",
+                "Admitted requests that succeeded.",
+                s.succeeded,
+            ),
+            (
+                "dbx_serve_failed_total",
+                "Admitted requests that failed.",
+                s.failed,
+            ),
+        ] {
+            w.family(name, help, "counter");
+            w.sample_u64(name, &[], value);
+        }
+        w.histogram(
+            "dbx_serve_latency",
+            "Admitted-request latency in simulated cycles.",
+            &t.latency,
+        );
+        w.family(
+            "dbx_serve_phase_cycles_total",
+            "Cycles per phase, summed over admitted requests.",
+            "counter",
+        );
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            w.sample_u64(
+                "dbx_serve_phase_cycles_total",
+                &[("phase", p.name())],
+                t.phase_cycles[i],
+            );
+        }
+        w.family(
+            "dbx_serve_tenant_requests_total",
+            "Requests per tenant.",
+            "counter",
+        );
+        for (tenant, n) in &t.tenant_requests {
+            w.sample_u64("dbx_serve_tenant_requests_total", &[("tenant", tenant)], *n);
+        }
+        if let Some(p99) = t.p99_record() {
+            w.family(
+                "dbx_serve_p99_qid",
+                "qid of the exact nearest-rank p99 request.",
+                "gauge",
+            );
+            w.sample_u64("dbx_serve_p99_qid", &[], p99.qid);
+            w.family(
+                "dbx_serve_p99_latency_cycles",
+                "Latency of the p99 request.",
+                "gauge",
+            );
+            w.sample_u64("dbx_serve_p99_latency_cycles", &[], p99.latency());
+            w.family(
+                "dbx_serve_p99_phase_cycles",
+                "Where the p99 request's latency went, per phase.",
+                "gauge",
+            );
+            for p in Phase::ALL {
+                w.sample_u64(
+                    "dbx_serve_p99_phase_cycles",
+                    &[("phase", p.name())],
+                    p99.phases.get(p),
+                );
+            }
+        }
+        w.family("dbx_serve_slo_windows", "SLO windows evaluated.", "gauge");
+        w.sample_u64("dbx_serve_slo_windows", &[], t.windows.len() as u64);
+        w.family(
+            "dbx_serve_slo_alerts_total",
+            "SLO alerts fired, by kind.",
+            "counter",
+        );
+        for kind in [AlertKind::ShedRateHigh, AlertKind::P99LatencyHigh] {
+            let n = t.alerts.iter().filter(|a| a.kind == kind).count() as u64;
+            w.sample_u64("dbx_serve_slo_alerts_total", &[("kind", kind.name())], n);
+        }
+        w.finish()
+    }
+
+    /// The JSON twin of [`Serve::metrics`]: the same numbers, one
+    /// deterministic single-line document.
+    pub fn metrics_json(&self) -> String {
+        let t = &self.telemetry;
+        let s = &self.snapshot;
+        let phases = Json::obj(
+            Phase::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.name(), Json::Num(t.phase_cycles[i] as f64))),
+        );
+        let tenants = Json::Obj(
+            t.tenant_requests
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let p99 = match t.p99_record() {
+            None => Json::Null,
+            Some(r) => Json::obj([
+                ("qid", Json::Num(r.qid as f64)),
+                ("tenant", Json::Str(r.tenant.clone())),
+                ("kind", Json::Str(r.kind.to_string())),
+                ("latency_cycles", Json::Num(r.latency() as f64)),
+                ("retries", Json::Num(r.retries as f64)),
+                (
+                    "dominant_phase",
+                    Json::Str(r.dominant_phase().name().to_string()),
+                ),
+                (
+                    "phases",
+                    Json::obj(
+                        Phase::ALL
+                            .iter()
+                            .map(|p| (p.name(), Json::Num(r.phases.get(*p) as f64))),
+                    ),
+                ),
+            ]),
+        };
+        let windows = Json::Arr(
+            t.windows
+                .iter()
+                .map(|win| {
+                    Json::obj([
+                        ("start", Json::Num(win.start as f64)),
+                        ("end", Json::Num(win.end as f64)),
+                        ("requests", Json::Num(win.requests as f64)),
+                        ("shed", Json::Num(win.shed as f64)),
+                        ("succeeded", Json::Num(win.succeeded as f64)),
+                        ("failed", Json::Num(win.failed as f64)),
+                        ("shed_rate", Json::Num(win.shed_rate())),
+                        (
+                            "p99_cycles",
+                            win.latency
+                                .p99()
+                                .map(|v| Json::Num(v as f64))
+                                .unwrap_or(Json::Null),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let alerts = Json::Arr(
+            t.alerts
+                .iter()
+                .map(|a| {
+                    Json::obj([
+                        ("kind", Json::Str(a.kind.name().to_string())),
+                        ("window_start", Json::Num(a.window_start as f64)),
+                        ("window_end", Json::Num(a.window_end as f64)),
+                        ("value", Json::Num(a.value)),
+                        ("target", Json::Num(a.target)),
+                        ("burn", Json::Num(a.burn)),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = Json::obj([
+            ("schema", Json::Str("dbx-harness/telemetry/v1".to_string())),
+            ("requests", Json::Num(s.requests as f64)),
+            ("admitted", Json::Num(s.admitted as f64)),
+            ("shed", Json::Num(s.shed as f64)),
+            ("retried", Json::Num(s.retried as f64)),
+            ("succeeded", Json::Num(s.succeeded as f64)),
+            ("failed", Json::Num(s.failed as f64)),
+            ("latency", t.latency.to_json()),
+            ("phase_cycles", phases),
+            ("tenant_requests", tenants),
+            ("p99", p99),
+            ("windows", windows),
+            ("alerts", alerts),
+        ]);
+        let mut out = String::new();
+        doc.write(&mut out);
+        out
+    }
+
+    /// The `--top-tail` report: the `n` worst admitted requests with
+    /// their dominant phase named, worst first.
+    pub fn top_tail_report(&self, n: usize) -> String {
+        let mut out = format!("Top tail — {n} worst admitted requests by cycle latency\n");
+        for r in self.telemetry.top_tail(n) {
+            out.push_str(&format!(
+                "  qid {:>4}  {:<7} tenant={:<8} latency {:>8}  retries {}  dominant={:<7} (queue {}, kernel {}, wal {}, backoff {})\n",
+                r.qid,
+                r.kind,
+                r.tenant,
+                r.latency(),
+                r.retries,
+                r.dominant_phase().name(),
+                r.phases.queue,
+                r.phases.kernel,
+                r.phases.wal,
+                r.phases.backoff,
             ));
         }
         out

@@ -37,6 +37,7 @@ pub mod perfetto;
 pub mod recorder;
 pub mod snapshot;
 pub mod span;
+pub mod telemetry;
 
 pub use folded::{folded_line, FoldedStacks};
 pub use json::Json;
@@ -44,3 +45,7 @@ pub use perfetto::{validate_chrome_trace, write_chrome_trace};
 pub use recorder::{Observer, Recorder, SharedSink, TraceSink};
 pub use snapshot::{BenchCell, BenchSnapshot, CellDiff, SnapshotError};
 pub use span::{ArgValue, CounterSample, Span, TrackId};
+pub use telemetry::{
+    evaluate_slo, AlertKind, CycleHistogram, MetricsWriter, Outcome, Phase, PhaseBreakdown,
+    RequestRecord, SloPolicy, SloWindow, TelemetryAlert, TelemetryReport,
+};

@@ -200,12 +200,13 @@ impl QueryEngine {
         let track = self.options.observer.track();
         let pending_plan = plan.take();
         let fault_plan = &pending_plan;
-        let (protection, policy, watchdog, deadline, force_precise) = (
+        let (protection, policy, watchdog, deadline, force_precise, profile) = (
             self.options.protection,
             self.options.policy,
             self.options.watchdog,
             self.options.deadline,
             self.options.force_precise,
+            self.options.profile,
         );
         let model = self.model;
         let shards = run_indexed(self.options.sched, pairs.len(), move |idx| {
@@ -225,6 +226,7 @@ impl QueryEngine {
                 observer,
                 sched: HostSched::Sequential,
                 force_precise,
+                profile,
             };
             run_partition_with(model, SetOpKind::Union, a, b, &op_opts).map(|r| {
                 drop(op_opts); // release the worker's observer handle
@@ -324,6 +326,19 @@ impl QueryEngine {
     /// Executes a predicate tree and returns the matching RIDs with the
     /// simulated cost and resilience accounting.
     pub fn execute(&self, table: &Table, pred: &Predicate) -> Result<QueryOutput, QueryError> {
+        self.execute_tagged(table, pred, None)
+    }
+
+    /// [`Self::execute`] with a propagated query id: when the serving
+    /// layer hands one down, the root `query` span carries it as a `qid`
+    /// arg, so every span of a request joins back to its
+    /// [`dbx_observe::telemetry::RequestRecord`].
+    pub fn execute_tagged(
+        &self,
+        table: &Table,
+        pred: &Predicate,
+        qid: Option<u64>,
+    ) -> Result<QueryOutput, QueryError> {
         let mut out = QueryOutput::empty();
         let mut plan = self.options.fault_plan.clone();
         let host = self.options.observer.on_track(TrackId::Host);
@@ -334,12 +349,16 @@ impl QueryEngine {
             // `place` calls above advanced the host clock by exactly
             // `out.cycles`, so this overlay tiles them without moving it.
             host.span_at("query", "query", base, out.cycles, || {
-                vec![
+                let mut args = vec![
                     ("set_ops", ArgValue::from(out.set_ops)),
                     ("rows_out", out.rids.len().into()),
                     ("elements", out.elements_processed.into()),
                     ("retries", u64::from(out.retries).into()),
-                ]
+                ];
+                if let Some(q) = qid {
+                    args.push(("qid", q.into()));
+                }
+                args
             });
         }
         Ok(out)

@@ -36,6 +36,7 @@ use crate::index::Table;
 use crate::predicate::Predicate;
 use dbx_core::{ProcModel, RunOptions};
 use dbx_cpu::{FaultCause, SimError};
+use dbx_observe::telemetry::{Outcome, PhaseBreakdown, RequestRecord};
 use dbx_observe::{ArgValue, Observer, TrackId};
 use dbx_storage::{Columns, Disk, Store, StoreOptions, StoreView, TableImage};
 use std::collections::{HashMap, VecDeque};
@@ -129,6 +130,26 @@ pub struct Arrival {
     pub at: u64,
     /// The request.
     pub request: Request,
+    /// The tenant submitting the request (telemetry label; admission is
+    /// tenant-blind for now — ROADMAP item 1 adds per-tenant quotas).
+    pub tenant: String,
+}
+
+impl Arrival {
+    /// An arrival from the default tenant.
+    pub fn new(at: u64, request: Request) -> Arrival {
+        Arrival {
+            at,
+            request,
+            tenant: "default".to_string(),
+        }
+    }
+
+    /// Relabels the arrival's tenant.
+    pub fn with_tenant(mut self, tenant: &str) -> Arrival {
+        self.tenant = tenant.to_string();
+        self
+    }
 }
 
 /// What a request produced.
@@ -143,8 +164,13 @@ pub enum Reply {
 /// The fate of one arrival.
 #[derive(Debug, Clone)]
 pub struct Completion {
-    /// Index into the submitted workload.
+    /// Index into the submitted workload (doubles as the query id the
+    /// request's spans carry as their `qid` arg).
     pub index: usize,
+    /// Request kind (`query`, `create`, `append`, `drop`).
+    pub kind: &'static str,
+    /// The tenant the request arrived from.
+    pub tenant: String,
     /// Arrival cycle.
     pub arrival: u64,
     /// Cycle execution started (equals `finish` for shed requests).
@@ -153,6 +179,9 @@ pub struct Completion {
     pub finish: u64,
     /// Retries consumed.
     pub retries: u32,
+    /// Where the latency went. Tiles `latency()` exactly for served
+    /// requests; all-zero for shed ones.
+    pub phases: PhaseBreakdown,
     /// Outcome.
     pub result: Result<Reply, QueryError>,
 }
@@ -175,7 +204,9 @@ pub struct ServiceStats {
     pub retried: u64,
     /// Requests that finished with `Ok`.
     pub succeeded: u64,
-    /// Requests that finished with `Err` (including shed ones).
+    /// Admitted requests that finished with `Err`. Shed requests are
+    /// counted by `shed` only, so `shed + succeeded + failed` equals the
+    /// workload size exactly.
     pub failed: u64,
     /// Cycles from the first arrival to the last finish.
     pub span_cycles: u64,
@@ -199,6 +230,30 @@ impl ServiceReport {
             .iter()
             .filter(|c| c.result.is_ok())
             .map(Completion::latency)
+            .collect()
+    }
+
+    /// The run as telemetry records, one per arrival, in workload order
+    /// — the input to `dbx_observe::telemetry::TelemetryReport::build`.
+    pub fn records(&self) -> Vec<RequestRecord> {
+        self.completions
+            .iter()
+            .map(|c| RequestRecord {
+                qid: c.index as u64,
+                tenant: c.tenant.clone(),
+                kind: c.kind,
+                arrival: c.arrival,
+                finish: c.finish,
+                retries: c.retries,
+                phases: c.phases,
+                outcome: match &c.result {
+                    Ok(_) => Outcome::Ok,
+                    // Overloaded is minted only at admission: it *is*
+                    // the shed outcome.
+                    Err(QueryError::Overloaded { .. }) => Outcome::Shed,
+                    Err(_) => Outcome::Failed,
+                },
+            })
             .collect()
     }
 }
@@ -286,12 +341,14 @@ impl<D: Disk> QueryService<D> {
     }
 
     /// Executes one request immediately (no queueing), with the given
-    /// remaining deadline budget. Returns the reply and the simulated
+    /// remaining deadline budget. A propagated `qid` is stamped on the
+    /// engine's root query span. Returns the reply and the simulated
     /// cycle cost.
     fn execute(
         &mut self,
         request: &Request,
         budget: Option<u64>,
+        qid: Option<u64>,
     ) -> (Result<Reply, QueryError>, u64) {
         match request {
             Request::Query { table, predicate } => {
@@ -316,7 +373,7 @@ impl<D: Disk> QueryService<D> {
                 let mut engine = self.engine.clone();
                 engine.options.fault_plan = plan;
                 engine.options.deadline = budget;
-                match engine.execute(&indexed, predicate) {
+                match engine.execute_tagged(&indexed, predicate, qid) {
                     Ok(out) => {
                         let cycles = out.cycles;
                         (Ok(Reply::Rids(out.rids)), cycles)
@@ -410,21 +467,25 @@ impl<D: Disk> QueryService<D> {
                 completions[head] = Some(c);
             }
             if queue.len() >= self.cfg.queue_cap {
-                // Shed at admission.
+                // Shed at admission. Shed requests never occupy the
+                // server, so they count in `shed` alone — not `failed`.
                 stats.shed += 1;
-                stats.failed += 1;
                 self.obs.span_at("admission.shed", "serve", now, 0, || {
                     vec![
                         ("kind", ArgValue::Str(workload[i].request.kind().into())),
                         ("queue_depth", ArgValue::U64(queue.len() as u64)),
+                        ("qid", ArgValue::U64(i as u64)),
                     ]
                 });
                 completions[i] = Some(Completion {
                     index: i,
+                    kind: workload[i].request.kind(),
+                    tenant: workload[i].tenant.clone(),
                     arrival: now,
                     start: now,
                     finish: now,
                     retries: 0,
+                    phases: PhaseBreakdown::default(),
                     result: Err(QueryError::Overloaded {
                         queue_depth: queue.len(),
                     }),
@@ -455,7 +516,9 @@ impl<D: Disk> QueryService<D> {
     }
 
     /// Serves one admitted request at `start`, applying the deadline
-    /// and retry policy. Returns its completion.
+    /// and retry policy. Returns its completion, with every cycle of
+    /// `finish - arrival` attributed to a phase (queue wait, kernel or
+    /// WAL attempts, retry backoff) so the tail is attributable.
     fn serve(
         &mut self,
         index: usize,
@@ -463,11 +526,22 @@ impl<D: Disk> QueryService<D> {
         start: u64,
         stats: &mut ServiceStats,
     ) -> Completion {
+        let qid = index as u64;
         let wait = start - arrival.at;
         self.obs
             .span_at("admission.queue", "serve", arrival.at, wait, || {
-                vec![("kind", ArgValue::Str(arrival.request.kind().into()))]
+                vec![
+                    ("kind", ArgValue::Str(arrival.request.kind().into())),
+                    ("qid", ArgValue::U64(qid)),
+                ]
             });
+        // Writes spend their service time in the WAL commit; queries
+        // spend it in kernels.
+        let is_write = !matches!(arrival.request, Request::Query { .. });
+        let mut phases = PhaseBreakdown {
+            queue: wait,
+            ..PhaseBreakdown::default()
+        };
         let mut now = start;
         let mut retries = 0u32;
         let result = loop {
@@ -483,11 +557,28 @@ impl<D: Disk> QueryService<D> {
                     Some(d - spent)
                 }
             };
-            let (result, cost) = self.execute(&arrival.request, budget);
-            now += cost.max(1); // even a rejected request burns a cycle
+            let (result, cost) = self.execute(&arrival.request, budget, Some(qid));
+            let cost = cost.max(1); // even a rejected request burns a cycle
+            let attempt_start = now;
+            now += cost;
+            let (phase_cycles, span_name) = if is_write {
+                (&mut phases.wal, "serve.wal")
+            } else {
+                (&mut phases.kernel, "serve.kernel")
+            };
+            *phase_cycles += cost;
+            self.obs
+                .span_at(span_name, "serve", attempt_start, cost, || {
+                    vec![
+                        ("qid", ArgValue::U64(qid)),
+                        ("attempt", ArgValue::U64(u64::from(retries))),
+                    ]
+                });
             match result {
                 Err(ref e) if e.is_retryable() && retries < self.cfg.max_retries => {
-                    now += self.cfg.backoff_base << retries;
+                    let gap = self.cfg.backoff_base << retries;
+                    now += gap;
+                    phases.backoff += gap;
                     retries += 1;
                     stats.retried += 1;
                 }
@@ -498,6 +589,7 @@ impl<D: Disk> QueryService<D> {
             .span_at("serve.exec", "serve", start, now - start, || {
                 vec![
                     ("kind", ArgValue::Str(arrival.request.kind().into())),
+                    ("qid", ArgValue::U64(qid)),
                     ("retries", ArgValue::U64(u64::from(retries))),
                     (
                         "outcome",
@@ -510,12 +602,16 @@ impl<D: Disk> QueryService<D> {
             Err(_) => stats.failed += 1,
         }
         stats.busy_cycles += now - start;
+        debug_assert_eq!(phases.total(), now - arrival.at);
         Completion {
             index,
+            kind: arrival.request.kind(),
+            tenant: arrival.tenant.clone(),
             arrival: arrival.at,
             start,
             finish: now,
             retries,
+            phases,
             result,
         }
     }
@@ -553,6 +649,7 @@ mod tests {
                 ],
             },
             None,
+            None,
         );
         r.unwrap();
         s
@@ -567,6 +664,7 @@ mod tests {
                 predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 9)),
             },
             None,
+            None,
         );
         assert_eq!(r.unwrap(), Reply::Rids(vec![0, 4]));
 
@@ -580,6 +678,7 @@ mod tests {
                 predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 9)),
             },
             None,
+            None,
         );
         assert_eq!(r.unwrap(), Reply::Rids(vec![0, 4]));
     }
@@ -587,22 +686,24 @@ mod tests {
     #[test]
     fn admission_run_is_deterministic() {
         let workload: Vec<Arrival> = (0..12)
-            .map(|i| Arrival {
-                at: i * 2_000,
-                request: if i % 3 == 0 {
-                    Request::Append {
-                        table: "items".into(),
-                        rows: vec![
-                            ("color".into(), vec![i as u32 % 4]),
-                            ("size".into(), vec![7 + (i as u32 % 3)]),
-                        ],
-                    }
-                } else {
-                    Request::Query {
-                        table: "items".into(),
-                        predicate: Predicate::eq("color", 1),
-                    }
-                },
+            .map(|i| {
+                Arrival::new(
+                    i * 2_000,
+                    if i % 3 == 0 {
+                        Request::Append {
+                            table: "items".into(),
+                            rows: vec![
+                                ("color".into(), vec![i as u32 % 4]),
+                                ("size".into(), vec![7 + (i as u32 % 3)]),
+                            ],
+                        }
+                    } else {
+                        Request::Query {
+                            table: "items".into(),
+                            predicate: Predicate::eq("color", 1),
+                        }
+                    },
+                )
             })
             .collect();
         let run = |()| {
@@ -631,12 +732,14 @@ mod tests {
         // Everything arrives at cycle 0; capacity 2 → the first fills
         // the server's horizon, two queue, the rest shed.
         let workload: Vec<Arrival> = (0..6)
-            .map(|_| Arrival {
-                at: 0,
-                request: Request::Query {
-                    table: "items".into(),
-                    predicate: Predicate::eq("color", 1),
-                },
+            .map(|_| {
+                Arrival::new(
+                    0,
+                    Request::Query {
+                        table: "items".into(),
+                        predicate: Predicate::eq("color", 1),
+                    },
+                )
             })
             .collect();
         let mut s = seeded(ServiceConfig {
@@ -667,13 +770,13 @@ mod tests {
             deadline: Some(50),
             ..Default::default()
         });
-        let report = s.run(&[Arrival {
-            at: 0,
-            request: Request::Query {
+        let report = s.run(&[Arrival::new(
+            0,
+            Request::Query {
                 table: "items".into(),
                 predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 9)),
             },
-        }]);
+        )]);
         match &report.completions[0].result {
             Err(QueryError::DeadlineExceeded { budget }) => assert_eq!(*budget, 50),
             other => panic!("expected DeadlineExceeded, got {other:?}"),
@@ -687,12 +790,14 @@ mod tests {
     fn queue_wait_burns_deadline_budget() {
         // Two queries arrive together; the second's wait alone exceeds
         // the budget, so it dies without executing.
-        let q = |_| Arrival {
-            at: 0,
-            request: Request::Query {
-                table: "items".into(),
-                predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 9)),
-            },
+        let q = |_| {
+            Arrival::new(
+                0,
+                Request::Query {
+                    table: "items".into(),
+                    predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 9)),
+                },
+            )
         };
         let workload: Vec<Arrival> = (0..2).map(q).collect();
         let mut s = seeded(ServiceConfig::default());
@@ -715,13 +820,13 @@ mod tests {
     #[test]
     fn unknown_tables_fail_fatally_without_retry() {
         let mut s = seeded(ServiceConfig::default());
-        let report = s.run(&[Arrival {
-            at: 0,
-            request: Request::Query {
+        let report = s.run(&[Arrival::new(
+            0,
+            Request::Query {
                 table: "missing".into(),
                 predicate: Predicate::eq("color", 1),
             },
-        }]);
+        )]);
         let err = report.completions[0].result.as_ref().unwrap_err();
         assert!(matches!(err, QueryError::Storage(_)));
         assert!(!err.is_retryable());
@@ -765,13 +870,13 @@ mod tests {
         s.engine.options.protection = Some(dbx_faults::ProtectionKind::Parity);
         s.engine.options.fault_plan =
             Some(FaultPlan::new().with_bit_flip(FaultTarget::Dmem(0), 0, 1, 2));
-        let report = s.run(&[Arrival {
-            at: 0,
-            request: Request::Query {
+        let report = s.run(&[Arrival::new(
+            0,
+            Request::Query {
                 table: "items".into(),
                 predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 9)),
             },
-        }]);
+        )]);
         let c = &report.completions[0];
         assert!(c.result.is_ok(), "{:?}", c.result);
         assert_eq!(c.retries, 1);
@@ -787,13 +892,13 @@ mod tests {
             observer: obs,
             ..Default::default()
         });
-        let report = s.run(&[Arrival {
-            at: 0,
-            request: Request::Create {
+        let report = s.run(&[Arrival::new(
+            0,
+            Request::Create {
                 table: "t".into(),
                 columns: kcol(&[1, 2, 3]),
             },
-        }]);
+        )]);
         assert!(report.completions[0].result.is_ok());
         let sink = sink.borrow();
         let names: Vec<String> = sink.spans_of("serve").map(|sp| sp.name.clone()).collect();
@@ -806,5 +911,90 @@ mod tests {
         assert_eq!(sink.counter_value(TrackId::Host, "serve.shed"), Some(0.0));
         // The store shares the sink: the commit's WAL span is there too.
         assert!(sink.spans_of("storage").any(|sp| sp.name == "wal.append"));
+        // The commit attempt produced a phase-attributed wal span
+        // carrying the propagated qid.
+        let wal = sink
+            .spans_of("serve")
+            .find(|sp| sp.name == "serve.wal")
+            .expect("per-attempt wal span");
+        assert!(wal
+            .args
+            .iter()
+            .any(|(k, v)| *k == "qid" && *v == ArgValue::U64(0)));
+    }
+
+    #[test]
+    fn phases_tile_latency_and_records_reconcile() {
+        use dbx_observe::telemetry::Outcome;
+        // Mixed workload with a same-cycle burst so some requests shed.
+        let mut workload: Vec<Arrival> = (0..6)
+            .map(|i| {
+                Arrival::new(
+                    i * 2_000,
+                    if i % 2 == 0 {
+                        Request::Append {
+                            table: "items".into(),
+                            rows: vec![
+                                ("color".into(), vec![i as u32 % 4]),
+                                ("size".into(), vec![7]),
+                            ],
+                        }
+                    } else {
+                        Request::Query {
+                            table: "items".into(),
+                            predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 9)),
+                        }
+                    },
+                )
+                .with_tenant(if i % 3 == 0 { "alpha" } else { "beta" })
+            })
+            .collect();
+        for _ in 0..6 {
+            workload.push(Arrival::new(
+                4_000,
+                Request::Query {
+                    table: "items".into(),
+                    predicate: Predicate::eq("color", 1),
+                },
+            ));
+        }
+        let mut s = seeded(ServiceConfig {
+            queue_cap: 3,
+            ..Default::default()
+        });
+        let report = s.run(&workload);
+        let records = report.records();
+        assert_eq!(records.len(), workload.len());
+        let stats = &report.stats;
+        assert!(stats.shed > 0, "burst must shed");
+        // shed + succeeded + failed == requests, with no double count.
+        assert_eq!(
+            stats.shed + stats.succeeded + stats.failed,
+            workload.len() as u64
+        );
+        let mut shed = 0u64;
+        for (c, r) in report.completions.iter().zip(&records) {
+            assert_eq!(c.index as u64, r.qid);
+            assert_eq!(c.tenant, r.tenant);
+            match r.outcome {
+                Outcome::Shed => {
+                    shed += 1;
+                    assert_eq!(r.phases.total(), 0);
+                    assert_eq!(r.latency(), 0);
+                }
+                _ => {
+                    // Every latency cycle is attributed to a phase.
+                    assert_eq!(r.phases.total(), r.latency(), "qid {}", r.qid);
+                }
+            }
+            // Writes spend service time in wal, queries in kernels.
+            if c.result.is_ok() {
+                match c.kind {
+                    "query" => assert_eq!(r.phases.wal, 0),
+                    _ => assert_eq!(r.phases.kernel, 0),
+                }
+            }
+        }
+        assert_eq!(shed, stats.shed);
     }
 }

@@ -115,12 +115,14 @@ fn readers_hold_their_snapshot_across_threads_while_writers_commit() {
 fn a_burst_beyond_queue_capacity_sheds_with_overloaded() {
     let mut s = open_seeded(24);
     let burst: Vec<Arrival> = (0..10)
-        .map(|_| Arrival {
-            at: 0,
-            request: Request::Query {
-                table: "items".into(),
-                predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 1)),
-            },
+        .map(|_| {
+            Arrival::new(
+                0,
+                Request::Query {
+                    table: "items".into(),
+                    predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 1)),
+                },
+            )
         })
         .collect();
     let mut svc = QueryService::open(
@@ -160,13 +162,13 @@ fn deadlines_bound_admitted_work_and_are_fatal() {
         },
     )
     .unwrap();
-    let report = svc.run(&[Arrival {
-        at: 0,
-        request: Request::Query {
+    let report = svc.run(&[Arrival::new(
+        0,
+        Request::Query {
             table: "items".into(),
             predicate: Predicate::eq("color", 1).and(Predicate::eq("size", 1)),
         },
-    }]);
+    )]);
     let c = &report.completions[0];
     match c.result.as_ref().unwrap_err() {
         e @ QueryError::DeadlineExceeded { budget } => {
@@ -180,19 +182,21 @@ fn deadlines_bound_admitted_work_and_are_fatal() {
 
 #[test]
 fn state_built_through_the_service_survives_crash_recovery() {
-    let workload: Vec<Arrival> = std::iter::once(Arrival {
-        at: 0,
-        request: Request::Create {
+    let workload: Vec<Arrival> = std::iter::once(Arrival::new(
+        0,
+        Request::Create {
             table: "items".into(),
             columns: items(12),
         },
-    })
-    .chain((1..=6).map(|i| Arrival {
-        at: i * 10_000,
-        request: Request::Append {
-            table: "items".into(),
-            rows: vec![("color".into(), vec![i as u32]), ("size".into(), vec![0])],
-        },
+    ))
+    .chain((1..=6).map(|i| {
+        Arrival::new(
+            i * 10_000,
+            Request::Append {
+                table: "items".into(),
+                rows: vec![("color".into(), vec![i as u32]), ("size".into(), vec![0])],
+            },
+        )
     }))
     .collect();
 
@@ -211,13 +215,13 @@ fn state_built_through_the_service_survives_crash_recovery() {
     assert_eq!(recovered.store().state_digest(), digest);
 
     // And the recovered service answers queries over the replayed rows.
-    let report = recovered.run(&[Arrival {
-        at: 0,
-        request: Request::Query {
+    let report = recovered.run(&[Arrival::new(
+        0,
+        Request::Query {
             table: "items".into(),
             predicate: Predicate::eq("color", 3).and(Predicate::eq("size", 0)),
         },
-    }]);
+    )]);
     match &report.completions[0].result {
         Ok(Reply::Rids(rids)) => assert!(!rids.is_empty()),
         other => panic!("query after recovery failed: {other:?}"),
